@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Ablations beyond the paper (DESIGN.md §6):
+ *   1. history length sweep for the tagless gshare cache;
+ *   2. equal-budget comparison: tagless vs tagged vs cascaded vs
+ *      oracle, with storage cost printed;
+ *   3. the C++ virtual-dispatch workload (the paper's future work);
+ *   4. seed sensitivity of the headline result (mean ± stddev over
+ *      independently generated workloads);
+ *   5. interference in the tagless structure (the paper's §5
+ *      motivation for adding tags);
+ *   6. the direction predictor's influence (gshare vs McFarling
+ *      tournament baseline machine).
+ */
+
+#include "bench_util.hh"
+#include "harness/multi_seed.hh"
+
+using namespace tpred;
+
+int
+main(int argc, char **argv)
+{
+    const size_t ops = resolveOps(argc, argv, kDefaultAccuracyOps);
+    bench::heading("Ablations (indirect-jump misprediction rate)", ops);
+
+    // --- 1. History length sweep --------------------------------
+    {
+        Table table;
+        table.setHeader({"Benchmark", "h=4", "h=6", "h=9", "h=12",
+                         "h=16"});
+        for (const auto &name : bench::headlinePair()) {
+            SharedTrace trace = recordWorkload(name, ops);
+            std::vector<std::string> row = {name};
+            for (unsigned bits : {4u, 6u, 9u, 12u, 16u}) {
+                // Entry count fixed at 512; longer histories fold
+                // through the XOR index.
+                double miss =
+                    runAccuracy(trace,
+                                taglessGshare(patternHistory(bits)))
+                        .indirectJumps.missRate();
+                row.push_back(formatPercent(miss, 1));
+            }
+            table.addRow(row);
+        }
+        std::printf("[history length, tagless gshare 512]\n%s\n",
+                    table.render().c_str());
+    }
+
+    // --- 2. Structures at comparable budget -----------------------
+    {
+        const std::vector<std::pair<std::string, IndirectConfig>>
+            structures = {
+                {"tagless-512", taglessGshare()},
+                {"tagged-256x4w", taggedConfig(
+                                      TaggedIndexScheme::HistoryXor, 4)},
+                {"cascaded", cascadedConfig()},
+                {"oracle", oracleConfig()},
+            };
+        Table table;
+        std::vector<std::string> header = {"Benchmark"};
+        for (const auto &[label, config] : structures) {
+            auto stack = buildStack(config);
+            const uint64_t cost =
+                stack.predictor ? stack.predictor->costBits() : 0;
+            header.push_back(label + " (" + std::to_string(cost / 8) +
+                             " B)");
+        }
+        table.setHeader(header);
+        for (const auto &name : spec95Names()) {
+            SharedTrace trace = recordWorkload(name, ops);
+            std::vector<std::string> row = {name};
+            for (const auto &[label, config] : structures) {
+                double miss = runAccuracy(trace, config)
+                                  .indirectJumps.missRate();
+                row.push_back(formatPercent(miss, 1));
+            }
+            table.addRow(row);
+        }
+        std::printf("[structures at comparable budget]\n%s\n",
+                    table.render().c_str());
+    }
+
+    // --- 3. C++ virtual dispatch (paper §5 future work) ----------
+    {
+        SharedTrace trace = recordWorkload("cpp-virtual", ops);
+        Table table;
+        table.setHeader({"Predictor", "Mispred. rate"});
+        table.addRow({"BTB", formatPercent(
+                                 runAccuracy(trace, baselineConfig())
+                                     .indirectJumps.missRate(),
+                                 1)});
+        table.addRow(
+            {"tagless-512",
+             formatPercent(runAccuracy(trace, taglessGshare())
+                               .indirectJumps.missRate(),
+                           1)});
+        table.addRow(
+            {"tagged-256x8w-h16",
+             formatPercent(
+                 runAccuracy(trace,
+                             taggedConfig(TaggedIndexScheme::HistoryXor,
+                                          8, patternHistory(16)))
+                     .indirectJumps.missRate(),
+                 1)});
+        table.addRow(
+            {"cascaded",
+             formatPercent(runAccuracy(trace, cascadedConfig())
+                               .indirectJumps.missRate(),
+                           1)});
+        std::printf("[cpp-virtual workload]\n%s\n",
+                    table.render().c_str());
+    }
+    // --- 4. Seed sensitivity --------------------------------------
+    {
+        Table table;
+        table.setHeader({"Benchmark", "BTB (5 seeds)",
+                         "tagless (5 seeds)"});
+        const size_t seed_ops = std::min<size_t>(ops, 400000);
+        for (const auto &name : bench::headlinePair()) {
+            auto btb = sweepSeeds(name, seed_ops, 5,
+                                  indirectMissMetric(baselineConfig()));
+            auto tc = sweepSeeds(name, seed_ops, 5,
+                                 indirectMissMetric(taglessGshare()));
+            table.addRow({name, btb.renderPercent(),
+                          tc.renderPercent()});
+        }
+        std::printf("[seed sensitivity]\n%s\n",
+                    table.render().c_str());
+    }
+
+    // --- 5. Tagless interference ----------------------------------
+    {
+        Table table;
+        table.setHeader({"Benchmark", "GAg(9) interference",
+                         "gshare interference"});
+        for (const auto &name : bench::headlinePair()) {
+            SharedTrace trace = recordWorkload(name, ops);
+            std::vector<std::string> row = {name};
+            for (auto scheme : {TaglessIndexScheme::GAg,
+                                TaglessIndexScheme::Gshare}) {
+                TaglessConfig config;
+                config.scheme = scheme;
+                config.entryBits = 9;
+                config.historyBits = 9;
+                TaglessTargetCache cache(config);
+                HistoryTracker tracker(patternHistory(9));
+                FrontendPredictor fe{FrontendConfig{}, &cache,
+                                     &tracker};
+                auto src = trace.open();
+                MicroOp op;
+                while (src->next(op))
+                    fe.onInstruction(op);
+                row.push_back(formatPercent(
+                    cache.stats().interferenceRate(), 1));
+            }
+            table.addRow(row);
+        }
+        std::printf("[tagless cross-branch interference: fraction of "
+                    "probes reading another branch's entry]\n%s\n",
+                    table.render().c_str());
+    }
+
+    // --- 6. Direction predictor baseline --------------------------
+    {
+        Table table;
+        table.setHeader({"Benchmark", "gshare dir miss",
+                         "tournament dir miss", "ind miss (gshare fe)",
+                         "ind miss (tournament fe)"});
+        FrontendConfig tourney;
+        tourney.direction = DirectionScheme::Tournament;
+        for (const auto &name : bench::headlinePair()) {
+            SharedTrace trace = recordWorkload(name, ops);
+            FrontendStats g = runAccuracy(trace, taglessGshare());
+            FrontendStats t = runAccuracy(trace, taglessGshare(),
+                                          tourney);
+            table.addRow({name,
+                          formatPercent(g.condDirection.missRate(), 1),
+                          formatPercent(t.condDirection.missRate(), 1),
+                          formatPercent(g.indirectJumps.missRate(), 1),
+                          formatPercent(t.indirectJumps.missRate(),
+                                        1)});
+        }
+        std::printf("[direction scheme: the target cache result is "
+                    "robust to the conditional predictor]\n%s\n",
+                    table.render().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,59 @@
+/** @file Shared helpers for the paper-table bench binaries. */
+
+#ifndef TPRED_BENCH_BENCH_UTIL_HH
+#define TPRED_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "harness/paper_tables.hh"
+#include "workloads/workload.hh"
+
+namespace tpred::bench
+{
+
+/** Records one trace per named workload at the requested length. */
+inline std::vector<SharedTrace>
+recordAll(const std::vector<std::string> &names, size_t ops)
+{
+    std::vector<SharedTrace> traces;
+    traces.reserve(names.size());
+    for (const auto &name : names)
+        traces.push_back(recordWorkload(name, ops));
+    return traces;
+}
+
+/** The paper's headline pair (sections 4.2-4.4 report these two). */
+inline std::vector<std::string>
+headlinePair()
+{
+    return {"gcc", "perl"};
+}
+
+/** Prints a heading in the style used by all bench binaries. */
+inline void
+heading(const std::string &title, size_t ops)
+{
+    std::printf("== %s ==\n", title.c_str());
+    std::printf("   (synthetic SPECint95-like workloads, %s "
+                "instructions each; see DESIGN.md)\n\n",
+                formatCount(ops).c_str());
+}
+
+/** Baseline cycle counts for a set of traces (BTB-only machine). */
+inline std::vector<uint64_t>
+baselineCycles(const std::vector<SharedTrace> &traces)
+{
+    std::vector<uint64_t> cycles;
+    cycles.reserve(traces.size());
+    for (const auto &trace : traces)
+        cycles.push_back(runTiming(trace, baselineConfig()).cycles);
+    return cycles;
+}
+
+} // namespace tpred::bench
+
+#endif // TPRED_BENCH_BENCH_UTIL_HH

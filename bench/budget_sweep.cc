@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Hardware-budget sweep (implied by the paper's §4.2 cost equations):
+ * misprediction rate versus predictor storage for the tagless and
+ * tagged organisations, at matched budgets.  The tagged cache pays
+ * for tags with entry count — the trade the paper quantifies with its
+ * "target cache(n) = 32 x n bits" accounting.
+ *
+ * Pass "csv" as the second argument for machine-readable output.
+ */
+
+#include <cstring>
+
+#include "bench_util.hh"
+
+using namespace tpred;
+
+int
+main(int argc, char **argv)
+{
+    const size_t ops = resolveOps(argc, argv, kDefaultAccuracyOps);
+    const bool csv = argc > 2 && std::strcmp(argv[2], "csv") == 0;
+    if (!csv)
+        bench::heading("Budget sweep: misprediction rate vs predictor "
+                       "storage (tagless vs tagged 4-way)",
+                       ops);
+
+    // Matched-budget pairs: a tagged entry costs 48 bits vs the
+    // tagless 32, so a 2^n tagless cache pairs with ~2/3 the tagged
+    // entries; we round to the nearest power-of-two-friendly count.
+    struct Point
+    {
+        unsigned taglessBits;   ///< log2 tagless entries
+        unsigned taggedEntries; ///< same budget at 48 bits/entry
+    };
+    const std::vector<Point> points = {
+        {7, 84}, {8, 168}, {9, 340}, {10, 680}, {11, 1364},
+    };
+
+    for (const auto &name : bench::headlinePair()) {
+        SharedTrace trace = recordWorkload(name, ops);
+        Table table;
+        table.setHeader({"budget (bytes)", "tagless entries",
+                         "tagless miss", "tagged entries",
+                         "tagged miss"});
+        for (const Point &point : points) {
+            // Tagged entry counts must be a multiple of ways=4.
+            const unsigned tagged_entries =
+                point.taggedEntries / 4 * 4;
+            IndirectConfig tagless =
+                taglessGshare(patternHistory(9), point.taglessBits);
+            IndirectConfig tagged =
+                taggedConfig(TaggedIndexScheme::HistoryXor, 4,
+                             patternHistory(9), tagged_entries);
+
+            auto tagless_stack = buildStack(tagless);
+            const uint64_t budget =
+                tagless_stack.predictor->costBits() / 8;
+
+            table.addRow({
+                std::to_string(budget),
+                std::to_string(1u << point.taglessBits),
+                formatPercent(runAccuracy(trace, tagless)
+                                  .indirectJumps.missRate(),
+                              1),
+                std::to_string(tagged_entries),
+                formatPercent(runAccuracy(trace, tagged)
+                                  .indirectJumps.missRate(),
+                              1),
+            });
+        }
+        if (csv) {
+            std::printf("# %s\n%s", name.c_str(),
+                        table.renderCsv().c_str());
+        } else {
+            std::printf("[%s]\n%s\n", name.c_str(),
+                        table.render().c_str());
+        }
+    }
+    return 0;
+}

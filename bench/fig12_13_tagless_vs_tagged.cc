@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figures 12-13: 512-entry tagless target cache versus 256-entry
+ * tagged target caches across set associativities (the tagged cache
+ * has half the entries to pay for its tags).  The paper's crossover:
+ * the tagless cache beats low-associativity tagged caches, while a
+ * tagged cache with >= 4 ways beats the tagless one.
+ *
+ * Metric: reduction in execution time over the BTB-only baseline,
+ * printed as a series over associativity.
+ */
+
+#include "bench_util.hh"
+
+using namespace tpred;
+
+int
+main(int argc, char **argv)
+{
+    const size_t ops = resolveOps(argc, argv, kDefaultTimingOps);
+    bench::heading("Figures 12-13: tagged (256-entry) vs tagless "
+                   "(512-entry) target cache (reduction in execution "
+                   "time vs set-associativity)",
+                   ops);
+
+    const std::vector<unsigned> assocs = {1, 2, 4, 8, 16};
+
+    for (const auto &name : bench::headlinePair()) {
+        SharedTrace trace = recordWorkload(name, ops);
+        const uint64_t base = runTiming(trace, baselineConfig()).cycles;
+
+        const double tagless = reductionOver(base, trace,
+                                             taglessGshare());
+        Table table;
+        table.setHeader({"set-assoc.", "w/ tags (256-entry)",
+                         "w/o tags (512-entry)"});
+        for (unsigned ways : assocs) {
+            double tagged = reductionOver(
+                base, trace,
+                taggedConfig(TaggedIndexScheme::HistoryXor, ways));
+            table.addRow({std::to_string(ways),
+                          formatPercent(tagged, 2),
+                          formatPercent(tagless, 2)});
+        }
+        std::printf("[%s]\n%s\n", name.c_str(),
+                    table.render().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figures 1-8: "Number of Targets per Indirect Jump" — for each
+ * benchmark, the distribution of dynamic indirect jumps over the
+ * number of distinct targets their static site exhibits, with the
+ * paper's ">=30" overflow bucket.
+ */
+
+#include "bench_util.hh"
+#include "trace/trace_stats.hh"
+
+using namespace tpred;
+
+int
+main(int argc, char **argv)
+{
+    const size_t ops = resolveOps(argc, argv, kDefaultAccuracyOps);
+    bench::heading("Figures 1-8: number of targets per indirect jump",
+                   ops);
+
+    for (const auto &name : spec95Names()) {
+        auto workload = makeWorkload(name);
+        TraceProfile profile = profileTrace(*workload, ops);
+        Histogram hist = profile.targets.buildHistogram();
+        std::printf("%s\n",
+                    hist.render("Figure (" + name + "): % of dynamic "
+                                "indirect jumps by targets of their "
+                                "static site")
+                        .c_str());
+        std::printf("  static sites: %zu, dynamic indirect jumps: %s\n\n",
+                    profile.targets.staticSites(),
+                    formatCount(profile.targets.dynamicJumps()).c_str());
+    }
+    return 0;
+}

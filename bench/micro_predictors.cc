@@ -1,0 +1,141 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: raw lookup/update throughput of
+ * the predictor structures, and trace-generation speed.  These are
+ * engineering benchmarks for users embedding the library, not paper
+ * reproductions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bpred/btb.hh"
+#include "bpred/history.hh"
+#include "core/cascaded.hh"
+#include "core/tagged_target_cache.hh"
+#include "core/tagless_target_cache.hh"
+#include "trace/trace_source.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace tpred;
+
+void
+BM_TaglessPredictUpdate(benchmark::State &state)
+{
+    TaglessConfig config;
+    config.entryBits = static_cast<unsigned>(state.range(0));
+    TaglessTargetCache cache(config);
+    uint64_t i = 0;
+    for (auto _ : state) {
+        const uint64_t pc = 0x1000 + (i % 64) * 4;
+        const uint64_t hist = i * 0x9e37;
+        benchmark::DoNotOptimize(cache.predict(pc, hist));
+        cache.update(pc, hist, 0x4000 + (i & 0xff) * 4);
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_TaglessPredictUpdate)->Arg(9)->Arg(12);
+
+void
+BM_TaggedPredictUpdate(benchmark::State &state)
+{
+    TaggedConfig config;
+    config.ways = static_cast<unsigned>(state.range(0));
+    TaggedTargetCache cache(config);
+    uint64_t i = 0;
+    for (auto _ : state) {
+        const uint64_t pc = 0x1000 + (i % 64) * 4;
+        const uint64_t hist = i * 0x9e37;
+        benchmark::DoNotOptimize(cache.predict(pc, hist));
+        cache.update(pc, hist, 0x4000 + (i & 0xff) * 4);
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_TaggedPredictUpdate)->Arg(1)->Arg(4)->Arg(16);
+
+void
+BM_CascadedPredictUpdate(benchmark::State &state)
+{
+    CascadedPredictor pred(CascadedConfig{});
+    uint64_t i = 0;
+    for (auto _ : state) {
+        const uint64_t pc = 0x1000 + (i % 64) * 4;
+        const uint64_t hist = i * 0x9e37;
+        benchmark::DoNotOptimize(pred.predict(pc, hist));
+        pred.update(pc, hist, 0x4000 + (i & 0xff) * 4);
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_CascadedPredictUpdate);
+
+void
+BM_BtbLookupUpdate(benchmark::State &state)
+{
+    Btb btb(BtbConfig{});
+    MicroOp op;
+    op.cls = InstClass::Branch;
+    op.branch = BranchKind::IndirectJump;
+    op.taken = true;
+    uint64_t i = 0;
+    for (auto _ : state) {
+        op.pc = 0x1000 + (i % 512) * 4;
+        op.fallthrough = op.pc + 4;
+        op.nextPc = 0x4000 + (i & 0xff) * 4;
+        benchmark::DoNotOptimize(btb.lookup(op.pc));
+        btb.update(op);
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_BtbLookupUpdate);
+
+void
+BM_HistoryTrackerObserve(benchmark::State &state)
+{
+    HistorySpec spec;
+    spec.kind = static_cast<HistoryKind>(state.range(0));
+    spec.lengthBits = 9;
+    spec.path = PathSpec{9, 1, 2};
+    HistoryTracker tracker(spec);
+    MicroOp op;
+    op.cls = InstClass::Branch;
+    op.branch = BranchKind::IndirectJump;
+    op.taken = true;
+    uint64_t i = 0;
+    for (auto _ : state) {
+        op.pc = 0x1000 + (i % 16) * 4;
+        op.nextPc = 0x4000 + (i & 0x3f) * 4;
+        tracker.observe(op);
+        benchmark::DoNotOptimize(tracker.valueFor(op.pc));
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_HistoryTrackerObserve)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    const auto &names = allWorkloadNames();
+    const std::string name = names[static_cast<size_t>(state.range(0))];
+    state.SetLabel(name);
+    auto workload = makeWorkload(name);
+    MicroOp op;
+    uint64_t i = 0;
+    for (auto _ : state) {
+        workload->next(op);
+        benchmark::DoNotOptimize(op);
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_WorkloadGeneration)->DenseRange(0, 8);
+
+} // namespace
+
+BENCHMARK_MAIN();

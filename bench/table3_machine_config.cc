@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table 3: the simulated machine's instruction classes and execution
+ * latencies, plus the rest of the HPS-like configuration (paper §4.1
+ * and DESIGN.md §5, where the OCR-garbled values are documented).
+ */
+
+#include "bench_util.hh"
+#include "uarch/core_model.hh"
+#include "uarch/fu_pool.hh"
+
+using namespace tpred;
+
+int
+main()
+{
+    std::printf("== Table 3: instruction classes and latencies ==\n\n");
+
+    Table table;
+    table.setHeader({"Instruction Class", "Exec. Lat.", "Description"});
+    const char *descriptions[] = {
+        "INT add, sub and logic OPs",
+        "FP add, sub, and convert",
+        "FP mul and INT mul",
+        "FP div and INT div",
+        "Memory loads",
+        "Memory stores",
+        "Shift, and bit testing",
+        "Control instructions",
+    };
+    for (size_t i = 0; i < kNumInstClasses; ++i) {
+        const auto cls = static_cast<InstClass>(i);
+        table.addRow({std::string(instClassName(cls)),
+                      std::to_string(executionLatency(cls)),
+                      descriptions[i]});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    const CoreParams params;
+    std::printf("Machine: %u-wide fetch/issue/retire, %u-entry window, "
+                "%u universal FUs\n",
+                params.width, params.window, params.fuCount);
+    std::printf("I-cache: perfect.  D-cache: %u KB, %u-way, %u B lines, "
+                "memory latency %u cycles\n",
+                params.dcache.sizeBytes / 1024, params.dcache.ways,
+                params.dcache.lineBytes, params.dcache.missLatency);
+    std::printf("Checkpointing: correct-path fetch resumes the cycle "
+                "after a mispredicted branch resolves\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table 9: tagged target cache with 9 vs 16 bits of global pattern
+ * history across set associativities.  The paper's result: extra
+ * history bits (stored in the tags) help at high associativity and
+ * hurt at low associativity, where the extra contexts cause conflict
+ * misses.
+ *
+ * Metric: reduction in execution time over the BTB-only baseline.
+ */
+
+#include "bench_util.hh"
+
+using namespace tpred;
+
+int
+main(int argc, char **argv)
+{
+    const size_t ops = resolveOps(argc, argv, kDefaultTimingOps);
+    bench::heading("Table 9: tagged target cache, 9 vs 16 pattern "
+                   "history bits (256 entries, History-XOR; reduction "
+                   "in execution time)",
+                   ops);
+
+    const std::vector<unsigned> assocs = {1, 2, 4, 8, 16};
+
+    for (const auto &name : bench::headlinePair()) {
+        SharedTrace trace = recordWorkload(name, ops);
+        const uint64_t base = runTiming(trace, baselineConfig()).cycles;
+
+        Table table;
+        table.setHeader({"set-assoc.", "9 bits", "16 bits"});
+        for (unsigned ways : assocs) {
+            std::vector<std::string> row = {std::to_string(ways)};
+            for (unsigned bits : {9u, 16u}) {
+                double reduction = reductionOver(
+                    base, trace,
+                    taggedConfig(TaggedIndexScheme::HistoryXor, ways,
+                                 patternHistory(bits)));
+                row.push_back(formatPercent(reduction, 2));
+            }
+            table.addRow(row);
+        }
+        std::printf("[%s]\n%s\n", name.c_str(),
+                    table.render().c_str());
+    }
+    return 0;
+}

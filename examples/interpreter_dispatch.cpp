@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Interpreter dispatch — the perl scenario from the paper's §4.2.3.
+ *
+ * Runs the perl-like workload through the full front end (gshare +
+ * BTB + RAS) four ways: BTB only, pattern-history target cache,
+ * IndJmp path-history target cache, and a 4-way tagged cache, then
+ * prints a per-class accuracy breakdown.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "harness/paper_tables.hh"
+
+using namespace tpred;
+
+namespace
+{
+
+void
+report(Table &table, const std::string &label,
+       const FrontendStats &stats)
+{
+    table.addRow({
+        label,
+        formatPercent(stats.indirectJumps.missRate(), 1),
+        formatPercent(stats.condDirection.missRate(), 1),
+        formatPercent(stats.returns.missRate(), 2),
+        std::to_string(stats.mpki()).substr(0, 5),
+    });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const size_t ops = resolveOps(argc, argv, 1'000'000);
+    std::printf("perl-like interpreter, %s instructions\n\n",
+                formatCount(ops).c_str());
+
+    SharedTrace trace = recordWorkload("perl", ops);
+
+    Table table;
+    table.setHeader({"Front end", "ind. jump miss", "cond dir miss",
+                     "return miss", "MPKI"});
+    report(table, "BTB only",
+           runAccuracy(trace, baselineConfig()));
+    report(table, "+ tagless target cache (pattern)",
+           runAccuracy(trace, taglessGshare()));
+    report(table, "+ tagless target cache (ind-jmp path)",
+           runAccuracy(trace,
+                       taglessGshare(pathGlobal(PathFilter::IndJmp))));
+    report(table, "+ tagged target cache (4-way)",
+           runAccuracy(trace,
+                       taggedConfig(TaggedIndexScheme::HistoryXor, 4)));
+    report(table, "+ oracle", runAccuracy(trace, oracleConfig()));
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("The interpreter processes the same token sequence "
+                "every loop iteration, so branch history identifies "
+                "the position in the token stream — exactly the "
+                "paper's explanation of perl's result.\n");
+    return 0;
+}

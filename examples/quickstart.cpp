@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Quickstart: build a target cache by hand, feed it a tiny indirect-
+ * branch stream, and watch it beat the BTB's last-target scheme.
+ *
+ * The scenario is the paper's motivating one: an indirect jump whose
+ * target is decided by the preceding conditional branch.  The BTB can
+ * only replay the previous target; the target cache indexes on the
+ * branch history and nails it.
+ */
+
+#include <cstdio>
+
+#include "bpred/btb.hh"
+#include "bpred/history.hh"
+#include "common/stats.hh"
+#include "core/tagless_target_cache.hh"
+
+using namespace tpred;
+
+int
+main()
+{
+    // A 512-entry tagless target cache with gshare indexing and a
+    // 9-bit global pattern history — the paper's default tagless
+    // configuration.
+    TaglessTargetCache cache(TaglessConfig{});
+    PatternHistory history(9);
+
+    // The baseline: a BTB entry storing the last computed target.
+    Btb btb(BtbConfig{});
+
+    RatioStat btb_stat, cache_stat;
+
+    // Simulated program: `if (flag) ... ; switch (flag) ...` — the
+    // conditional at 0x100 decides the indirect target at 0x200.
+    bool flag = false;
+    for (int i = 0; i < 1000; ++i) {
+        flag = (i % 3) != 0;  // a short repeating pattern
+
+        // -- conditional branch at 0x100 resolves; record history.
+        MicroOp cond;
+        cond.pc = 0x100;
+        cond.fallthrough = 0x104;
+        cond.cls = InstClass::Branch;
+        cond.branch = BranchKind::CondDirect;
+        cond.taken = flag;
+        cond.nextPc = flag ? 0x180 : 0x104;
+        btb.update(cond);
+        history.update(flag);
+
+        // -- indirect jump at 0x200: predict, score, train.
+        MicroOp jump;
+        jump.pc = 0x200;
+        jump.fallthrough = 0x204;
+        jump.cls = InstClass::Branch;
+        jump.branch = BranchKind::IndirectJump;
+        jump.taken = true;
+        jump.nextPc = flag ? 0x4000 : 0x5000;
+
+        auto btb_pred = btb.lookup(jump.pc);
+        btb_stat.record(btb_pred && btb_pred->target == jump.nextPc);
+
+        auto cache_pred = cache.predict(jump.pc, history.value());
+        cache_stat.record(cache_pred == jump.nextPc);
+
+        btb.update(jump);
+        cache.update(jump.pc, history.value(), jump.nextPc);
+    }
+
+    std::printf("indirect jump with history-determined target, 1000 "
+                "executions:\n");
+    std::printf("  BTB (last computed target): %s mispredicted\n",
+                formatPercent(btb_stat.missRate(), 1).c_str());
+    std::printf("  target cache (%s):          %s mispredicted\n",
+                cache.describe().c_str(),
+                formatPercent(cache_stat.missRate(), 1).c_str());
+    std::printf("\nThe target cache learns one target per history "
+                "context instead of one per branch.\n");
+    return 0;
+}

@@ -1,0 +1,123 @@
+#include "bpred/btb.hh"
+
+#include <cassert>
+
+#include "common/bits.hh"
+
+namespace tpred
+{
+
+Btb::Btb(const BtbConfig &config)
+    : config_(config),
+      setBits_(floorLog2(config.sets)),
+      entries_(config.sets * config.ways)
+{
+    assert(isPowerOfTwo(config.sets));
+    assert(config.ways >= 1);
+}
+
+uint64_t
+Btb::setIndex(uint64_t pc) const
+{
+    // Instructions are word aligned; drop the two zero bits.
+    return bits(pc >> 2, 0, setBits_);
+}
+
+uint64_t
+Btb::tagOf(uint64_t pc) const
+{
+    return pc >> (2 + setBits_);
+}
+
+Btb::Entry *
+Btb::findEntry(uint64_t pc)
+{
+    const uint64_t set = setIndex(pc);
+    const uint64_t tag = tagOf(pc);
+    Entry *base = &entries_[set * config_.ways];
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+Btb::Entry &
+Btb::victimEntry(uint64_t set)
+{
+    Entry *base = &entries_[set * config_.ways];
+    Entry *victim = base;
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        if (!base[w].valid)
+            return base[w];
+        if (base[w].lastUsed < victim->lastUsed)
+            victim = &base[w];
+    }
+    return *victim;
+}
+
+std::optional<BtbPrediction>
+Btb::lookup(uint64_t pc)
+{
+    Entry *entry = findEntry(pc);
+    if (!entry)
+        return std::nullopt;
+    entry->lastUsed = ++useClock_;
+    return BtbPrediction{entry->target, entry->fallthrough, entry->kind};
+}
+
+void
+Btb::update(const MicroOp &op)
+{
+    assert(op.isBranch());
+    Entry *entry = findEntry(op.pc);
+    if (!entry) {
+        Entry &victim = victimEntry(setIndex(op.pc));
+        victim.valid = true;
+        victim.tag = tagOf(op.pc);
+        victim.kind = op.branch;
+        victim.fallthrough = op.fallthrough;
+        victim.missStreak = 0;
+        victim.lastUsed = ++useClock_;
+        // Only record a target when the branch actually produced one.
+        victim.target = op.taken ? op.nextPc : 0;
+        return;
+    }
+
+    entry->kind = op.branch;
+    entry->fallthrough = op.fallthrough;
+    entry->lastUsed = ++useClock_;
+
+    if (!op.taken)
+        return;  // not-taken conditional: keep the stored taken-target
+
+    if (entry->target == op.nextPc) {
+        entry->missStreak = 0;
+        return;
+    }
+
+    switch (config_.strategy) {
+      case BtbUpdateStrategy::Default:
+        entry->target = op.nextPc;
+        entry->missStreak = 0;
+        break;
+      case BtbUpdateStrategy::TwoBit:
+        // Keep the old target until it mispredicts twice in a row.
+        if (++entry->missStreak >= 2) {
+            entry->target = op.nextPc;
+            entry->missStreak = 0;
+        }
+        break;
+    }
+}
+
+size_t
+Btb::validEntries() const
+{
+    size_t n = 0;
+    for (const auto &entry : entries_)
+        n += entry.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace tpred

@@ -1,0 +1,71 @@
+#include "bpred/cbt.hh"
+
+#include <cassert>
+
+#include "common/bits.hh"
+
+namespace tpred
+{
+
+CaseBlockTable::CaseBlockTable(const CbtConfig &config)
+    : config_(config),
+      setBits_(floorLog2(config.sets)),
+      entries_(config.sets * config.ways)
+{
+    assert(isPowerOfTwo(config.sets));
+    assert(config.ways >= 1);
+}
+
+uint64_t
+CaseBlockTable::setIndex(uint64_t pc, uint64_t selector) const
+{
+    return ((pc >> 2) ^ selector) & mask(setBits_);
+}
+
+CaseBlockTable::Entry *
+CaseBlockTable::findEntry(uint64_t pc, uint64_t selector)
+{
+    Entry *base = &entries_[setIndex(pc, selector) * config_.ways];
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        if (base[w].valid && base[w].pc == pc &&
+            base[w].selector == selector) {
+            return &base[w];
+        }
+    }
+    return nullptr;
+}
+
+std::optional<uint64_t>
+CaseBlockTable::lookup(uint64_t pc, uint64_t selector)
+{
+    Entry *entry = findEntry(pc, selector);
+    if (!entry)
+        return std::nullopt;
+    entry->lastUsed = ++useClock_;
+    return entry->target;
+}
+
+void
+CaseBlockTable::update(uint64_t pc, uint64_t selector, uint64_t target)
+{
+    Entry *entry = findEntry(pc, selector);
+    if (!entry) {
+        Entry *base = &entries_[setIndex(pc, selector) * config_.ways];
+        entry = base;
+        for (unsigned w = 0; w < config_.ways; ++w) {
+            if (!base[w].valid) {
+                entry = &base[w];
+                break;
+            }
+            if (base[w].lastUsed < entry->lastUsed)
+                entry = &base[w];
+        }
+        entry->valid = true;
+        entry->pc = pc;
+        entry->selector = selector;
+    }
+    entry->target = target;
+    entry->lastUsed = ++useClock_;
+}
+
+} // namespace tpred

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Case block table (Kaeli & Emma), the related-work mechanism of paper
+ * section 2.
+ *
+ * The CBT maps (switch site, case-block variable value) to the case
+ * address, dynamically building a jump table.  Its limitation on
+ * out-of-order machines — the variable's value is usually unknown at
+ * fetch — is modelled by the @c valueKnown flag of lookupAtFetch().
+ */
+
+#ifndef TPRED_BPRED_CBT_HH
+#define TPRED_BPRED_CBT_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace tpred
+{
+
+/** CBT geometry. */
+struct CbtConfig
+{
+    unsigned sets = 128;  ///< power of two
+    unsigned ways = 4;
+};
+
+/**
+ * Set-associative table keyed by (site pc, selector value), LRU
+ * replacement.
+ */
+class CaseBlockTable
+{
+  public:
+    explicit CaseBlockTable(const CbtConfig &config);
+
+    /**
+     * Oracle-style probe: the selector value is known.
+     * @return The recorded case address, or nullopt.
+     */
+    std::optional<uint64_t> lookup(uint64_t pc, uint64_t selector);
+
+    /**
+     * Fetch-time probe on a speculative machine: when @p value_known is
+     * false (the common out-of-order case) the probe cannot be made and
+     * the CBT abstains.
+     */
+    std::optional<uint64_t>
+    lookupAtFetch(uint64_t pc, uint64_t selector, bool value_known)
+    {
+        if (!value_known)
+            return std::nullopt;
+        return lookup(pc, selector);
+    }
+
+    /** Records the resolved case address for (pc, selector). */
+    void update(uint64_t pc, uint64_t selector, uint64_t target);
+
+    const CbtConfig &config() const { return config_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint64_t pc = 0;
+        uint64_t selector = 0;
+        uint64_t target = 0;
+        uint64_t lastUsed = 0;
+    };
+
+    uint64_t setIndex(uint64_t pc, uint64_t selector) const;
+    Entry *findEntry(uint64_t pc, uint64_t selector);
+
+    CbtConfig config_;
+    unsigned setBits_;
+    std::vector<Entry> entries_;
+    uint64_t useClock_ = 0;
+};
+
+} // namespace tpred
+
+#endif // TPRED_BPRED_CBT_HH

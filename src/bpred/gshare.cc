@@ -1,0 +1,39 @@
+#include "bpred/gshare.hh"
+
+#include <cassert>
+
+#include "common/bits.hh"
+
+namespace tpred
+{
+
+GShare::GShare(unsigned index_bits)
+    : indexBits_(index_bits),
+      pht_(size_t{1} << index_bits, SatCounter(2, 1))
+{
+    assert(index_bits >= 1 && index_bits <= 24);
+}
+
+uint64_t
+GShare::indexOf(uint64_t pc, uint64_t history) const
+{
+    return ((pc >> 2) ^ history) & mask(indexBits_);
+}
+
+bool
+GShare::predict(uint64_t pc, uint64_t history) const
+{
+    return pht_[indexOf(pc, history)].isTaken();
+}
+
+void
+GShare::update(uint64_t pc, uint64_t history, bool taken)
+{
+    SatCounter &ctr = pht_[indexOf(pc, history)];
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+}
+
+} // namespace tpred

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * gshare conditional-branch direction predictor (McFarling).
+ *
+ * The paper's machine needs a direction predictor for conditional
+ * branches; its pattern history register doubles as the history input of
+ * pattern-history target caches ("the target cache can use the branch
+ * predictor's branch history register", section 3.1).
+ */
+
+#ifndef TPRED_BPRED_GSHARE_HH
+#define TPRED_BPRED_GSHARE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/sat_counter.hh"
+
+namespace tpred
+{
+
+/**
+ * PHT of 2-bit counters indexed by (pc XOR global-history).
+ *
+ * The global history register itself lives in the caller (the front-end
+ * predictor) so it can be shared with the target cache.
+ */
+class GShare
+{
+  public:
+    /**
+     * @param index_bits log2 of the PHT entry count (1..24).
+     */
+    explicit GShare(unsigned index_bits);
+
+    /** Direction prediction for @p pc under @p history. */
+    bool predict(uint64_t pc, uint64_t history) const;
+
+    /** Trains the indexed counter with the resolved direction. */
+    void update(uint64_t pc, uint64_t history, bool taken);
+
+    unsigned indexBits() const { return indexBits_; }
+
+  private:
+    uint64_t indexOf(uint64_t pc, uint64_t history) const;
+
+    unsigned indexBits_;
+    std::vector<SatCounter> pht_;
+};
+
+} // namespace tpred
+
+#endif // TPRED_BPRED_GSHARE_HH

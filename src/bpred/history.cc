@@ -1,0 +1,143 @@
+#include "bpred/history.hh"
+
+#include <cassert>
+
+namespace tpred
+{
+
+PatternHistory::PatternHistory(unsigned length)
+    : length_(length)
+{
+    assert(length >= 1 && length <= 32);
+}
+
+void
+PatternHistory::update(bool taken)
+{
+    reg_ = ((reg_ << 1) | (taken ? 1 : 0)) & mask(length_);
+}
+
+std::string_view
+pathFilterName(PathFilter filter)
+{
+    switch (filter) {
+      case PathFilter::Control: return "control";
+      case PathFilter::Branch: return "branch";
+      case PathFilter::CallRet: return "call/ret";
+      case PathFilter::IndJmp: return "ind jmp";
+    }
+    return "?";
+}
+
+namespace
+{
+
+bool
+matchesFilter(const MicroOp &op, PathFilter filter)
+{
+    switch (filter) {
+      case PathFilter::Control:
+        // Any instruction that actually redirected the stream.
+        return isControl(op.branch) && op.taken;
+      case PathFilter::Branch:
+        return op.branch == BranchKind::CondDirect && op.taken;
+      case PathFilter::CallRet:
+        return op.branch == BranchKind::Call ||
+               op.branch == BranchKind::IndirectCall ||
+               op.branch == BranchKind::Return;
+      case PathFilter::IndJmp:
+        return isIndirectNonReturn(op.branch);
+    }
+    return false;
+}
+
+} // namespace
+
+void
+GlobalPathHistory::observe(const MicroOp &op)
+{
+    if (matchesFilter(op, filter_))
+        reg_.record(op.nextPc);
+}
+
+void
+PerAddressPathHistory::observe(const MicroOp &op)
+{
+    if (!isIndirectNonReturn(op.branch))
+        return;
+    auto [it, inserted] = regs_.try_emplace(op.pc, spec_);
+    it->second.record(op.nextPc);
+}
+
+uint64_t
+PerAddressPathHistory::valueFor(uint64_t pc) const
+{
+    auto it = regs_.find(pc);
+    return it == regs_.end() ? 0 : it->second.value();
+}
+
+std::string
+HistorySpec::describe() const
+{
+    switch (kind) {
+      case HistoryKind::Pattern:
+        return "pattern(" + std::to_string(lengthBits) + ")";
+      case HistoryKind::PathGlobal:
+        return "path-global/" + std::string(pathFilterName(filter)) +
+               "(" + std::to_string(path.lengthBits) + "b," +
+               std::to_string(path.bitsPerTarget) + "/tgt)";
+      case HistoryKind::PathPerAddress:
+        return "path-per-addr(" + std::to_string(path.lengthBits) + "b," +
+               std::to_string(path.bitsPerTarget) + "/tgt)";
+    }
+    return "?";
+}
+
+HistoryTracker::HistoryTracker(const HistorySpec &spec)
+    : spec_(spec),
+      pattern_(spec.kind == HistoryKind::Pattern ? spec.lengthBits : 1),
+      globalPath_(spec.path, spec.filter),
+      perAddrPath_(spec.path)
+{
+}
+
+uint64_t
+HistoryTracker::valueFor(uint64_t pc) const
+{
+    switch (spec_.kind) {
+      case HistoryKind::Pattern:
+        return pattern_.value();
+      case HistoryKind::PathGlobal:
+        return globalPath_.value();
+      case HistoryKind::PathPerAddress:
+        return perAddrPath_.valueFor(pc);
+    }
+    return 0;
+}
+
+void
+HistoryTracker::observe(const MicroOp &op)
+{
+    switch (spec_.kind) {
+      case HistoryKind::Pattern:
+        if (op.branch == BranchKind::CondDirect)
+            pattern_.update(op.taken);
+        break;
+      case HistoryKind::PathGlobal:
+        globalPath_.observe(op);
+        break;
+      case HistoryKind::PathPerAddress:
+        perAddrPath_.observe(op);
+        break;
+    }
+}
+
+void
+HistoryTracker::reset()
+{
+    pattern_.reset();
+    globalPath_.reset();
+    perAddrPath_.reset();
+}
+
+} // namespace tpred

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Branch history registers (paper section 3.1).
+ *
+ * Two families of history feed the target cache index:
+ *  - pattern history: the global taken/not-taken outcomes of the last n
+ *    conditional branches, exactly the 2-level predictor's register;
+ *  - path history: bits of the target addresses of recent control
+ *    instructions, either one global register (with a type filter) or
+ *    one register per static indirect jump recording that jump's own
+ *    past targets.
+ */
+
+#ifndef TPRED_BPRED_HISTORY_HH
+#define TPRED_BPRED_HISTORY_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/bits.hh"
+#include "trace/micro_op.hh"
+
+namespace tpred
+{
+
+/**
+ * Global pattern history register: taken/not-taken outcomes of the last
+ * n conditional branches, newest outcome in the LSB.
+ */
+class PatternHistory
+{
+  public:
+    /** @param length Register length in bits (1..32). */
+    explicit PatternHistory(unsigned length);
+
+    /** Shifts in one conditional-branch outcome. */
+    void update(bool taken);
+
+    /** Current register value (low length() bits). */
+    uint64_t value() const { return reg_; }
+
+    unsigned length() const { return length_; }
+
+    void reset() { reg_ = 0; }
+
+  private:
+    unsigned length_;
+    uint64_t reg_ = 0;
+};
+
+/**
+ * Which control instructions a *global* path history register records
+ * (paper section 3.1's four variations plus per-address).
+ */
+enum class PathFilter : uint8_t
+{
+    Control,  ///< every instruction that can redirect the stream
+    Branch,   ///< conditional branches only
+    CallRet,  ///< procedure calls and returns only
+    IndJmp,   ///< indirect jumps only
+};
+
+/** Printable name of a path filter. */
+std::string_view pathFilterName(PathFilter filter);
+
+/**
+ * Parameters shared by global and per-address path history registers.
+ *
+ * When a recorded instruction resolves, @c bitsPerTarget bits of its
+ * target address, starting at bit @c addrBitOffset, are shifted into the
+ * register.  The paper's Table 5 studies @c addrBitOffset (low vs high
+ * address bits); Table 6 studies @c bitsPerTarget.  Instructions are
+ * word-aligned, so the two lowest address bits carry no information and
+ * the useful offsets start at 2.
+ */
+struct PathSpec
+{
+    unsigned lengthBits = 9;
+    unsigned bitsPerTarget = 1;
+    unsigned addrBitOffset = 2;
+
+    /** Bits of @p target that this spec records. */
+    uint64_t
+    recordedBits(uint64_t target) const
+    {
+        return bits(target, addrBitOffset, bitsPerTarget);
+    }
+};
+
+/**
+ * One path history shift register.
+ */
+class PathRegister
+{
+  public:
+    explicit PathRegister(const PathSpec &spec = {}) : spec_(spec) {}
+
+    /** Shifts in the recorded bits of @p target. */
+    void
+    record(uint64_t target)
+    {
+        reg_ = ((reg_ << spec_.bitsPerTarget) | spec_.recordedBits(target))
+               & mask(spec_.lengthBits);
+    }
+
+    uint64_t value() const { return reg_; }
+
+    void reset() { reg_ = 0; }
+
+  private:
+    PathSpec spec_;
+    uint64_t reg_ = 0;
+};
+
+/**
+ * Global path history: a single register recording the targets of all
+ * resolved control instructions matching @c filter.
+ *
+ * Not-taken conditional branches do not redirect the stream and are not
+ * recorded (the path consists of the targets of branches actually
+ * leading to the current instruction).
+ */
+class GlobalPathHistory
+{
+  public:
+    GlobalPathHistory(const PathSpec &spec, PathFilter filter)
+        : reg_(spec), filter_(filter)
+    {
+    }
+
+    /** Folds a resolved instruction into the history. */
+    void observe(const MicroOp &op);
+
+    uint64_t value() const { return reg_.value(); }
+
+    PathFilter filter() const { return filter_; }
+
+    void reset() { reg_.reset(); }
+
+  private:
+    PathRegister reg_;
+    PathFilter filter_;
+};
+
+/**
+ * Per-address path history: one register per static indirect jump,
+ * recording that jump's own last k targets (paper section 3.1).
+ *
+ * The register file is unbounded here (simulation convenience); a
+ * hardware implementation would bound and tag it like any other
+ * predictor table.
+ */
+class PerAddressPathHistory
+{
+  public:
+    explicit PerAddressPathHistory(const PathSpec &spec) : spec_(spec) {}
+
+    /** Folds a resolved indirect jump into its own register. */
+    void observe(const MicroOp &op);
+
+    /** History value for the register of static jump @p pc (0 if new). */
+    uint64_t valueFor(uint64_t pc) const;
+
+    size_t registers() const { return regs_.size(); }
+
+    void reset() { regs_.clear(); }
+
+  private:
+    PathSpec spec_;
+    std::unordered_map<uint64_t, PathRegister> regs_;
+};
+
+/** Which history family a target-cache configuration indexes with. */
+enum class HistoryKind : uint8_t
+{
+    Pattern,        ///< global conditional-branch pattern history
+    PathGlobal,     ///< one global path register with a type filter
+    PathPerAddress, ///< one path register per static indirect jump
+};
+
+/** Full history specification for an experiment configuration. */
+struct HistorySpec
+{
+    HistoryKind kind = HistoryKind::Pattern;
+    unsigned lengthBits = 9;
+    PathSpec path{};                        ///< path kinds only
+    PathFilter filter = PathFilter::Control; ///< PathGlobal only
+
+    /** Short human-readable description ("pattern(9)", "path-ind jmp"). */
+    std::string describe() const;
+};
+
+/**
+ * Owns whichever registers a HistorySpec requires and presents a uniform
+ * query interface to the target cache harness.
+ *
+ * observe() must be called for every retired instruction, in order; the
+ * registers are updated with architectural outcomes, which models the
+ * checkpoint-repaired history of the paper's HPS machine.
+ */
+class HistoryTracker
+{
+  public:
+    explicit HistoryTracker(const HistorySpec &spec);
+
+    /** History value to index the target cache for jump @p pc. */
+    uint64_t valueFor(uint64_t pc) const;
+
+    /** Folds a resolved instruction into the tracked registers. */
+    void observe(const MicroOp &op);
+
+    const HistorySpec &spec() const { return spec_; }
+
+    void reset();
+
+  private:
+    HistorySpec spec_;
+    PatternHistory pattern_;
+    GlobalPathHistory globalPath_;
+    PerAddressPathHistory perAddrPath_;
+};
+
+} // namespace tpred
+
+#endif // TPRED_BPRED_HISTORY_HH

@@ -1,0 +1,40 @@
+#include "bpred/ras.hh"
+
+#include <cassert>
+
+namespace tpred
+{
+
+ReturnAddressStack::ReturnAddressStack(unsigned depth)
+    : stack_(depth, 0)
+{
+    assert(depth >= 1);
+}
+
+void
+ReturnAddressStack::push(uint64_t return_address)
+{
+    topIdx_ = (topIdx_ + 1) % stack_.size();
+    stack_[topIdx_] = return_address;
+    if (size_ < stack_.size())
+        ++size_;
+}
+
+uint64_t
+ReturnAddressStack::pop()
+{
+    if (size_ == 0)
+        return 0;
+    uint64_t value = stack_[topIdx_];
+    topIdx_ = (topIdx_ + stack_.size() - 1) % stack_.size();
+    --size_;
+    return value;
+}
+
+uint64_t
+ReturnAddressStack::top() const
+{
+    return size_ == 0 ? 0 : stack_[topIdx_];
+}
+
+} // namespace tpred

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Return address stack (Webb; Kaeli & Emma).
+ *
+ * The paper excludes returns from the target cache because "they are
+ * effectively handled with the return address stack" (section 1,
+ * footnote); this is that stack.
+ */
+
+#ifndef TPRED_BPRED_RAS_HH
+#define TPRED_BPRED_RAS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace tpred
+{
+
+/**
+ * Fixed-depth circular return address stack.
+ *
+ * Overflow overwrites the oldest entry; underflow predicts 0 (a
+ * guaranteed miss), both standard hardware behaviours.
+ */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned depth = 16);
+
+    /** Pushes the return address of a call. */
+    void push(uint64_t return_address);
+
+    /** Pops and returns the predicted return target; 0 when empty. */
+    uint64_t pop();
+
+    /** Peeks without popping; 0 when empty. */
+    uint64_t top() const;
+
+    unsigned size() const { return size_; }
+    unsigned depth() const { return static_cast<unsigned>(stack_.size()); }
+    bool empty() const { return size_ == 0; }
+
+    void reset() { size_ = 0; topIdx_ = 0; }
+
+  private:
+    std::vector<uint64_t> stack_;
+    unsigned topIdx_ = 0;  ///< index of the most recent entry
+    unsigned size_ = 0;    ///< live entries (<= depth)
+};
+
+} // namespace tpred
+
+#endif // TPRED_BPRED_RAS_HH

@@ -1,0 +1,66 @@
+#include "bpred/tournament.hh"
+
+#include "common/bits.hh"
+
+namespace tpred
+{
+
+TournamentPredictor::TournamentPredictor(const TournamentConfig &config)
+    : config_(config),
+      bimodal_(size_t{1} << config.bimodalBits, SatCounter(2, 1)),
+      gshare_(config.gshareBits),
+      chooser_(size_t{1} << config.chooserBits, SatCounter(2, 1))
+{
+}
+
+bool
+TournamentPredictor::bimodalPredict(uint64_t pc) const
+{
+    return bimodal_[bits(pc >> 2, 0, config_.bimodalBits)].isTaken();
+}
+
+bool
+TournamentPredictor::predict(uint64_t pc, uint64_t history) const
+{
+    ++predictions_;
+    const bool use_gshare =
+        chooser_[bits(pc >> 2, 0, config_.chooserBits)].isTaken();
+    if (use_gshare) {
+        ++gshareUses_;
+        return gshare_.predict(pc, history);
+    }
+    return bimodalPredict(pc);
+}
+
+void
+TournamentPredictor::update(uint64_t pc, uint64_t history, bool taken)
+{
+    const bool g_correct = gshare_.predict(pc, history) == taken;
+    const bool b_correct = bimodalPredict(pc) == taken;
+
+    // Chooser moves toward the component that was (exclusively) right.
+    SatCounter &choice = chooser_[bits(pc >> 2, 0,
+                                       config_.chooserBits)];
+    if (g_correct && !b_correct)
+        choice.increment();
+    else if (b_correct && !g_correct)
+        choice.decrement();
+
+    // Both components always train.
+    gshare_.update(pc, history, taken);
+    SatCounter &bim = bimodal_[bits(pc >> 2, 0, config_.bimodalBits)];
+    if (taken)
+        bim.increment();
+    else
+        bim.decrement();
+}
+
+double
+TournamentPredictor::gshareShare() const
+{
+    return predictions_
+               ? static_cast<double>(gshareUses_) / predictions_
+               : 0.0;
+}
+
+} // namespace tpred

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the predictor structures.
+ *
+ * All predictor index/tag computations in this repository are expressed in
+ * terms of these helpers so that the arithmetic is auditable in one place.
+ */
+
+#ifndef TPRED_COMMON_BITS_HH
+#define TPRED_COMMON_BITS_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace tpred
+{
+
+/** Returns a mask with the low @p n bits set. @p n may be 0..64. */
+constexpr uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+}
+
+/** Extracts bits [lo, lo+n) of @p value, right-justified. */
+constexpr uint64_t
+bits(uint64_t value, unsigned lo, unsigned n)
+{
+    return (value >> lo) & mask(n);
+}
+
+/** True iff @p value is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Floor of log2; @p value must be non-zero. */
+constexpr unsigned
+floorLog2(uint64_t value)
+{
+    assert(value != 0);
+    unsigned l = 0;
+    while (value >>= 1)
+        ++l;
+    return l;
+}
+
+/** Ceiling of log2; @p value must be non-zero. */
+constexpr unsigned
+ceilLog2(uint64_t value)
+{
+    return floorLog2(value) + (isPowerOfTwo(value) ? 0 : 1);
+}
+
+/**
+ * Folds (XOR-reduces) @p value down to @p n bits.  Used to hash long
+ * history registers into short tags without discarding upper bits.
+ */
+constexpr uint64_t
+foldXor(uint64_t value, unsigned n)
+{
+    if (n == 0)
+        return 0;
+    uint64_t folded = 0;
+    while (value) {
+        folded ^= value & mask(n);
+        value >>= n;
+    }
+    return folded;
+}
+
+} // namespace tpred
+
+#endif // TPRED_COMMON_BITS_HH

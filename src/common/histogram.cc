@@ -1,0 +1,91 @@
+#include "common/histogram.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tpred
+{
+
+Histogram::Histogram(size_t capacity)
+    : buckets_(capacity, 0)
+{
+}
+
+void
+Histogram::add(uint64_t key, uint64_t weight)
+{
+    if (key < buckets_.size())
+        buckets_[key] += weight;
+    else
+        overflow_ += weight;
+    total_ += weight;
+}
+
+uint64_t
+Histogram::count(uint64_t key) const
+{
+    if (key < buckets_.size())
+        return buckets_[key];
+    return overflow_;
+}
+
+double
+Histogram::fraction(uint64_t key) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(count(key)) / static_cast<double>(total_);
+}
+
+double
+Histogram::overflowFraction() const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(overflow_) / static_cast<double>(total_);
+}
+
+double
+Histogram::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (size_t k = 0; k < buckets_.size(); ++k)
+        sum += static_cast<double>(k) * static_cast<double>(buckets_[k]);
+    sum += static_cast<double>(buckets_.size()) *
+           static_cast<double>(overflow_);
+    return sum / static_cast<double>(total_);
+}
+
+std::string
+Histogram::render(const std::string &title, unsigned bar_width) const
+{
+    std::string out = title + "\n";
+    char line[256];
+    for (size_t k = 0; k < buckets_.size(); ++k) {
+        if (buckets_[k] == 0)
+            continue;
+        double frac = fraction(k);
+        unsigned bar = static_cast<unsigned>(frac * bar_width + 0.5);
+        std::snprintf(line, sizeof(line), "  %4zu | %-*s %6.2f%%\n",
+                      k, bar_width,
+                      std::string(std::min<unsigned>(bar, bar_width),
+                                  '#').c_str(),
+                      frac * 100.0);
+        out += line;
+    }
+    if (overflow_ != 0) {
+        double frac = overflowFraction();
+        unsigned bar = static_cast<unsigned>(frac * bar_width + 0.5);
+        std::snprintf(line, sizeof(line), " >=%3zu | %-*s %6.2f%%\n",
+                      buckets_.size(), bar_width,
+                      std::string(std::min<unsigned>(bar, bar_width),
+                                  '#').c_str(),
+                      frac * 100.0);
+        out += line;
+    }
+    return out;
+}
+
+} // namespace tpred

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Integer-bucket histogram used for the "targets per indirect jump"
+ * distributions of the paper's Figures 1-8.
+ */
+
+#ifndef TPRED_COMMON_HISTOGRAM_HH
+#define TPRED_COMMON_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tpred
+{
+
+/**
+ * A histogram over non-negative integer keys with an overflow bucket.
+ *
+ * Keys in [0, capacity) land in their own bucket; keys >= capacity are
+ * accumulated in the overflow bucket, mirroring the paper's ">=30" bar.
+ */
+class Histogram
+{
+  public:
+    /** @param capacity Number of distinct buckets before overflow. */
+    explicit Histogram(size_t capacity);
+
+    /** Adds @p weight observations of key @p key. */
+    void add(uint64_t key, uint64_t weight = 1);
+
+    /** Total weight across all buckets. */
+    uint64_t total() const { return total_; }
+
+    /** Weight in bucket @p key (keys >= capacity read the overflow). */
+    uint64_t count(uint64_t key) const;
+
+    /** Weight in the overflow (>= capacity) bucket. */
+    uint64_t overflow() const { return overflow_; }
+
+    /** Fraction of total weight in bucket @p key; 0 when empty. */
+    double fraction(uint64_t key) const;
+
+    /** Fraction of total weight in the overflow bucket. */
+    double overflowFraction() const;
+
+    /** Number of in-range buckets. */
+    size_t capacity() const { return buckets_.size(); }
+
+    /** Weighted mean of the keys (overflow counted at capacity). */
+    double mean() const;
+
+    /** Renders an ASCII bar chart, one row per non-empty bucket. */
+    std::string render(const std::string &title, unsigned bar_width = 50)
+        const;
+
+  private:
+    std::vector<uint64_t> buckets_;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+};
+
+} // namespace tpred
+
+#endif // TPRED_COMMON_HISTOGRAM_HH

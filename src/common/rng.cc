@@ -1,0 +1,122 @@
+#include "common/rng.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace tpred
+{
+
+namespace
+{
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+constexpr uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+void
+Rng::reseed(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : state_)
+        s = splitmix64(sm);
+    // Guard against the (astronomically unlikely) all-zero state.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0)
+        state_[0] = 1;
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    assert(bound != 0);
+    // Rejection sampling to remove modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::range(int64_t lo, int64_t hi)
+{
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+        below(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits, as in the reference implementation.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+size_t
+Rng::weighted(const std::vector<double> &weights)
+{
+    assert(!weights.empty());
+    double total = 0.0;
+    for (double w : weights)
+        total += (w > 0.0 ? w : 0.0);
+    if (total <= 0.0)
+        return below(weights.size());
+    double draw = uniform() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        double w = weights[i] > 0.0 ? weights[i] : 0.0;
+        if (draw < w)
+            return i;
+        draw -= w;
+    }
+    return weights.size() - 1;
+}
+
+unsigned
+Rng::geometric(double p, unsigned cap)
+{
+    assert(cap >= 1);
+    unsigned value = 1;
+    while (value < cap && chance(p))
+        ++value;
+    return value;
+}
+
+} // namespace tpred

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for workload synthesis.
+ *
+ * Workload generators must be bit-for-bit reproducible across runs and
+ * platforms, so we carry our own xoshiro256** implementation rather than
+ * relying on the (implementation-defined) standard library distributions.
+ */
+
+#ifndef TPRED_COMMON_RNG_HH
+#define TPRED_COMMON_RNG_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tpred
+{
+
+/**
+ * xoshiro256** by Blackman & Vigna; public-domain algorithm.
+ *
+ * Seeded with splitmix64 so that small consecutive seeds produce
+ * well-decorrelated streams.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initializes the state from a 64-bit seed. */
+    void reseed(uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** Bernoulli draw: true with probability @p p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /**
+     * Draws an index from an unnormalized discrete weight vector.
+     * An all-zero weight vector draws uniformly.
+     */
+    size_t weighted(const std::vector<double> &weights);
+
+    /**
+     * Geometric-ish draw in [1, cap]: returns 1 with probability
+     * 1-p, 2 with probability p(1-p), ... truncated at @p cap.
+     */
+    unsigned geometric(double p, unsigned cap);
+
+  private:
+    std::array<uint64_t, 4> state_{};
+};
+
+} // namespace tpred
+
+#endif // TPRED_COMMON_RNG_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Saturating counter, the workhorse state element of dynamic predictors.
+ */
+
+#ifndef TPRED_COMMON_SAT_COUNTER_HH
+#define TPRED_COMMON_SAT_COUNTER_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace tpred
+{
+
+/**
+ * An n-bit up/down saturating counter.
+ *
+ * Used both as a 2-bit direction counter in the gshare predictor and as
+ * the hysteresis counter of the Calder/Grunwald "2-bit" BTB update
+ * strategy (paper section 2).
+ */
+class SatCounter
+{
+  public:
+    /**
+     * @param bits Counter width in bits (1..16).
+     * @param initial Initial count; clamped to the representable range.
+     */
+    explicit SatCounter(unsigned bits = 2, unsigned initial = 0)
+        : maxVal_((1u << bits) - 1),
+          count_(initial > maxVal_ ? maxVal_ : initial)
+    {
+        assert(bits >= 1 && bits <= 16);
+    }
+
+    /** Increment, saturating at the maximum. */
+    void increment() { if (count_ < maxVal_) ++count_; }
+
+    /** Decrement, saturating at zero. */
+    void decrement() { if (count_ > 0) --count_; }
+
+    /** Resets the count to an explicit value (clamped). */
+    void set(unsigned v) { count_ = v > maxVal_ ? maxVal_ : v; }
+
+    /** Current count. */
+    unsigned count() const { return count_; }
+
+    /** Maximum representable count. */
+    unsigned max() const { return maxVal_; }
+
+    /** True when the count is in the upper half (MSB set). */
+    bool isTaken() const { return count_ > maxVal_ / 2; }
+
+    /** True when the counter is saturated at its maximum. */
+    bool isMax() const { return count_ == maxVal_; }
+
+    /** True when the counter is saturated at zero. */
+    bool isMin() const { return count_ == 0; }
+
+  private:
+    unsigned maxVal_;
+    unsigned count_;
+};
+
+} // namespace tpred
+
+#endif // TPRED_COMMON_SAT_COUNTER_HH

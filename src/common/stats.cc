@@ -1,0 +1,43 @@
+#include "common/stats.hh"
+
+#include <cstdio>
+
+namespace tpred
+{
+
+std::string
+formatPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+formatCount(uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    int run = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (run == 3) {
+            out.push_back(',');
+            run = 0;
+        }
+        out.push_back(*it);
+        ++run;
+    }
+    return {out.rbegin(), out.rend()};
+}
+
+double
+execTimeReduction(uint64_t baseline_cycles, uint64_t improved_cycles)
+{
+    if (baseline_cycles == 0)
+        return 0.0;
+    return (static_cast<double>(baseline_cycles) -
+            static_cast<double>(improved_cycles)) /
+           static_cast<double>(baseline_cycles);
+}
+
+} // namespace tpred

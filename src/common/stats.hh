@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Lightweight statistics primitives: named counters and ratio helpers.
+ */
+
+#ifndef TPRED_COMMON_STATS_HH
+#define TPRED_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tpred
+{
+
+/**
+ * A hit/miss style ratio accumulator.
+ *
+ * Records a stream of boolean events and reports the miss (or hit) rate.
+ * Used throughout the harness for prediction-accuracy bookkeeping.
+ */
+class RatioStat
+{
+  public:
+    /** Records one event; @p hit selects the numerator. */
+    void record(bool hit) { ++total_; if (hit) ++hits_; }
+
+    /** Merges another accumulator into this one. */
+    void merge(const RatioStat &other)
+    {
+        hits_ += other.hits_;
+        total_ += other.total_;
+    }
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return total_ - hits_; }
+    uint64_t total() const { return total_; }
+
+    /** Hit fraction in [0,1]; 0 when no events recorded. */
+    double hitRate() const
+    {
+        return total_ ? static_cast<double>(hits_) / total_ : 0.0;
+    }
+
+    /** Miss fraction in [0,1]; 0 when no events recorded. */
+    double missRate() const { return total_ ? 1.0 - hitRate() : 0.0; }
+
+    void reset() { hits_ = 0; total_ = 0; }
+
+  private:
+    uint64_t hits_ = 0;
+    uint64_t total_ = 0;
+};
+
+/** Formats a fraction as a fixed-precision percentage string. */
+std::string formatPercent(double fraction, int precision = 2);
+
+/** Formats a large count with thousands separators (paper-table style). */
+std::string formatCount(uint64_t value);
+
+/**
+ * Relative execution-time reduction, the paper's headline timing metric:
+ * (baseline - improved) / baseline.  Negative when @p improved is slower.
+ * Returns 0 when @p baseline_cycles is zero.
+ */
+double execTimeReduction(uint64_t baseline_cycles, uint64_t improved_cycles);
+
+} // namespace tpred
+
+#endif // TPRED_COMMON_STATS_HH

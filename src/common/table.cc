@@ -1,0 +1,111 @@
+#include "common/table.hh"
+
+#include <algorithm>
+
+namespace tpred
+{
+
+const std::string Table::kRuleMarker = "\x01rule";
+
+void
+Table::setHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addRule()
+{
+    rows_.push_back({kRuleMarker});
+}
+
+std::string
+Table::render() const
+{
+    // Compute per-column widths across header and body.
+    std::vector<size_t> widths;
+    auto absorb = [&widths](const std::vector<std::string> &row) {
+        if (!row.empty() && row[0] == kRuleMarker)
+            return;
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    absorb(header_);
+    for (const auto &row : rows_)
+        absorb(row);
+
+    size_t line_len = 0;
+    for (size_t w : widths)
+        line_len += w + 3;
+
+    auto emit = [&](std::string &out, const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            out += row[i];
+            if (i + 1 < row.size())
+                out += std::string(widths[i] - row[i].size() + 3, ' ');
+        }
+        out += '\n';
+    };
+
+    std::string out;
+    if (!header_.empty()) {
+        emit(out, header_);
+        out += std::string(line_len, '-');
+        out += '\n';
+    }
+    for (const auto &row : rows_) {
+        if (!row.empty() && row[0] == kRuleMarker) {
+            out += std::string(line_len, '-');
+            out += '\n';
+        } else {
+            emit(out, row);
+        }
+    }
+    return out;
+}
+
+std::string
+Table::renderCsv() const
+{
+    auto emit = [](std::string &out, const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            const std::string &cell = row[i];
+            const bool quote =
+                cell.find_first_of(",\"\n") != std::string::npos;
+            if (quote) {
+                out += '"';
+                for (char c : cell) {
+                    if (c == '"')
+                        out += '"';
+                    out += c;
+                }
+                out += '"';
+            } else {
+                out += cell;
+            }
+            if (i + 1 < row.size())
+                out += ',';
+        }
+        out += '\n';
+    };
+
+    std::string out;
+    if (!header_.empty())
+        emit(out, header_);
+    for (const auto &row : rows_) {
+        if (!row.empty() && row[0] == kRuleMarker)
+            continue;  // rules have no CSV meaning
+        emit(out, row);
+    }
+    return out;
+}
+
+} // namespace tpred

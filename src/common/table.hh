@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ASCII table formatter used by the bench harness to print paper-style
+ * result tables.
+ */
+
+#ifndef TPRED_COMMON_TABLE_HH
+#define TPRED_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace tpred
+{
+
+/**
+ * Accumulates rows of string cells and renders an aligned ASCII table.
+ *
+ * Column widths are computed from content; the first row added with
+ * setHeader() is separated from the body by a rule.
+ */
+class Table
+{
+  public:
+    /** Sets the header row (replacing any previous header). */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Appends a body row. Rows may have differing cell counts. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Appends a horizontal rule between body rows. */
+    void addRule();
+
+    /** Renders the table to a string, one trailing newline included. */
+    std::string render() const;
+
+    /** Renders as CSV (header first, commas escaped by quoting). */
+    std::string renderCsv() const;
+
+    /** Number of body rows. */
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    // A row with the special marker cell renders as a rule.
+    std::vector<std::vector<std::string>> rows_;
+    static const std::string kRuleMarker;
+};
+
+} // namespace tpred
+
+#endif // TPRED_COMMON_TABLE_HH

@@ -1,0 +1,130 @@
+#include "core/frontend_predictor.hh"
+
+#include <cassert>
+
+namespace tpred
+{
+
+FrontendPredictor::FrontendPredictor(const FrontendConfig &config,
+                                     IndirectPredictor *indirect,
+                                     HistoryTracker *tracker)
+    : config_(config),
+      btb_(config.btb),
+      gshare_(config.gshareIndexBits),
+      tournament_(config.tournament),
+      ghr_(config.gshareHistoryBits),
+      ras_(config.rasDepth),
+      indirect_(indirect),
+      tracker_(tracker)
+{
+    assert(!indirect_ || tracker_);
+}
+
+PredictionOutcome
+FrontendPredictor::onInstruction(const MicroOp &op)
+{
+    ++stats_.instructions;
+    if (!op.isBranch())
+        return {op.fallthrough, true};
+
+    // --- Fetch-time prediction -------------------------------------
+    auto btb_pred = btb_.lookup(op.pc);
+    stats_.btbHits.record(btb_pred.has_value());
+
+    uint64_t predicted = op.fallthrough;
+    uint64_t indirect_history = 0;
+    bool predicted_dir = false;
+
+    switch (op.branch) {
+      case BranchKind::CondDirect:
+        predicted_dir =
+            config_.direction == DirectionScheme::Tournament
+                ? tournament_.predict(op.pc, ghr_.value())
+                : gshare_.predict(op.pc, ghr_.value());
+        // A taken prediction needs the BTB for the target address.
+        if (predicted_dir && btb_pred)
+            predicted = btb_pred->target;
+        break;
+
+      case BranchKind::UncondDirect:
+      case BranchKind::Call:
+        predicted = btb_pred ? btb_pred->target : op.fallthrough;
+        break;
+
+      case BranchKind::Return:
+        predicted = ras_.pop();
+        break;
+
+      case BranchKind::IndirectJump:
+      case BranchKind::IndirectCall:
+        // The fetch-time history value is also the training index, so
+        // capture it even when the BTB fails to detect the branch.
+        if (indirect_)
+            indirect_history = tracker_->valueFor(op.pc);
+        if (btb_pred) {
+            // BTB detected the indirect branch; the target cache entry
+            // (when configured and hitting) overrides the BTB's
+            // last-computed target.
+            std::optional<uint64_t> cache_target;
+            if (indirect_) {
+                indirect_->prime(op);
+                cache_target = indirect_->predict(op.pc, indirect_history);
+            }
+            predicted = cache_target.value_or(btb_pred->target);
+        }
+        break;
+
+      case BranchKind::None:
+        break;
+    }
+
+    // RAS maintenance follows the architectural path.
+    if (op.branch == BranchKind::Call ||
+        op.branch == BranchKind::IndirectCall) {
+        ras_.push(op.fallthrough);
+    }
+
+    const bool correct = predicted == op.nextPc;
+
+    // --- Scoring -----------------------------------------------------
+    stats_.allBranches.record(correct);
+    switch (op.branch) {
+      case BranchKind::CondDirect:
+        stats_.condDirection.record(predicted_dir == op.taken);
+        stats_.condBranches.record(correct);
+        break;
+      case BranchKind::UncondDirect:
+      case BranchKind::Call:
+        stats_.uncondDirect.record(correct);
+        break;
+      case BranchKind::IndirectJump:
+      case BranchKind::IndirectCall:
+        stats_.indirectJumps.record(correct);
+        break;
+      case BranchKind::Return:
+        stats_.returns.record(correct);
+        break;
+      case BranchKind::None:
+        break;
+    }
+
+    // --- Training ----------------------------------------------------
+    if (op.branch == BranchKind::CondDirect) {
+        if (config_.direction == DirectionScheme::Tournament)
+            tournament_.update(op.pc, ghr_.value(), op.taken);
+        else
+            gshare_.update(op.pc, ghr_.value(), op.taken);
+        ghr_.update(op.taken);
+    }
+    btb_.update(op);
+    if (indirect_ && isIndirectNonReturn(op.branch)) {
+        // Train with the same index the fetch-time probe used.
+        indirect_->update(op.pc, indirect_history, op.nextPc);
+    }
+    if (tracker_)
+        tracker_->observe(op);
+
+    return {predicted, correct};
+}
+
+} // namespace tpred

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Abstract interface for indirect-jump target predictors.
+ *
+ * A target predictor maps (branch address, branch history) to a
+ * predicted target address at fetch, and is trained with the computed
+ * target at resolution using the same index (paper section 3).
+ */
+
+#ifndef TPRED_CORE_INDIRECT_PREDICTOR_HH
+#define TPRED_CORE_INDIRECT_PREDICTOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "trace/micro_op.hh"
+
+namespace tpred
+{
+
+/**
+ * Interface implemented by the target cache variants, the oracle and
+ * the cascaded extension.
+ *
+ * The history value is supplied by the caller (a HistoryTracker) so that
+ * one predictor implementation serves pattern history, global path
+ * history and per-address path history configurations alike.
+ */
+class IndirectPredictor
+{
+  public:
+    virtual ~IndirectPredictor() = default;
+
+    /**
+     * Fetch-time probe.
+     * @param pc Address of the indirect jump.
+     * @param history History register value at fetch.
+     * @return Predicted target, or nullopt when the predictor has no
+     *         prediction (tagged miss); the front end then falls back
+     *         to the BTB's last-computed target.
+     */
+    virtual std::optional<uint64_t> predict(uint64_t pc,
+                                            uint64_t history) = 0;
+
+    /**
+     * Resolution-time training with the computed target, using the same
+     * (pc, history) index as the fetch-time probe.
+     */
+    virtual void update(uint64_t pc, uint64_t history,
+                        uint64_t target) = 0;
+
+    /**
+     * Oracle hook: called with the full architectural record before
+     * predict().  Real predictors ignore it.
+     */
+    virtual void prime(const MicroOp &op) { (void)op; }
+
+    /** Human-readable configuration description. */
+    virtual std::string describe() const = 0;
+
+    /** Storage cost in bits (paper section 4.2's budget accounting). */
+    virtual uint64_t costBits() const = 0;
+};
+
+} // namespace tpred
+
+#endif // TPRED_CORE_INDIRECT_PREDICTOR_HH

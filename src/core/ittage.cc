@@ -1,0 +1,199 @@
+#include "core/ittage.hh"
+
+#include <cassert>
+
+#include "common/bits.hh"
+
+namespace tpred
+{
+
+IttagePredictor::IttagePredictor(const IttageConfig &config)
+    : config_(config),
+      base_(config.baseEntries, 0),
+      ditherState_(config.seed | 1)
+{
+    assert(isPowerOfTwo(config.baseEntries));
+    assert(!config.historyLengths.empty());
+    for (size_t i = 1; i < config.historyLengths.size(); ++i)
+        assert(config.historyLengths[i] > config.historyLengths[i - 1]);
+    tables_.assign(config.historyLengths.size(),
+                   std::vector<TaggedEntry>(size_t{1}
+                                            << config.tableBits));
+}
+
+uint64_t
+IttagePredictor::indexOf(unsigned table, uint64_t pc,
+                         uint64_t history) const
+{
+    const uint64_t hist =
+        history & mask(config_.historyLengths[table]);
+    // Fold the history prefix down to the index width and mix with the
+    // address; different tables use a different rotation so they
+    // decorrelate.
+    const uint64_t folded = foldXor(hist, config_.tableBits);
+    const uint64_t addr = pc >> 2;
+    return (addr ^ folded ^ (addr >> (table + 3))) &
+           mask(config_.tableBits);
+}
+
+uint64_t
+IttagePredictor::tagOf(unsigned table, uint64_t pc,
+                       uint64_t history) const
+{
+    const uint64_t hist =
+        history & mask(config_.historyLengths[table]);
+    const uint64_t folded = foldXor(hist * 0x9e3779b9u, config_.tagBits);
+    return ((pc >> 2) ^ folded ^ (table * 0x27d4eb2du)) &
+           mask(config_.tagBits);
+}
+
+IttagePredictor::Probe
+IttagePredictor::probe(uint64_t pc, uint64_t history)
+{
+    Probe result;
+    const uint64_t base_target =
+        base_[bits(pc >> 2, 0, floorLog2(config_.baseEntries))];
+    result.target = base_target;
+    result.altTarget = base_target;
+
+    // Longest match provides; the next match (or the base table) is
+    // the alternate.
+    for (int t = static_cast<int>(tables_.size()) - 1; t >= 0; --t) {
+        const auto ut = static_cast<unsigned>(t);
+        const TaggedEntry &entry =
+            tables_[ut][indexOf(ut, pc, history)];
+        if (!entry.valid || entry.tag != tagOf(ut, pc, history))
+            continue;
+        if (result.provider < 0) {
+            result.provider = t;
+            result.providerTarget = entry.target;
+            result.target = entry.target;
+            result.weakProvider = !entry.confidence.isTaken();
+        } else {
+            result.altTarget = entry.target;
+            break;
+        }
+    }
+    // A weak (low-confidence) provider defers to the alternate when
+    // the adaptive counter says weak providers have been losing — the
+    // behaviour that keeps phase-changing monomorphic jumps on the
+    // base table's fast-adapting last-target prediction.
+    if (result.provider >= 0 && result.weakProvider &&
+        useAltOnWeak_.isTaken()) {
+        result.target = result.altTarget;
+    }
+    return result;
+}
+
+std::optional<uint64_t>
+IttagePredictor::predict(uint64_t pc, uint64_t history)
+{
+    ++probes_;
+    Probe p = probe(pc, history);
+    if (p.provider >= 0)
+        ++taggedHits_;
+    if (p.target == 0)
+        return std::nullopt;  // never-seen jump
+    return p.target;
+}
+
+void
+IttagePredictor::update(uint64_t pc, uint64_t history, uint64_t target)
+{
+    Probe p = probe(pc, history);
+    const bool correct = p.target == target;
+
+    // Train the use-alt chooser on cases where provider and alternate
+    // disagree and the provider was weak.
+    if (p.provider >= 0 && p.weakProvider &&
+        p.providerTarget != p.altTarget) {
+        if (p.altTarget == target)
+            useAltOnWeak_.increment();
+        else if (p.providerTarget == target)
+            useAltOnWeak_.decrement();
+    }
+
+    if (p.provider >= 0) {
+        const auto ut = static_cast<unsigned>(p.provider);
+        TaggedEntry &entry = tables_[ut][indexOf(ut, pc, history)];
+        if (entry.target == target) {
+            entry.confidence.increment();
+            entry.useful.increment();
+        } else if (entry.confidence.isMin()) {
+            // Low confidence: recycle the entry for the new target.
+            entry.target = target;
+            entry.confidence.set(0);
+        } else {
+            // Asymmetric training: confidence is earned one correct
+            // prediction at a time but lost two levels per miss, so a
+            // context that is right only by coincidence never holds
+            // the confident state against the alternate prediction.
+            entry.confidence.decrement();
+            entry.confidence.decrement();
+        }
+    } else {
+        // Base table: plain last-target.
+        base_[bits(pc >> 2, 0, floorLog2(config_.baseEntries))] =
+            target;
+    }
+
+    // On a misprediction, allocate in ONE longer-history table whose
+    // slot is not protected by a useful bit; dither the start table to
+    // spread allocations (Seznec's trick, simplified).
+    if (!correct) {
+        const unsigned start =
+            static_cast<unsigned>(p.provider + 1);
+        if (start >= tables_.size())
+            return;
+        ditherState_ = ditherState_ * 6364136223846793005ull + 1442695ull;
+        const unsigned offset =
+            static_cast<unsigned>((ditherState_ >> 33) %
+                                  (tables_.size() - start));
+        for (unsigned t = start + offset; t < tables_.size(); ++t) {
+            TaggedEntry &entry = tables_[t][indexOf(t, pc, history)];
+            if (entry.valid && entry.useful.isTaken()) {
+                entry.useful.decrement();  // age the protector
+                continue;
+            }
+            entry.valid = true;
+            entry.tag = tagOf(t, pc, history);
+            entry.target = target;
+            entry.confidence.set(0);
+            entry.useful.set(0);
+            break;
+        }
+    }
+}
+
+std::string
+IttagePredictor::describe() const
+{
+    std::string lengths;
+    for (unsigned len : config_.historyLengths) {
+        if (!lengths.empty())
+            lengths += ",";
+        lengths += std::to_string(len);
+    }
+    return "ittage(base=" + std::to_string(config_.baseEntries) +
+           ", 4x" + std::to_string(1u << config_.tableBits) + "e, h={" +
+           lengths + "})";
+}
+
+uint64_t
+IttagePredictor::costBits() const
+{
+    // Base: 32-bit targets.  Tagged entry: target + tag + 2-bit
+    // confidence + 1-bit useful + valid.
+    const uint64_t tagged_entry = 32 + config_.tagBits + 2 + 1 + 1;
+    return uint64_t{config_.baseEntries} * 32 +
+           tables_.size() * (uint64_t{1} << config_.tableBits) *
+               tagged_entry;
+}
+
+double
+IttagePredictor::taggedShare() const
+{
+    return probes_ ? static_cast<double>(taggedHits_) / probes_ : 0.0;
+}
+
+} // namespace tpred

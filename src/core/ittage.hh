@@ -1,0 +1,102 @@
+/**
+ * @file
+ * ITTAGE-style indirect target predictor (Seznec), included as the
+ * modern descendant of the paper's target cache: where the target
+ * cache picks ONE history length, ITTAGE keeps several tagged tables
+ * with geometrically increasing history lengths and predicts from the
+ * longest one that matches — gracefully covering both the monomorphic
+ * jumps the BTB already handled and the deep-history interpreter
+ * dispatch the target cache was built for.
+ *
+ * This is a faithful-in-structure, simplified-in-detail
+ * implementation: per-entry confidence and useful counters, provider /
+ * alternate selection, and allocation on misprediction in a longer
+ * table, without the u-bit aging tick of the full CBP version.
+ */
+
+#ifndef TPRED_CORE_ITTAGE_HH
+#define TPRED_CORE_ITTAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "core/indirect_predictor.hh"
+
+namespace tpred
+{
+
+/** ITTAGE geometry. */
+struct IttageConfig
+{
+    /** Entries of the direct-mapped, untagged base table. */
+    unsigned baseEntries = 256;
+    /** log2 entries of each tagged component. */
+    unsigned tableBits = 7;
+    /** Tag width of the tagged components. */
+    unsigned tagBits = 11;
+    /** Geometric history lengths of the tagged components. */
+    std::vector<unsigned> historyLengths = {4, 9, 16, 32};
+    /** Seed for the allocation-throttling dither. */
+    uint64_t seed = 0x17a6e;
+};
+
+/**
+ * The predictor.  The caller supplies a single *global* history value
+ * (as for the target cache); each component consumes its own prefix of
+ * it.  History lengths above the width of the supplied value saturate
+ * to that width, so pairing ITTAGE with a >= 32-bit HistoryTracker is
+ * recommended (see harness/paper_tables.hh: ittageConfig()).
+ */
+class IttagePredictor : public IndirectPredictor
+{
+  public:
+    explicit IttagePredictor(const IttageConfig &config);
+
+    std::optional<uint64_t> predict(uint64_t pc, uint64_t history)
+        override;
+    void update(uint64_t pc, uint64_t history, uint64_t target) override;
+    std::string describe() const override;
+    uint64_t costBits() const override;
+
+    /** Fraction of predictions provided by tagged components. */
+    double taggedShare() const;
+
+  private:
+    struct TaggedEntry
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        uint64_t target = 0;
+        SatCounter confidence{2, 0};
+        SatCounter useful{1, 0};
+    };
+
+    struct Probe
+    {
+        int provider = -1;        ///< table index, -1 = base
+        uint64_t target = 0;      ///< effective prediction
+        uint64_t providerTarget = 0;
+        uint64_t altTarget = 0;   ///< next match / base table
+        bool weakProvider = false;
+    };
+
+    uint64_t indexOf(unsigned table, uint64_t pc, uint64_t history)
+        const;
+    uint64_t tagOf(unsigned table, uint64_t pc, uint64_t history) const;
+    Probe probe(uint64_t pc, uint64_t history);
+
+    IttageConfig config_;
+    std::vector<uint64_t> base_;
+    std::vector<std::vector<TaggedEntry>> tables_;
+    /// Adaptive use-alt-on-weak-provider counter (Seznec's
+    /// USE_ALT_ON_NA): high = weak providers are untrustworthy here.
+    SatCounter useAltOnWeak_{4, 8};
+    uint64_t ditherState_;
+    uint64_t probes_ = 0;
+    uint64_t taggedHits_ = 0;
+};
+
+} // namespace tpred
+
+#endif // TPRED_CORE_ITTAGE_HH

@@ -1,0 +1,7 @@
+// OraclePredictor is header-only; this translation unit anchors the
+// vtable so the class has a home object file.
+#include "core/oracle.hh"
+
+namespace tpred
+{
+} // namespace tpred

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Oracle target predictor: always predicts the architecturally computed
+ * target.  Gives the upper bound of what any indirect predictor can
+ * contribute (used by the timing ablations and as a test reference).
+ */
+
+#ifndef TPRED_CORE_ORACLE_HH
+#define TPRED_CORE_ORACLE_HH
+
+#include "core/indirect_predictor.hh"
+
+namespace tpred
+{
+
+/**
+ * The harness calls prime() with the architectural record before
+ * predict(); the oracle simply echoes the resolved target back.
+ */
+class OraclePredictor : public IndirectPredictor
+{
+  public:
+    void prime(const MicroOp &op) override { nextTarget_ = op.nextPc; }
+
+    std::optional<uint64_t>
+    predict(uint64_t pc, uint64_t history) override
+    {
+        (void)pc;
+        (void)history;
+        return nextTarget_;
+    }
+
+    void
+    update(uint64_t pc, uint64_t history, uint64_t target) override
+    {
+        (void)pc;
+        (void)history;
+        (void)target;
+    }
+
+    std::string describe() const override { return "oracle"; }
+
+    uint64_t costBits() const override { return 0; }
+
+  private:
+    uint64_t nextTarget_ = 0;
+};
+
+} // namespace tpred
+
+#endif // TPRED_CORE_ORACLE_HH

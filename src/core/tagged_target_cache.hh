@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tagged target cache (paper section 3.2, Figure 11).
+ *
+ * Tags eliminate the interference that plagues the tagless structure:
+ * a probe only produces a prediction when its tag matches, otherwise
+ * the front end falls back to the BTB.  Indexing schemes of paper
+ * section 4.3.1: Address, History-Concatenate, History-XOR.
+ */
+
+#ifndef TPRED_CORE_TAGGED_TARGET_CACHE_HH
+#define TPRED_CORE_TAGGED_TARGET_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/indirect_predictor.hh"
+
+namespace tpred
+{
+
+/** Set-index / tag derivation scheme (paper 4.3.1). */
+enum class TaggedIndexScheme : uint8_t
+{
+    /**
+     * Lower address bits select the set; higher address bits XOR
+     * history form the tag.  All targets of one jump land in one set,
+     * so low associativity thrashes (paper Table 7, "Addr").
+     */
+    Address,
+    /**
+     * Lower history bits select the set; higher history bits
+     * concatenated with address bits form the tag.
+     */
+    HistoryConcat,
+    /**
+     * Address XOR history: low bits select the set, high bits form the
+     * tag.  The scheme the paper adopts.
+     */
+    HistoryXor,
+};
+
+std::string_view taggedIndexSchemeName(TaggedIndexScheme scheme);
+
+/** Tagged target cache geometry. */
+struct TaggedConfig
+{
+    TaggedIndexScheme scheme = TaggedIndexScheme::HistoryXor;
+    unsigned entries = 256;  ///< total entries (paper's default)
+    unsigned ways = 4;       ///< set associativity; entries % ways == 0
+    unsigned historyBits = 9;
+    unsigned tagBits = 16;
+
+    unsigned sets() const { return entries / ways; }
+};
+
+/**
+ * Set-associative, true-LRU tagged target cache.
+ *
+ * predict() returns nullopt on a tag miss; update() allocates the LRU
+ * way of the indexed set.
+ */
+class TaggedTargetCache : public IndirectPredictor
+{
+  public:
+    explicit TaggedTargetCache(const TaggedConfig &config);
+
+    std::optional<uint64_t> predict(uint64_t pc, uint64_t history)
+        override;
+    void update(uint64_t pc, uint64_t history, uint64_t target) override;
+    std::string describe() const override;
+
+    /** Tag + 32-bit target per entry. */
+    uint64_t
+    costBits() const override
+    {
+        return static_cast<uint64_t>(config_.entries) *
+               (32 + config_.tagBits);
+    }
+
+    const TaggedConfig &config() const { return config_; }
+
+    /** (set, tag) derivation, exposed for unit tests. */
+    std::pair<uint64_t, uint64_t> indexOf(uint64_t pc, uint64_t history)
+        const;
+
+    /** Valid-entry count (occupancy reporting). */
+    size_t validEntries() const;
+
+    /** Allocations that displaced a live entry (conflict pressure). */
+    uint64_t conflictEvictions() const { return conflictEvictions_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        uint64_t target = 0;
+        uint64_t lastUsed = 0;
+    };
+
+    Entry *findEntry(uint64_t set, uint64_t tag);
+
+    TaggedConfig config_;
+    unsigned setBits_;
+    std::vector<Entry> entries_;
+    uint64_t useClock_ = 0;
+    uint64_t conflictEvictions_ = 0;
+};
+
+} // namespace tpred
+
+#endif // TPRED_CORE_TAGGED_TARGET_CACHE_HH

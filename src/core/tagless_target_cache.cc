@@ -1,0 +1,89 @@
+#include "core/tagless_target_cache.hh"
+
+#include <cassert>
+
+#include "common/bits.hh"
+
+namespace tpred
+{
+
+std::string_view
+taglessIndexSchemeName(TaglessIndexScheme scheme)
+{
+    switch (scheme) {
+      case TaglessIndexScheme::GAg: return "GAg";
+      case TaglessIndexScheme::GAs: return "GAs";
+      case TaglessIndexScheme::Gshare: return "gshare";
+    }
+    return "?";
+}
+
+TaglessTargetCache::TaglessTargetCache(const TaglessConfig &config)
+    : config_(config),
+      targets_(config.entries(), 0),
+      lastWriterPc_(config.entries(), 0)
+{
+    assert(config.entryBits >= 1 && config.entryBits <= 24);
+    if (config.scheme == TaglessIndexScheme::GAs) {
+        assert(config.historyBits + config.addrBits == config.entryBits);
+    } else {
+        assert(config.historyBits <= config.entryBits ||
+               config.scheme == TaglessIndexScheme::Gshare);
+    }
+}
+
+uint64_t
+TaglessTargetCache::indexOf(uint64_t pc, uint64_t history) const
+{
+    const uint64_t addr = pc >> 2;  // word-aligned instructions
+    switch (config_.scheme) {
+      case TaglessIndexScheme::GAg:
+        return history & mask(config_.entryBits);
+      case TaglessIndexScheme::GAs:
+        // Address bits pick the sub-table (high index bits), history
+        // bits pick the entry within it.
+        return ((bits(addr, 0, config_.addrBits) << config_.historyBits) |
+                (history & mask(config_.historyBits)))
+               & mask(config_.entryBits);
+      case TaglessIndexScheme::Gshare:
+        // Histories longer than the index are XOR-folded in rather
+        // than truncated, so every history bit influences the index.
+        return (addr ^ foldXor(history, config_.entryBits)) &
+               mask(config_.entryBits);
+    }
+    return 0;
+}
+
+std::optional<uint64_t>
+TaglessTargetCache::predict(uint64_t pc, uint64_t history)
+{
+    const uint64_t idx = indexOf(pc, history);
+    ++stats_.probes;
+    if (lastWriterPc_[idx] != 0 && lastWriterPc_[idx] != pc)
+        ++stats_.crossBranchProbes;
+    // A tagless cache always produces a prediction, interference or not.
+    return targets_[idx];
+}
+
+void
+TaglessTargetCache::update(uint64_t pc, uint64_t history, uint64_t target)
+{
+    const uint64_t idx = indexOf(pc, history);
+    targets_[idx] = target;
+    lastWriterPc_[idx] = pc;
+}
+
+std::string
+TaglessTargetCache::describe() const
+{
+    std::string name(taglessIndexSchemeName(config_.scheme));
+    if (config_.scheme == TaglessIndexScheme::GAs) {
+        name += "(" + std::to_string(config_.historyBits) + "," +
+                std::to_string(config_.addrBits) + ")";
+    } else {
+        name += "(" + std::to_string(config_.historyBits) + ")";
+    }
+    return "tagless-" + name + "/" + std::to_string(config_.entries());
+}
+
+} // namespace tpred

@@ -1,0 +1,160 @@
+#include "harness/experiment.hh"
+
+#include <cstdlib>
+
+#include "core/oracle.hh"
+#include "workloads/workload.hh"
+
+namespace tpred
+{
+
+namespace
+{
+
+/** Replays a SharedTrace's op vector without copying it. */
+class ReplaySource : public TraceSource
+{
+  public:
+    ReplaySource(std::shared_ptr<const std::vector<MicroOp>> ops,
+                 std::string name)
+        : ops_(std::move(ops)), name_(std::move(name))
+    {
+    }
+
+    bool
+    next(MicroOp &op) override
+    {
+        if (pos_ >= ops_->size())
+            return false;
+        op = (*ops_)[pos_++];
+        return true;
+    }
+
+    std::string name() const override { return name_; }
+
+  private:
+    std::shared_ptr<const std::vector<MicroOp>> ops_;
+    std::string name_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+IndirectConfig::describe() const
+{
+    switch (structure) {
+      case IndirectStructure::None:
+        return "btb-only";
+      case IndirectStructure::Tagless:
+        return TaglessTargetCache(tagless).describe() + "+" +
+               history.describe();
+      case IndirectStructure::Tagged:
+        return TaggedTargetCache(tagged).describe() + "+" +
+               history.describe();
+      case IndirectStructure::Cascaded:
+        return CascadedPredictor(cascaded).describe() + "+" +
+               history.describe();
+      case IndirectStructure::Ittage:
+        return IttagePredictor(ittage).describe();
+      case IndirectStructure::Oracle:
+        return "oracle";
+    }
+    return "?";
+}
+
+PredictorStack
+buildStack(const IndirectConfig &config)
+{
+    PredictorStack stack;
+    switch (config.structure) {
+      case IndirectStructure::None:
+        return stack;
+      case IndirectStructure::Tagless:
+        stack.predictor =
+            std::make_unique<TaglessTargetCache>(config.tagless);
+        break;
+      case IndirectStructure::Tagged:
+        stack.predictor =
+            std::make_unique<TaggedTargetCache>(config.tagged);
+        break;
+      case IndirectStructure::Cascaded:
+        stack.predictor =
+            std::make_unique<CascadedPredictor>(config.cascaded);
+        break;
+      case IndirectStructure::Ittage:
+        stack.predictor =
+            std::make_unique<IttagePredictor>(config.ittage);
+        break;
+      case IndirectStructure::Oracle:
+        stack.predictor = std::make_unique<OraclePredictor>();
+        break;
+    }
+    stack.tracker = std::make_unique<HistoryTracker>(config.history);
+    return stack;
+}
+
+SharedTrace::SharedTrace(TraceSource &source, size_t max_ops)
+    : name_(source.name())
+{
+    auto ops = std::make_shared<std::vector<MicroOp>>();
+    *ops = drainTrace(source, max_ops);
+    ops_ = std::move(ops);
+}
+
+std::unique_ptr<TraceSource>
+SharedTrace::open() const
+{
+    return std::make_unique<ReplaySource>(ops_, name_);
+}
+
+SharedTrace
+recordWorkload(const std::string &name, size_t max_ops, uint64_t seed)
+{
+    auto workload = makeWorkload(name, seed);
+    return SharedTrace(*workload, max_ops);
+}
+
+FrontendStats
+runAccuracy(const SharedTrace &trace, const IndirectConfig &config,
+            const FrontendConfig &fe)
+{
+    PredictorStack stack = buildStack(config);
+    FrontendPredictor frontend(fe, stack.predictor.get(),
+                               stack.tracker.get());
+    auto source = trace.open();
+    MicroOp op;
+    while (source->next(op))
+        frontend.onInstruction(op);
+    return frontend.stats();
+}
+
+CoreResult
+runTiming(const SharedTrace &trace, const IndirectConfig &config,
+          const CoreParams &params, const FrontendConfig &fe)
+{
+    PredictorStack stack = buildStack(config);
+    FrontendPredictor frontend(fe, stack.predictor.get(),
+                               stack.tracker.get());
+    CoreModel core(params);
+    auto source = trace.open();
+    return core.run(*source, frontend, trace.size());
+}
+
+size_t
+resolveOps(int argc, char **argv, size_t fallback)
+{
+    if (argc > 1) {
+        const long long v = std::atoll(argv[1]);
+        if (v > 0)
+            return static_cast<size_t>(v);
+    }
+    if (const char *env = std::getenv("TPRED_OPS")) {
+        const long long v = std::atoll(env);
+        if (v > 0)
+            return static_cast<size_t>(v);
+    }
+    return fallback;
+}
+
+} // namespace tpred

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Experiment harness: builds predictor stacks from declarative
+ * configurations, replays shared traces through them, and reports
+ * the paper's two metrics — indirect misprediction rate and reduction
+ * in execution time relative to the BTB-only baseline.
+ */
+
+#ifndef TPRED_HARNESS_EXPERIMENT_HH
+#define TPRED_HARNESS_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bpred/history.hh"
+#include "core/cascaded.hh"
+#include "core/ittage.hh"
+#include "core/frontend_predictor.hh"
+#include "core/tagged_target_cache.hh"
+#include "core/tagless_target_cache.hh"
+#include "trace/trace_source.hh"
+#include "uarch/core_model.hh"
+
+namespace tpred
+{
+
+/** Which indirect-predictor structure an experiment runs. */
+enum class IndirectStructure : uint8_t
+{
+    None,     ///< BTB-only baseline (paper Table 1)
+    Tagless,  ///< section 3.2 / Figure 10
+    Tagged,   ///< section 3.2 / Figure 11
+    Cascaded, ///< extension (DESIGN.md section 6)
+    Ittage,   ///< modern descendant (DESIGN.md section 6)
+    Oracle,   ///< perfect target prediction (upper bound)
+};
+
+/** Full declarative description of an indirect-predictor setup. */
+struct IndirectConfig
+{
+    IndirectStructure structure = IndirectStructure::None;
+    TaglessConfig tagless{};
+    TaggedConfig tagged{};
+    CascadedConfig cascaded{};
+    IttageConfig ittage{};
+    HistorySpec history{};
+
+    std::string describe() const;
+};
+
+/** A constructed predictor + its history source. */
+struct PredictorStack
+{
+    std::unique_ptr<IndirectPredictor> predictor;  ///< null for None
+    std::unique_ptr<HistoryTracker> tracker;       ///< null for None
+};
+
+/** Instantiates the structures an IndirectConfig describes. */
+PredictorStack buildStack(const IndirectConfig &config);
+
+/**
+ * Immutable, shareable recorded trace.  Generate a workload once, then
+ * open any number of cheap replay sources over it.
+ */
+class SharedTrace
+{
+  public:
+    /** Records @p max_ops instructions of @p source. */
+    SharedTrace(TraceSource &source, size_t max_ops);
+
+    /** Opens a replay source positioned at the beginning. */
+    std::unique_ptr<TraceSource> open() const;
+
+    const std::string &name() const { return name_; }
+    size_t size() const { return ops_->size(); }
+    const std::vector<MicroOp> &ops() const { return *ops_; }
+
+  private:
+    std::shared_ptr<const std::vector<MicroOp>> ops_;
+    std::string name_;
+};
+
+/** Records a named workload into a SharedTrace. */
+SharedTrace recordWorkload(const std::string &name, size_t max_ops,
+                           uint64_t seed = 1);
+
+/**
+ * Accuracy experiment: replays the trace through a front end built
+ * from @p config and returns the per-class prediction statistics.
+ */
+FrontendStats runAccuracy(const SharedTrace &trace,
+                          const IndirectConfig &config,
+                          const FrontendConfig &fe = {});
+
+/**
+ * Timing experiment: replays the trace through the out-of-order core
+ * and returns cycles, IPC and accuracy statistics.
+ */
+CoreResult runTiming(const SharedTrace &trace,
+                     const IndirectConfig &config,
+                     const CoreParams &params = {},
+                     const FrontendConfig &fe = {});
+
+/**
+ * Default run lengths; bench binaries accept an instruction-count
+ * argv override and the TPRED_OPS environment variable.
+ */
+constexpr size_t kDefaultAccuracyOps = 2'000'000;
+constexpr size_t kDefaultTimingOps = 1'000'000;
+
+/** Resolves the run length: argv[1] if given, else $TPRED_OPS, else
+ *  @p fallback. */
+size_t resolveOps(int argc, char **argv, size_t fallback);
+
+} // namespace tpred
+
+#endif // TPRED_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,147 @@
+#include "harness/paper_tables.hh"
+
+#include "common/stats.hh"
+
+namespace tpred
+{
+
+IndirectConfig
+baselineConfig()
+{
+    return IndirectConfig{};
+}
+
+FrontendConfig
+twoBitBtbFrontend()
+{
+    FrontendConfig fe;
+    fe.btb.strategy = BtbUpdateStrategy::TwoBit;
+    return fe;
+}
+
+HistorySpec
+patternHistory(unsigned bits)
+{
+    HistorySpec spec;
+    spec.kind = HistoryKind::Pattern;
+    spec.lengthBits = bits;
+    return spec;
+}
+
+HistorySpec
+pathGlobal(PathFilter filter, unsigned length_bits,
+           unsigned bits_per_target, unsigned addr_bit_offset)
+{
+    HistorySpec spec;
+    spec.kind = HistoryKind::PathGlobal;
+    spec.lengthBits = length_bits;
+    spec.filter = filter;
+    spec.path.lengthBits = length_bits;
+    spec.path.bitsPerTarget = bits_per_target;
+    spec.path.addrBitOffset = addr_bit_offset;
+    return spec;
+}
+
+HistorySpec
+pathPerAddress(unsigned length_bits, unsigned bits_per_target,
+               unsigned addr_bit_offset)
+{
+    HistorySpec spec;
+    spec.kind = HistoryKind::PathPerAddress;
+    spec.lengthBits = length_bits;
+    spec.path.lengthBits = length_bits;
+    spec.path.bitsPerTarget = bits_per_target;
+    spec.path.addrBitOffset = addr_bit_offset;
+    return spec;
+}
+
+IndirectConfig
+taglessGAg(unsigned history_bits)
+{
+    IndirectConfig config;
+    config.structure = IndirectStructure::Tagless;
+    config.tagless.scheme = TaglessIndexScheme::GAg;
+    config.tagless.entryBits = history_bits;
+    config.tagless.historyBits = history_bits;
+    config.history = patternHistory(history_bits);
+    return config;
+}
+
+IndirectConfig
+taglessGAs(unsigned history_bits, unsigned addr_bits)
+{
+    IndirectConfig config;
+    config.structure = IndirectStructure::Tagless;
+    config.tagless.scheme = TaglessIndexScheme::GAs;
+    config.tagless.entryBits = history_bits + addr_bits;
+    config.tagless.historyBits = history_bits;
+    config.tagless.addrBits = addr_bits;
+    config.history = patternHistory(history_bits);
+    return config;
+}
+
+IndirectConfig
+taglessGshare(const HistorySpec &history, unsigned entry_bits)
+{
+    IndirectConfig config;
+    config.structure = IndirectStructure::Tagless;
+    config.tagless.scheme = TaglessIndexScheme::Gshare;
+    config.tagless.entryBits = entry_bits;
+    config.tagless.historyBits = history.lengthBits;
+    config.history = history;
+    return config;
+}
+
+IndirectConfig
+taggedConfig(TaggedIndexScheme scheme, unsigned ways,
+             const HistorySpec &history, unsigned entries)
+{
+    IndirectConfig config;
+    config.structure = IndirectStructure::Tagged;
+    config.tagged.scheme = scheme;
+    config.tagged.entries = entries;
+    config.tagged.ways = ways;
+    config.tagged.historyBits = history.lengthBits;
+    config.history = history;
+    return config;
+}
+
+IndirectConfig
+cascadedConfig(unsigned stage1_entries, unsigned stage2_ways)
+{
+    IndirectConfig config;
+    config.structure = IndirectStructure::Cascaded;
+    config.cascaded.stage1Entries = stage1_entries;
+    config.cascaded.stage2.ways = stage2_ways;
+    config.history = patternHistory(9);
+    return config;
+}
+
+IndirectConfig
+ittageConfig()
+{
+    IndirectConfig config;
+    config.structure = IndirectStructure::Ittage;
+    // The longest component consumes 32 history bits.
+    config.history = patternHistory(32);
+    return config;
+}
+
+IndirectConfig
+oracleConfig()
+{
+    IndirectConfig config;
+    config.structure = IndirectStructure::Oracle;
+    config.history = patternHistory(1);
+    return config;
+}
+
+double
+reductionOver(uint64_t baseline_cycles, const SharedTrace &trace,
+              const IndirectConfig &config, const CoreParams &params)
+{
+    const CoreResult result = runTiming(trace, config, params);
+    return execTimeReduction(baseline_cycles, result.cycles);
+}
+
+} // namespace tpred

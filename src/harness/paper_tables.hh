@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Preset configurations matching the paper's experiments, shared by
+ * the bench binaries, examples and integration tests.
+ */
+
+#ifndef TPRED_HARNESS_PAPER_TABLES_HH
+#define TPRED_HARNESS_PAPER_TABLES_HH
+
+#include <string>
+
+#include "harness/experiment.hh"
+
+namespace tpred
+{
+
+/** BTB-only baseline (Table 1's machine). */
+IndirectConfig baselineConfig();
+
+/** BTB with the Calder/Grunwald 2-bit update strategy (Table 2). */
+FrontendConfig twoBitBtbFrontend();
+
+/** Global pattern history of @p bits (sections 3.1, 4.2, 4.3). */
+HistorySpec patternHistory(unsigned bits = 9);
+
+/**
+ * Global path history (section 3.1): @p filter selects which control
+ * instructions are recorded, @p bits_per_target how many target bits
+ * each contributes, @p addr_bit_offset which target bit the recording
+ * starts at (Table 5's "address bit selection").
+ */
+HistorySpec pathGlobal(PathFilter filter, unsigned length_bits = 9,
+                       unsigned bits_per_target = 1,
+                       unsigned addr_bit_offset = 2);
+
+/** Per-address path history (section 3.1). */
+HistorySpec pathPerAddress(unsigned length_bits = 9,
+                           unsigned bits_per_target = 1,
+                           unsigned addr_bit_offset = 2);
+
+/** 512-entry tagless target cache, GAg(h) indexing (Table 4). */
+IndirectConfig taglessGAg(unsigned history_bits = 9);
+
+/** 512-entry tagless target cache, GAs(h,a) indexing (Table 4). */
+IndirectConfig taglessGAs(unsigned history_bits, unsigned addr_bits);
+
+/**
+ * 512-entry tagless target cache, gshare indexing — the scheme the
+ * paper adopts for all subsequent tagless experiments.
+ */
+IndirectConfig taglessGshare(const HistorySpec &history = patternHistory(),
+                             unsigned entry_bits = 9);
+
+/**
+ * 256-entry tagged target cache (Tables 7-9, Figures 12-13).
+ * @param scheme Set-index/tag derivation.
+ * @param ways Set associativity.
+ * @param history History source and length.
+ */
+IndirectConfig taggedConfig(TaggedIndexScheme scheme, unsigned ways,
+                            const HistorySpec &history = patternHistory(),
+                            unsigned entries = 256);
+
+/** Cascaded two-stage predictor (DESIGN.md extension). */
+IndirectConfig cascadedConfig(unsigned stage1_entries = 128,
+                              unsigned stage2_ways = 4);
+
+/**
+ * ITTAGE-style predictor (DESIGN.md extension): geometric history
+ * lengths over a 32-bit global pattern history.
+ */
+IndirectConfig ittageConfig();
+
+/** Oracle indirect predictor (upper bound). */
+IndirectConfig oracleConfig();
+
+/**
+ * Exec-time reduction of @p config over the BTB-only baseline on the
+ * same trace: the paper's headline timing metric.
+ * @param baseline_cycles From a prior runTiming with baselineConfig().
+ */
+double reductionOver(uint64_t baseline_cycles, const SharedTrace &trace,
+                     const IndirectConfig &config,
+                     const CoreParams &params = {});
+
+} // namespace tpred
+
+#endif // TPRED_HARNESS_PAPER_TABLES_HH

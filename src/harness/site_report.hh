@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Per-site misprediction analysis: which static indirect jumps cost
+ * the mispredictions, how polymorphic they are, and how a predictor
+ * configuration fares on each — the drill-down behind the aggregate
+ * rates of the paper's tables.
+ */
+
+#ifndef TPRED_HARNESS_SITE_REPORT_HH
+#define TPRED_HARNESS_SITE_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace tpred
+{
+
+/** Accuracy record of one static indirect jump site. */
+struct SiteRecord
+{
+    uint64_t pc = 0;
+    uint64_t executions = 0;
+    uint64_t mispredictions = 0;
+    size_t distinctTargets = 0;
+
+    double
+    missRate() const
+    {
+        return executions ? static_cast<double>(mispredictions) /
+                                static_cast<double>(executions)
+                          : 0.0;
+    }
+};
+
+/** Full per-site analysis result. */
+struct SiteReport
+{
+    std::vector<SiteRecord> sites;   ///< sorted by mispredictions, desc
+    uint64_t totalIndirect = 0;
+    uint64_t totalMisses = 0;
+
+    /** Renders the top @p top_n sites as an aligned table. */
+    std::string render(size_t top_n = 10) const;
+};
+
+/**
+ * Replays @p trace through a front end built from @p config and
+ * attributes every indirect-jump misprediction to its static site.
+ */
+SiteReport analyzeSites(const SharedTrace &trace,
+                        const IndirectConfig &config,
+                        const FrontendConfig &fe = {});
+
+} // namespace tpred
+
+#endif // TPRED_HARNESS_SITE_REPORT_HH

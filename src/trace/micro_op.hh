@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Dynamic instruction record exchanged between the workload generators,
+ * the predictor stack and the timing model.
+ *
+ * The paper's experiments are trace-driven (section 4.1); a MicroOp is one
+ * entry of such a trace: the architectural outcome of one instruction,
+ * including the resolved next-PC for branches.
+ */
+
+#ifndef TPRED_TRACE_MICRO_OP_HH
+#define TPRED_TRACE_MICRO_OP_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace tpred
+{
+
+/**
+ * Instruction classes of the simulated HPS machine (paper Table 3).
+ * Every functional unit can execute any class; the class selects the
+ * execution latency.
+ */
+enum class InstClass : uint8_t
+{
+    Integer,    ///< INT add, sub and logic ops
+    FpAdd,      ///< FP add, sub, convert
+    Mul,        ///< FP and INT multiply
+    Div,        ///< FP and INT divide
+    Load,       ///< memory load
+    Store,      ///< memory store
+    BitField,   ///< shift and bit testing
+    Branch,     ///< control instructions
+};
+
+/** Number of InstClass values; used to size latency tables. */
+constexpr size_t kNumInstClasses = 8;
+
+/**
+ * Control-transfer taxonomy from the paper's introduction.  The paper's
+ * four-way direct/indirect x conditional/unconditional classification is
+ * refined with call/return so the return address stack and the Call/Ret
+ * path-history filter can identify those instructions.
+ */
+enum class BranchKind : uint8_t
+{
+    None,           ///< not a control instruction
+    CondDirect,     ///< conditional direct branch
+    UncondDirect,   ///< unconditional direct jump
+    IndirectJump,   ///< unconditional indirect jump (incl. jump tables)
+    Call,           ///< direct call (pushes return address)
+    IndirectCall,   ///< indirect call (function pointer / vtable)
+    Return,         ///< return (pops return address)
+};
+
+/** True for the kinds the target cache is responsible for predicting. */
+constexpr bool
+isIndirectNonReturn(BranchKind kind)
+{
+    return kind == BranchKind::IndirectJump ||
+           kind == BranchKind::IndirectCall;
+}
+
+/** True for any control-transfer kind (Control path-history filter). */
+constexpr bool
+isControl(BranchKind kind)
+{
+    return kind != BranchKind::None;
+}
+
+/** Printable name of a branch kind. */
+std::string_view branchKindName(BranchKind kind);
+
+/** Printable name of an instruction class. */
+std::string_view instClassName(InstClass cls);
+
+/** Register index type; the machine models 64 architectural registers. */
+using RegIndex = int16_t;
+constexpr RegIndex kNoReg = -1;
+constexpr unsigned kNumArchRegs = 64;
+
+/**
+ * One dynamic instruction.
+ *
+ * For branches, @c taken / @c nextPc carry the architecturally resolved
+ * outcome; the front end must not look at them before the instruction
+ * "executes" (the harness enforces prediction-before-peek ordering).
+ */
+struct MicroOp
+{
+    uint64_t pc = 0;           ///< fetch address
+    uint64_t nextPc = 0;       ///< resolved successor address
+    uint64_t fallthrough = 0;  ///< pc + 4 (word-aligned ISA)
+    uint64_t memAddr = 0;      ///< effective address (Load/Store only)
+    uint64_t selector = 0;     ///< dispatch value of an indirect jump
+                               ///< (case-block variable; used by the CBT)
+    InstClass cls = InstClass::Integer;
+    BranchKind branch = BranchKind::None;
+    bool taken = false;        ///< CondDirect outcome; true for other CTIs
+    RegIndex dstReg = kNoReg;
+    std::array<RegIndex, 2> srcRegs{kNoReg, kNoReg};
+
+    bool isBranch() const { return branch != BranchKind::None; }
+    bool isIndirect() const
+    {
+        return branch == BranchKind::IndirectJump ||
+               branch == BranchKind::IndirectCall ||
+               branch == BranchKind::Return;
+    }
+};
+
+} // namespace tpred
+
+#endif // TPRED_TRACE_MICRO_OP_HH

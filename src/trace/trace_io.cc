@@ -1,0 +1,119 @@
+#include "trace/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace tpred
+{
+
+namespace
+{
+
+template <typename T>
+void
+put(std::ostream &out, const T &value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+get(std::istream &in)
+{
+    T value{};
+    in.read(reinterpret_cast<char *>(&value), sizeof(T));
+    if (!in)
+        throw std::runtime_error("trace file truncated");
+    return value;
+}
+
+} // namespace
+
+void
+writeTrace(std::ostream &out, const std::vector<MicroOp> &ops,
+           const std::string &name)
+{
+    put(out, kTraceMagic);
+    put(out, kTraceVersion);
+    put(out, static_cast<uint32_t>(name.size()));
+    out.write(name.data(),
+              static_cast<std::streamsize>(name.size()));
+    put(out, static_cast<uint64_t>(ops.size()));
+    for (const MicroOp &op : ops) {
+        put(out, op.pc);
+        put(out, op.nextPc);
+        put(out, op.memAddr);
+        put(out, op.selector);
+        put(out, static_cast<uint8_t>(op.cls));
+        put(out, static_cast<uint8_t>(op.branch));
+        put(out, static_cast<uint8_t>(op.taken ? 1 : 0));
+        put(out, op.dstReg);
+        put(out, op.srcRegs[0]);
+        put(out, op.srcRegs[1]);
+    }
+    if (!out)
+        throw std::runtime_error("trace write failed");
+}
+
+std::vector<MicroOp>
+readTrace(std::istream &in, std::string &name_out)
+{
+    if (get<uint32_t>(in) != kTraceMagic)
+        throw std::runtime_error("not a tpred trace file");
+    const uint32_t version = get<uint32_t>(in);
+    if (version != kTraceVersion)
+        throw std::runtime_error("unsupported trace version " +
+                                 std::to_string(version));
+    const uint32_t name_len = get<uint32_t>(in);
+    if (name_len > 4096)
+        throw std::runtime_error("implausible trace name length");
+    name_out.resize(name_len);
+    in.read(name_out.data(), name_len);
+    if (!in)
+        throw std::runtime_error("trace file truncated");
+
+    const uint64_t count = get<uint64_t>(in);
+    std::vector<MicroOp> ops;
+    ops.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        MicroOp op;
+        op.pc = get<uint64_t>(in);
+        op.nextPc = get<uint64_t>(in);
+        op.memAddr = get<uint64_t>(in);
+        op.selector = get<uint64_t>(in);
+        op.cls = static_cast<InstClass>(get<uint8_t>(in));
+        op.branch = static_cast<BranchKind>(get<uint8_t>(in));
+        op.taken = get<uint8_t>(in) != 0;
+        op.dstReg = get<int16_t>(in);
+        op.srcRegs[0] = get<int16_t>(in);
+        op.srcRegs[1] = get<int16_t>(in);
+        op.fallthrough = op.pc + 4;
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+void
+saveTraceFile(const std::string &path, const std::vector<MicroOp> &ops,
+              const std::string &name)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw std::runtime_error("cannot open " + path +
+                                 " for writing");
+    writeTrace(out, ops, name);
+}
+
+std::vector<MicroOp>
+loadTraceFile(const std::string &path, std::string &name_out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+    return readTrace(in, name_out);
+}
+
+} // namespace tpred

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Binary trace serialization.
+ *
+ * Lets users capture a workload's dynamic instruction stream once and
+ * replay it across experiments or ship it alongside results — the
+ * moral equivalent of the paper's trace files.  The format is a fixed
+ * little-endian record per MicroOp behind a magic/version header.
+ */
+
+#ifndef TPRED_TRACE_TRACE_IO_HH
+#define TPRED_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/micro_op.hh"
+
+namespace tpred
+{
+
+/** Magic bytes identifying a trace file ("TPRT" + version). */
+constexpr uint32_t kTraceMagic = 0x54505254;
+constexpr uint32_t kTraceVersion = 1;
+
+/**
+ * Writes @p ops to @p out.
+ * @throws std::runtime_error on stream failure.
+ */
+void writeTrace(std::ostream &out, const std::vector<MicroOp> &ops,
+                const std::string &name);
+
+/**
+ * Reads a trace written by writeTrace().
+ * @param name_out Receives the recorded stream name.
+ * @throws std::runtime_error on bad magic, version or truncation.
+ */
+std::vector<MicroOp> readTrace(std::istream &in, std::string &name_out);
+
+/** File-path convenience wrappers. */
+void saveTraceFile(const std::string &path,
+                   const std::vector<MicroOp> &ops,
+                   const std::string &name);
+std::vector<MicroOp> loadTraceFile(const std::string &path,
+                                   std::string &name_out);
+
+} // namespace tpred
+
+#endif // TPRED_TRACE_TRACE_IO_HH

@@ -1,0 +1,118 @@
+#include "trace/trace_stats.hh"
+
+#include "trace/trace_source.hh"
+
+namespace tpred
+{
+
+std::string_view
+branchKindName(BranchKind kind)
+{
+    switch (kind) {
+      case BranchKind::None: return "none";
+      case BranchKind::CondDirect: return "cond-direct";
+      case BranchKind::UncondDirect: return "uncond-direct";
+      case BranchKind::IndirectJump: return "indirect-jump";
+      case BranchKind::Call: return "call";
+      case BranchKind::IndirectCall: return "indirect-call";
+      case BranchKind::Return: return "return";
+    }
+    return "?";
+}
+
+std::string_view
+instClassName(InstClass cls)
+{
+    switch (cls) {
+      case InstClass::Integer: return "Integer";
+      case InstClass::FpAdd: return "FP Add";
+      case InstClass::Mul: return "FP/INT Mul";
+      case InstClass::Div: return "FP/INT Div";
+      case InstClass::Load: return "Load";
+      case InstClass::Store: return "Store";
+      case InstClass::BitField: return "Bit Field";
+      case InstClass::Branch: return "Branch";
+    }
+    return "?";
+}
+
+void
+TraceCounts::observe(const MicroOp &op)
+{
+    ++instructions;
+    if (op.isBranch())
+        ++branches;
+    switch (op.branch) {
+      case BranchKind::CondDirect:
+        ++condBranches;
+        break;
+      case BranchKind::IndirectJump:
+      case BranchKind::IndirectCall:
+        ++indirectJumps;
+        break;
+      case BranchKind::Return:
+        ++returns;
+        break;
+      case BranchKind::Call:
+        ++calls;
+        break;
+      default:
+        break;
+    }
+    if (op.cls == InstClass::Load)
+        ++loads;
+    else if (op.cls == InstClass::Store)
+        ++stores;
+}
+
+void
+TargetProfiler::observe(const MicroOp &op)
+{
+    if (!isIndirectNonReturn(op.branch))
+        return;
+    auto &site = sites_[op.pc];
+    site.targets.insert(op.nextPc);
+    ++site.dynCount;
+    ++dynamicJumps_;
+}
+
+Histogram
+TargetProfiler::buildHistogram() const
+{
+    Histogram hist(kOverflowBucket);
+    for (const auto &[pc, site] : sites_)
+        hist.add(site.targets.size(), site.dynCount);
+    return hist;
+}
+
+size_t
+TargetProfiler::targetsOfSite(uint64_t pc) const
+{
+    auto it = sites_.find(pc);
+    return it == sites_.end() ? 0 : it->second.targets.size();
+}
+
+std::vector<MicroOp>
+drainTrace(TraceSource &source, size_t max_ops)
+{
+    std::vector<MicroOp> ops;
+    ops.reserve(max_ops);
+    MicroOp op;
+    while (ops.size() < max_ops && source.next(op))
+        ops.push_back(op);
+    return ops;
+}
+
+TraceProfile
+profileTrace(TraceSource &source, size_t max_ops)
+{
+    TraceProfile profile;
+    MicroOp op;
+    while (profile.counts.instructions < max_ops && source.next(op)) {
+        profile.counts.observe(op);
+        profile.targets.observe(op);
+    }
+    return profile;
+}
+
+} // namespace tpred

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Trace-level statistics: instruction/branch counts (paper Table 1) and
+ * the per-indirect-jump target profile (paper Figures 1-8).
+ */
+
+#ifndef TPRED_TRACE_TRACE_STATS_HH
+#define TPRED_TRACE_TRACE_STATS_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/histogram.hh"
+#include "trace/micro_op.hh"
+
+namespace tpred
+{
+
+class TraceSource;
+
+/**
+ * Aggregate counts over a dynamic instruction stream, matching the
+ * columns of the paper's Table 1.
+ */
+struct TraceCounts
+{
+    uint64_t instructions = 0;
+    uint64_t branches = 0;          ///< all control instructions
+    uint64_t condBranches = 0;
+    uint64_t indirectJumps = 0;     ///< IndirectJump + IndirectCall
+    uint64_t returns = 0;
+    uint64_t calls = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+
+    /** Folds one instruction into the counts. */
+    void observe(const MicroOp &op);
+};
+
+/**
+ * Tracks, per static indirect jump, the set of distinct dynamic targets,
+ * and builds the paper's Figures 1-8: for each dynamic indirect jump,
+ * how many distinct targets does its static jump site exhibit over the
+ * whole run?
+ *
+ * The paper plots the distribution by *static* site weighted by dynamic
+ * execution count, bucketed 1..29 with a ">=30" overflow bucket.
+ */
+class TargetProfiler
+{
+  public:
+    static constexpr size_t kOverflowBucket = 30;
+
+    /** Folds one instruction into the profile (non-indirect ops ignored).
+     *  Returns are excluded: the paper handles them with the RAS. */
+    void observe(const MicroOp &op);
+
+    /** Number of static indirect jump sites seen. */
+    size_t staticSites() const { return sites_.size(); }
+
+    /** Total dynamic indirect jumps profiled. */
+    uint64_t dynamicJumps() const { return dynamicJumps_; }
+
+    /**
+     * Builds the figure: histogram over "distinct targets of the site",
+     * weighted by each site's dynamic execution count.
+     */
+    Histogram buildHistogram() const;
+
+    /** Distinct target count for a given static site (0 if unseen). */
+    size_t targetsOfSite(uint64_t pc) const;
+
+  private:
+    struct SiteInfo
+    {
+        std::unordered_set<uint64_t> targets;
+        uint64_t dynCount = 0;
+    };
+    std::unordered_map<uint64_t, SiteInfo> sites_;
+    uint64_t dynamicJumps_ = 0;
+};
+
+/**
+ * Runs a source to completion (or @p max_ops), collecting counts and the
+ * target profile in one pass.
+ */
+struct TraceProfile
+{
+    TraceCounts counts;
+    TargetProfiler targets;
+};
+
+TraceProfile profileTrace(TraceSource &source, size_t max_ops);
+
+} // namespace tpred
+
+#endif // TPRED_TRACE_TRACE_STATS_HH

@@ -1,0 +1,148 @@
+#include "uarch/core_model.hh"
+
+#include <array>
+
+#include "uarch/fu_pool.hh"
+
+namespace tpred
+{
+
+CoreModel::CoreModel(const CoreParams &params)
+    : params_(params),
+      dcache_(params.dcache)
+{
+}
+
+bool
+CoreModel::sourcesReady(const InFlight &entry, uint64_t base_seq,
+                        uint64_t cycle) const
+{
+    for (uint64_t src_seq : entry.srcSeq) {
+        if (src_seq == 0 || src_seq < base_seq)
+            continue;  // no producer, or the producer already retired
+        const InFlight &producer = window_[src_seq - base_seq];
+        if (!producer.issued || producer.doneCycle > cycle)
+            return false;
+    }
+    return true;
+}
+
+CoreResult
+CoreModel::run(TraceSource &trace, FrontendPredictor &frontend,
+               uint64_t max_instrs)
+{
+    CoreResult result;
+    window_.clear();
+
+    // Sequence number of the last writer of each register; 0 = value
+    // available since before the window.
+    std::array<uint64_t, kNumArchRegs> last_writer{};
+
+    uint64_t cycle = 0;
+    uint64_t next_seq = 1;
+    uint64_t fetch_allowed = 0;    ///< earliest cycle fetch may resume
+    bool redirect_pending = false; ///< unresolved mispredicted branch
+    BranchKind stall_kind = BranchKind::None; ///< who blocked fetch
+    bool trace_ended = false;
+
+    while (result.instructions < max_instrs &&
+           (!trace_ended || !window_.empty())) {
+        // ---- Retire: in order, up to width per cycle. ---------------
+        unsigned retired = 0;
+        while (!window_.empty() && retired < params_.width) {
+            const InFlight &head = window_.front();
+            if (!head.issued || head.doneCycle > cycle)
+                break;
+            // A retiring writer's value is ready by construction; drop
+            // its writer record if it is still the latest.
+            if (head.op.dstReg != kNoReg &&
+                last_writer[head.op.dstReg] == head.seq) {
+                last_writer[head.op.dstReg] = 0;
+            }
+            window_.pop_front();
+            ++result.instructions;
+            ++retired;
+        }
+
+        // ---- Issue/execute: oldest-first, up to fuCount per cycle. --
+        unsigned issued = 0;
+        const uint64_t issue_base =
+            window_.empty() ? next_seq : window_.front().seq;
+        for (auto &entry : window_) {
+            if (issued >= params_.fuCount)
+                break;
+            if (entry.issued)
+                continue;
+            if (!sourcesReady(entry, issue_base, cycle))
+                continue;
+            entry.issued = true;
+            unsigned latency = executionLatency(entry.op.cls);
+            if (entry.op.cls == InstClass::Load ||
+                entry.op.cls == InstClass::Store) {
+                latency += dcache_.access(
+                    entry.op.memAddr,
+                    entry.op.cls == InstClass::Store);
+            }
+            entry.doneCycle = cycle + latency;
+            ++issued;
+            if (entry.mispredicted) {
+                // Checkpoint repair: correct-path fetch restarts the
+                // cycle after the branch resolves.
+                fetch_allowed = entry.doneCycle + 1;
+                redirect_pending = false;
+            }
+        }
+
+        // ---- Fetch/dispatch: up to width, stopping at taken CTIs. ---
+        const bool fetch_blocked =
+            redirect_pending || cycle < fetch_allowed;
+        if (fetch_blocked && stall_kind != BranchKind::None && !trace_ended) {
+            ++result.stallCyclesByKind[static_cast<size_t>(stall_kind)];
+        }
+        if (!trace_ended && !fetch_blocked) {
+            stall_kind = BranchKind::None;
+            unsigned fetched = 0;
+            while (fetched < params_.width &&
+                   window_.size() < params_.window) {
+                MicroOp op;
+                if (!trace.next(op)) {
+                    trace_ended = true;
+                    break;
+                }
+                PredictionOutcome outcome = frontend.onInstruction(op);
+
+                InFlight entry;
+                entry.op = op;
+                entry.seq = next_seq++;
+                for (unsigned s = 0; s < 2; ++s) {
+                    const RegIndex reg = op.srcRegs[s];
+                    entry.srcSeq[s] =
+                        reg == kNoReg ? 0 : last_writer[reg];
+                }
+                if (op.dstReg != kNoReg)
+                    last_writer[op.dstReg] = entry.seq;
+                entry.mispredicted = op.isBranch() && !outcome.correct;
+                window_.push_back(entry);
+                ++fetched;
+
+                if (entry.mispredicted) {
+                    // Wrong-path fetch until this branch executes.
+                    redirect_pending = true;
+                    stall_kind = op.branch;
+                    break;
+                }
+                if (op.isBranch() && op.taken)
+                    break;  // one taken control transfer per fetch group
+            }
+        }
+
+        ++cycle;
+    }
+
+    result.cycles = cycle;
+    result.frontend = frontend.stats();
+    result.dcache = dcache_.stats();
+    return result;
+}
+
+} // namespace tpred

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Wide-issue out-of-order timing model in the style of the paper's HPS
+ * machine (section 4.1): Tomasulo-scheduled execution, checkpointing
+ * per branch — "once a branch misprediction is determined, instructions
+ * from the correct path are fetched in the next cycle" — a perfect
+ * instruction cache, and a 16 KB data cache.
+ *
+ * The model is trace-driven: the front end is consulted for every
+ * instruction and a misprediction stalls fetch until the branch
+ * executes (wrong-path instructions are never injected; their cost is
+ * the fetch bubble, the first-order effect the paper measures).
+ */
+
+#ifndef TPRED_UARCH_CORE_MODEL_HH
+#define TPRED_UARCH_CORE_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "core/frontend_predictor.hh"
+#include "trace/trace_source.hh"
+#include "uarch/dcache.hh"
+
+namespace tpred
+{
+
+/** Machine parameters (paper section 4.1 and DESIGN.md section 5). */
+struct CoreParams
+{
+    unsigned width = 8;     ///< fetch / issue / retire bandwidth
+    unsigned window = 128;  ///< max instructions in flight
+    unsigned fuCount = 8;   ///< universal functional units
+    DCacheConfig dcache{};
+};
+
+/** Result of one timing run. */
+struct CoreResult
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    FrontendStats frontend;
+    DCacheStats dcache;
+
+    /**
+     * Fetch-stall cycles attributed to the mispredicted branch kind
+     * that caused them (indexed by BranchKind) — the decomposition of
+     * where execution time goes, and hence of what a better indirect
+     * predictor can recover.
+     */
+    std::array<uint64_t, 7> stallCyclesByKind{};
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Stall cycles caused by indirect (non-return) mispredictions. */
+    uint64_t
+    indirectStallCycles() const
+    {
+        return stallCyclesByKind[static_cast<size_t>(
+                   BranchKind::IndirectJump)] +
+               stallCyclesByKind[static_cast<size_t>(
+                   BranchKind::IndirectCall)];
+    }
+};
+
+/**
+ * Cycle-driven core.  One instance runs one trace against one front
+ * end; construct fresh per experiment.
+ */
+class CoreModel
+{
+  public:
+    explicit CoreModel(const CoreParams &params);
+
+    /**
+     * Simulates until @p max_instrs retire (or the trace ends) and
+     * returns cycle/IPC/accuracy results.
+     */
+    CoreResult run(TraceSource &trace, FrontendPredictor &frontend,
+                   uint64_t max_instrs);
+
+  private:
+    struct InFlight
+    {
+        MicroOp op;
+        uint64_t seq = 0;
+        uint64_t srcSeq[2] = {0, 0};  ///< producing seq, 0 = ready
+        uint64_t doneCycle = 0;
+        bool issued = false;
+        bool mispredicted = false;
+    };
+
+    bool sourcesReady(const InFlight &entry, uint64_t base_seq,
+                      uint64_t cycle) const;
+
+    CoreParams params_;
+    DCache dcache_;
+    std::deque<InFlight> window_;
+};
+
+} // namespace tpred
+
+#endif // TPRED_UARCH_CORE_MODEL_HH

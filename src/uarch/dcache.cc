@@ -1,0 +1,53 @@
+#include "uarch/dcache.hh"
+
+#include <cassert>
+
+#include "common/bits.hh"
+
+namespace tpred
+{
+
+DCache::DCache(const DCacheConfig &config)
+    : config_(config),
+      setBits_(floorLog2(config.sets())),
+      offsetBits_(floorLog2(config.lineBytes)),
+      lines_(config.sets() * config.ways)
+{
+    assert(isPowerOfTwo(config.sets()));
+    assert(isPowerOfTwo(config.lineBytes));
+}
+
+unsigned
+DCache::access(uint64_t addr, bool is_store)
+{
+    (void)is_store;  // write-allocate: stores behave like loads here
+    const uint64_t set = bits(addr >> offsetBits_, 0, setBits_);
+    const uint64_t tag = addr >> (offsetBits_ + setBits_);
+    Line *base = &lines_[set * config_.ways];
+
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lastUsed = ++useClock_;
+            ++stats_.hits;
+            return config_.hitLatency;
+        }
+    }
+
+    // Miss: fill the LRU way.
+    Line *victim = base;
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUsed < victim->lastUsed)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUsed = ++useClock_;
+    ++stats_.misses;
+    return config_.hitLatency + config_.missLatency;
+}
+
+} // namespace tpred

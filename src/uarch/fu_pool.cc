@@ -1,0 +1,30 @@
+#include "uarch/fu_pool.hh"
+
+namespace tpred
+{
+
+namespace
+{
+
+// InstClass order: Integer, FpAdd, Mul, Div, Load, Store, BitField,
+// Branch.  Load latency here is the execute stage only; the data-cache
+// model adds hit/miss time on top.
+constexpr std::array<unsigned, kNumInstClasses> kLatencies = {
+    1, 3, 3, 8, 1, 1, 1, 1,
+};
+
+} // namespace
+
+unsigned
+executionLatency(InstClass cls)
+{
+    return kLatencies[static_cast<size_t>(cls)];
+}
+
+const std::array<unsigned, kNumInstClasses> &
+latencyTable()
+{
+    return kLatencies;
+}
+
+} // namespace tpred

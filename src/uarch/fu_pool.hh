@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Functional-unit latencies (paper Table 3).
+ *
+ * "Each functional unit can execute instructions from any of the
+ * instruction classes" — so the pool is modelled as a count of
+ * identical units plus a per-class latency table.  The OCR of Table 3
+ * is partially garbled; the assumed values below are the standard
+ * latencies of the era and are called out in DESIGN.md section 5.
+ */
+
+#ifndef TPRED_UARCH_FU_POOL_HH
+#define TPRED_UARCH_FU_POOL_HH
+
+#include <array>
+#include <cstdint>
+
+#include "trace/micro_op.hh"
+
+namespace tpred
+{
+
+/** Execution latency of one instruction class, in cycles. */
+unsigned executionLatency(InstClass cls);
+
+/** Per-class latency table in InstClass order (for reporting). */
+const std::array<unsigned, kNumInstClasses> &latencyTable();
+
+} // namespace tpred
+
+#endif // TPRED_UARCH_FU_POOL_HH

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * compress analogue: an LZW-style coder.  Dominated by conditional
+ * branches (hash-probe loops over semi-random text); indirect jumps are
+ * rare and come from two small dispatch sites (code-size escalation and
+ * output-path selection) with only a handful of targets — matching
+ * Figure 1's "1-2 targets" profile and Table 1's tiny indirect count.
+ */
+
+#include "workloads/factories.hh"
+
+#include <array>
+
+namespace tpred
+{
+
+namespace
+{
+
+class CompressWorkload final : public Workload
+{
+  public:
+    explicit CompressWorkload(uint64_t seed)
+        : Workload("compress", seed)
+    {
+        mainLoopPc_ = layout_.alloc(12);
+        hashLoopPc_ = layout_.alloc(16);
+        notFoundPc_ = layout_.alloc(20);
+        outputFnPc_ = layout_.alloc(6);
+        for (auto &pc : outputHandlerPc_)
+            pc = layout_.alloc(16);
+        sizeCheckPc_ = layout_.alloc(8);
+        for (auto &pc : sizeHandlerPc_)
+            pc = layout_.alloc(10);
+
+        // Markov text source: each symbol biases its successor.
+        for (auto &row : markov_)
+            for (auto &p : row)
+                p = rng_.below(kAlphabet);
+    }
+
+  private:
+    static constexpr unsigned kAlphabet = 16;
+    static constexpr unsigned kNumOutputPaths = 3;
+    static constexpr unsigned kNumSizePaths = 2;
+    static constexpr uint64_t kHashTable = kDataBase;
+    static constexpr uint64_t kHashSpan = 256 * 1024;
+
+    uint8_t
+    nextSymbol()
+    {
+        // 70% Markov-predicted successor, 30% uniform noise.
+        if (rng_.chance(0.7))
+            symbol_ = static_cast<uint8_t>(
+                markov_[symbol_][rng_.below(3)]);
+        else
+            symbol_ = static_cast<uint8_t>(rng_.below(kAlphabet));
+        return symbol_;
+    }
+
+    void
+    step() override
+    {
+        const uint8_t sym = nextSymbol();
+
+        // Main loop: read a symbol, compute the hash.
+        emit_.setPc(mainLoopPc_);
+        emit_.intOps(1);
+        emit_.load(kDataBase + 0x80000 + (pos_ & 0xffff));
+        emit_.op(InstClass::BitField);
+        emit_.op(InstClass::Mul);  // hash multiply
+        emit_.jump(hashLoopPc_);
+
+        // Hash-probe loop: 1..4 probes, collision odds data-dependent
+        // but biased — most probes hit on the first try.
+        const unsigned probes =
+            1 + static_cast<unsigned>(rng_.geometric(0.15, 4) - 1);
+        for (unsigned i = 0; i < probes; ++i) {
+            emit_.load(kHashTable + ((pos_ * 31 + sym + i * 7) * 8) %
+                                        kHashSpan);
+            emit_.intOps(1);
+            // Taken = collision, reprobe.
+            emit_.condBranch(hashLoopPc_, i + 1 < probes);
+        }
+
+        const bool found = rng_.chance(hitRate_);
+        emit_.condBranch(notFoundPc_, !found);
+        if (found) {
+            // String extends: cheap path on the fall-through.
+            emit_.intOps(3);
+            emit_.store(kHashTable + (pos_ % 4096) * 8);
+            emit_.jump(mainLoopPc_);
+        } else {
+            // New table entry: emit a code through the output routine.
+            emit_.intOps(2);
+            emit_.store(kHashTable + (pos_ % 4096) * 8 + 8);
+            emit_.call(outputFnPc_);
+            emitOutput();
+            emit_.intOps(1);
+            // Table-full check escalates the code size occasionally.
+            ++entries_;
+            const bool escalate = (entries_ & 0x3ff) == 0;
+            emit_.condBranch(sizeCheckPc_, escalate);
+            if (escalate) {
+                emit_.intOps(1);
+                const unsigned path = (codeBits_++ & 1);
+                emit_.indirectJump(sizeHandlerPc_[path], path);
+                emit_.aluMix(4, kHashTable, kHashSpan);
+                emit_.jump(mainLoopPc_);
+            } else {
+                emit_.jump(mainLoopPc_);
+            }
+            // Dictionary slowly fills; flushes reset the hit rate.
+            hitRate_ = hitRate_ < 0.93 ? hitRate_ + 0.0005 : 0.75;
+        }
+        ++pos_;
+    }
+
+    /** Output routine: small switch on the buffering state. */
+    void
+    emitOutput()
+    {
+        emit_.setPc(outputFnPc_);
+        emit_.intOps(1);
+        // Buffer-flush paths fire periodically: mostly the fast path,
+        // a flush every 8th code, a rare sync every 32nd — periodic,
+        // so history-friendly but not last-target-friendly.
+        const unsigned path = (outCount_ % 32 == 31)
+                                  ? 2u
+                                  : (outCount_ % 8 == 7 ? 1u : 0u);
+        ++outCount_;
+        emit_.indirectJump(outputHandlerPc_[path], path);
+        emit_.aluMix(3, kDataBase + 0xC0000, 0x8000);
+        emit_.store(kDataBase + 0xC0000 + (outCount_ & 0xfff) * 4);
+        emit_.ret();
+    }
+
+    std::array<std::array<uint8_t, 3>, kAlphabet> markov_{};
+    uint8_t symbol_ = 0;
+    uint64_t pos_ = 0;
+    uint64_t entries_ = 0;
+    uint64_t outCount_ = 0;
+    unsigned codeBits_ = 9;
+    double hitRate_ = 0.75;
+
+    uint64_t mainLoopPc_ = 0;
+    uint64_t hashLoopPc_ = 0;
+    uint64_t notFoundPc_ = 0;
+    uint64_t outputFnPc_ = 0;
+    std::array<uint64_t, kNumOutputPaths> outputHandlerPc_{};
+    uint64_t sizeCheckPc_ = 0;
+    std::array<uint64_t, kNumSizePaths> sizeHandlerPc_{};
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeCompressWorkload(uint64_t seed)
+{
+    return std::make_unique<CompressWorkload>(seed);
+}
+
+} // namespace tpred

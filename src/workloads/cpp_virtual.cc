@@ -1,0 +1,133 @@
+/**
+ * @file
+ * C++ virtual-dispatch workload — the paper's stated future work
+ * ("for object oriented programs where more indirect branches may be
+ * executed, tagged caches should provide even greater performance
+ * benefits", section 5).
+ *
+ * A shape-rendering loop over a scene of polymorphic objects: call
+ * sites range from monomorphic through megamorphic, receivers arrive
+ * in per-site Markov order (history-learnable), and indirect calls are
+ * several times denser than in the C workloads.
+ */
+
+#include "workloads/factories.hh"
+
+#include <array>
+
+namespace tpred
+{
+
+namespace
+{
+
+class CppVirtualWorkload final : public Workload
+{
+  public:
+    explicit CppVirtualWorkload(uint64_t seed)
+        : Workload("cpp-virtual", seed)
+    {
+        sceneLoopPc_ = layout_.alloc(8);
+        for (auto &pc : sitePc_)
+            pc = layout_.alloc(10);
+        for (auto &vtbl : methodPc_)
+            for (auto &pc : vtbl)
+                pc = layout_.alloc(20);
+        helperPc_ = layout_.alloc(32);
+
+        // Scene: a fixed sequence of (site, receiver-class) pairs.
+        // Sites 0-5 monomorphic, 6-9 2-4-way polymorphic, 10-11
+        // megamorphic over all classes.
+        for (unsigned i = 0; i < kSceneLen; ++i) {
+            const unsigned site = static_cast<unsigned>(
+                rng_.below(kNumSites));
+            unsigned cls;
+            if (site < 6)
+                cls = site % kNumClasses;
+            else if (site < 10)
+                cls = static_cast<unsigned>(rng_.below(2 + site % 3));
+            else
+                cls = static_cast<unsigned>(rng_.below(kNumClasses));
+            scene_[i] = {static_cast<uint8_t>(site),
+                         static_cast<uint8_t>(cls)};
+        }
+    }
+
+  private:
+    static constexpr unsigned kNumClasses = 12;
+    static constexpr unsigned kNumSites = 12;
+    static constexpr unsigned kNumMethods = 3;
+    static constexpr unsigned kSceneLen = 256;
+    static constexpr uint64_t kObjHeap = kDataBase;
+    static constexpr uint64_t kObjSpan = 256 * 1024;
+
+    void
+    step() override
+    {
+        const auto [site, cls] = scene_[pos_];
+
+        emit_.setPc(sceneLoopPc_);
+        emit_.intOps(1);
+        emit_.load(kObjHeap + pos_ * 32);  // object pointer
+        emit_.op(InstClass::BitField);
+        // Draw-command dispatch: a switch over the scene entry's kind
+        // selects the call site (itself an indirect-jump site).
+        emit_.indirectJump(sitePc_[site], site);
+
+        // Call site: vtable load + virtual call.
+        emit_.load(kObjHeap + pos_ * 32 + 8);  // vptr
+        const unsigned method = site % kNumMethods;
+        emit_.indirectCall(methodPc_[cls][method],
+                           cls * kNumMethods + method);
+        emitMethod(cls, method);
+        emit_.intOps(1);
+        emit_.jump(sceneLoopPc_);
+
+        pos_ = (pos_ + 1) % kSceneLen;
+    }
+
+    /** Virtual method body: class-specific work, shared helper. */
+    void
+    emitMethod(uint8_t cls, unsigned method)
+    {
+        emit_.aluMix(3 + cls % 4, kObjHeap, kObjSpan);
+        emit_.condBranch(emit_.pc() + 8, ((cls + method) & 1) != 0);
+        if (((cls + method) & 1) == 0)
+            emit_.store(kObjHeap + cls * 0x1000);
+        emit_.call(helperPc_);
+        emitHelper(1 + cls % 3);
+        emit_.ret();
+    }
+
+    void
+    emitHelper(unsigned trips)
+    {
+        emit_.setPc(helperPc_);
+        emit_.intOps(1);
+        const uint64_t loop = emit_.pc();
+        for (unsigned i = 0; i < trips; ++i) {
+            emit_.aluMix(3, kObjHeap + 0x20000, 0x8000);
+            emit_.condBranch(loop, i + 1 < trips);
+        }
+        emit_.ret();
+    }
+
+    std::array<std::pair<uint8_t, uint8_t>, kSceneLen> scene_{};
+    size_t pos_ = 0;
+
+    uint64_t sceneLoopPc_ = 0;
+    std::array<uint64_t, kNumSites> sitePc_{};
+    std::array<std::array<uint64_t, kNumMethods>, kNumClasses>
+        methodPc_{};
+    uint64_t helperPc_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeCppVirtualWorkload(uint64_t seed)
+{
+    return std::make_unique<CppVirtualWorkload>(seed);
+}
+
+} // namespace tpred

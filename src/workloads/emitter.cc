@@ -1,0 +1,176 @@
+#include "workloads/emitter.hh"
+
+#include <cassert>
+
+namespace tpred
+{
+
+Emitter::Emitter(uint64_t seed)
+    : rng_(seed ^ 0xe5a11e5ull)
+{
+    recentWrites_.fill(1);
+    callStack_.reserve(64);
+}
+
+RegIndex
+Emitter::pickSrc()
+{
+    // Bias toward the most recent writes: short dependency distances
+    // dominate real integer code.
+    unsigned back = rng_.geometric(0.55, recentWrites_.size()) - 1;
+    unsigned idx = (recentHead_ + recentWrites_.size() - 1 - back) %
+                   recentWrites_.size();
+    return recentWrites_[idx];
+}
+
+RegIndex
+Emitter::pickDst()
+{
+    RegIndex dst = nextDst_;
+    nextDst_ = dst + 1;
+    if (nextDst_ >= static_cast<RegIndex>(kNumArchRegs))
+        nextDst_ = 8;  // r0..r7 reserved as long-lived values
+    recentWrites_[recentHead_] = dst;
+    recentHead_ = (recentHead_ + 1) % recentWrites_.size();
+    return dst;
+}
+
+MicroOp
+Emitter::makeOp(InstClass cls)
+{
+    MicroOp op;
+    op.pc = pc_;
+    op.fallthrough = pc_ + 4;
+    op.nextPc = pc_ + 4;
+    op.cls = cls;
+    op.srcRegs[0] = pickSrc();
+    // Second source on roughly half of the ops.
+    op.srcRegs[1] = rng_.chance(0.5) ? pickSrc() : kNoReg;
+    if (cls != InstClass::Store && cls != InstClass::Branch)
+        op.dstReg = pickDst();
+    return op;
+}
+
+void
+Emitter::op(InstClass cls, uint64_t mem_addr)
+{
+    assert(cls != InstClass::Branch && "use the control-flow helpers");
+    MicroOp uop = makeOp(cls);
+    uop.memAddr = mem_addr;
+    queue_.push_back(uop);
+    pc_ += 4;
+}
+
+void
+Emitter::intOps(unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i)
+        op(InstClass::Integer);
+}
+
+void
+Emitter::aluMix(unsigned n, uint64_t data_base, uint64_t data_span)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        double draw = rng_.uniform();
+        if (draw < 0.45) {
+            op(InstClass::Integer);
+        } else if (draw < 0.60) {
+            op(InstClass::BitField);
+        } else if (draw < 0.66) {
+            op(InstClass::Mul);
+        } else if (draw < 0.88) {
+            load(dataAddr(data_base, data_span));
+        } else {
+            store(dataAddr(data_base, data_span));
+        }
+    }
+}
+
+uint64_t
+Emitter::dataAddr(uint64_t data_base, uint64_t data_span)
+{
+    if (data_span == 0)
+        data_span = 1;
+    // Spatially local access stream: mostly near the current cursor
+    // (same or neighbouring cache line), with occasional jumps to a new
+    // region — yielding era-realistic data-cache hit rates.
+    if (rng_.chance(0.04))
+        memCursor_ = rng_.below(data_span);
+    const uint64_t offset =
+        (memCursor_ + rng_.below(64)) % data_span;
+    return data_base + (offset & ~7ull);
+}
+
+void
+Emitter::finishBranch(MicroOp &op, BranchKind kind, uint64_t next_pc,
+                      bool taken)
+{
+    op.branch = kind;
+    op.taken = taken;
+    op.nextPc = next_pc;
+    queue_.push_back(op);
+    pc_ = next_pc;
+}
+
+void
+Emitter::condBranch(uint64_t taken_target, bool taken)
+{
+    MicroOp op = makeOp(InstClass::Branch);
+    finishBranch(op, BranchKind::CondDirect,
+                 taken ? taken_target : op.fallthrough, taken);
+}
+
+void
+Emitter::jump(uint64_t target)
+{
+    MicroOp op = makeOp(InstClass::Branch);
+    finishBranch(op, BranchKind::UncondDirect, target, true);
+}
+
+void
+Emitter::indirectJump(uint64_t target, uint64_t selector)
+{
+    MicroOp op = makeOp(InstClass::Branch);
+    op.selector = selector;
+    finishBranch(op, BranchKind::IndirectJump, target, true);
+}
+
+void
+Emitter::call(uint64_t target)
+{
+    MicroOp op = makeOp(InstClass::Branch);
+    callStack_.push_back(op.fallthrough);
+    finishBranch(op, BranchKind::Call, target, true);
+}
+
+void
+Emitter::indirectCall(uint64_t target, uint64_t selector)
+{
+    MicroOp op = makeOp(InstClass::Branch);
+    op.selector = selector;
+    callStack_.push_back(op.fallthrough);
+    finishBranch(op, BranchKind::IndirectCall, target, true);
+}
+
+void
+Emitter::ret()
+{
+    assert(!callStack_.empty() && "return without a matching call");
+    uint64_t return_to = callStack_.back();
+    callStack_.pop_back();
+    MicroOp op = makeOp(InstClass::Branch);
+    finishBranch(op, BranchKind::Return, return_to, true);
+}
+
+bool
+Emitter::pop(MicroOp &op)
+{
+    if (queue_.empty())
+        return false;
+    op = queue_.front();
+    queue_.pop_front();
+    return true;
+}
+
+} // namespace tpred

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Instruction-emission helpers for the synthetic workload generators.
+ *
+ * A workload describes its execution (loops, switch dispatch, calls)
+ * through the Emitter, which synthesizes the bookkeeping a trace needs:
+ * program counters, register operands with realistic dependency
+ * distances, and a coherent call stack so returns match their calls.
+ */
+
+#ifndef TPRED_WORKLOADS_EMITTER_HH
+#define TPRED_WORKLOADS_EMITTER_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/rng.hh"
+#include "trace/micro_op.hh"
+
+namespace tpred
+{
+
+/**
+ * Bump allocator for static code addresses.
+ *
+ * Workloads allocate a fixed block per function / switch handler at
+ * construction time so every static instruction keeps a stable PC
+ * across the whole run — a prerequisite for any PC-indexed predictor.
+ */
+class CodeLayout
+{
+  public:
+    explicit CodeLayout(uint64_t base = 0x400000) : nextPc_(base) {}
+
+    /**
+     * Reserves a block of @p n_instr word-aligned slots.
+     * @return The block's base address.
+     */
+    uint64_t
+    alloc(unsigned n_instr)
+    {
+        uint64_t base = nextPc_;
+        // At least one guard word between blocks, and an odd total
+        // word stride.  Deliberately *no* wider alignment: path
+        // history records low target-address bits (paper Table 5);
+        // coarse alignment — or an even stride across an array of
+        // same-sized handler blocks — would make those bits constant,
+        // erasing the signal.
+        uint64_t stride = uint64_t{n_instr} + 1;
+        if ((stride & 1) == 0)
+            ++stride;
+        nextPc_ += stride * 4;
+        return base;
+    }
+
+    uint64_t watermark() const { return nextPc_; }
+
+  private:
+    uint64_t nextPc_;
+};
+
+/**
+ * Builds MicroOps at a program counter the workload steers explicitly.
+ *
+ * Non-branch ops advance the PC by 4; control-flow helpers set the PC
+ * to the architectural successor so the next emitted op continues on
+ * the taken path, exactly like an execution-driven tracer.
+ */
+class Emitter
+{
+  public:
+    explicit Emitter(uint64_t seed);
+
+    /** Moves the emission point (use when entering a known block). */
+    void setPc(uint64_t pc) { pc_ = pc; }
+    uint64_t pc() const { return pc_; }
+
+    /** Emits one non-branch op of class @p cls. */
+    void op(InstClass cls, uint64_t mem_addr = 0);
+
+    /** Emits @p n plain integer ALU ops. */
+    void intOps(unsigned n);
+
+    /**
+     * Emits @p n ops drawn from a typical integer-code mix
+     * (Integer/BitField/Mul plus occasional Load/Store into
+     * [data_base, data_base + data_span)).
+     */
+    void aluMix(unsigned n, uint64_t data_base, uint64_t data_span);
+
+    void load(uint64_t addr) { op(InstClass::Load, addr); }
+    void store(uint64_t addr) { op(InstClass::Store, addr); }
+
+    /**
+     * A spatially-local data address in [data_base, data_base +
+     * data_span): random-walk cursor with occasional region jumps.
+     */
+    uint64_t dataAddr(uint64_t data_base, uint64_t data_span);
+
+    /** Conditional direct branch with outcome @p taken. */
+    void condBranch(uint64_t taken_target, bool taken);
+
+    /** Unconditional direct jump. */
+    void jump(uint64_t target);
+
+    /** Indirect jump through a register/jump-table. */
+    void indirectJump(uint64_t target, uint64_t selector);
+
+    /** Direct call; the return address is kept on an internal stack. */
+    void call(uint64_t target);
+
+    /** Indirect call (function pointer / vtable dispatch). */
+    void indirectCall(uint64_t target, uint64_t selector);
+
+    /** Return to the address saved by the matching call. */
+    void ret();
+
+    /** Depth of the internal call stack. */
+    size_t callDepth() const { return callStack_.size(); }
+
+    /** Pops the next queued MicroOp; false when the queue is empty. */
+    bool pop(MicroOp &op);
+
+    size_t pending() const { return queue_.size(); }
+
+  private:
+    MicroOp makeOp(InstClass cls);
+    void finishBranch(MicroOp &op, BranchKind kind, uint64_t next_pc,
+                      bool taken);
+    RegIndex pickSrc();
+    RegIndex pickDst();
+
+    std::deque<MicroOp> queue_;
+    std::vector<uint64_t> callStack_;
+    uint64_t pc_ = 0x400000;
+    Rng rng_;
+    /// Ring of recently written registers; sources are drawn from it to
+    /// create dependency chains with realistic distances.
+    std::array<RegIndex, 16> recentWrites_;
+    unsigned recentHead_ = 0;
+    RegIndex nextDst_ = 8;
+    uint64_t memCursor_ = 0;
+};
+
+} // namespace tpred
+
+#endif // TPRED_WORKLOADS_EMITTER_HH

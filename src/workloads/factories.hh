@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Internal: per-benchmark factory functions wired into the registry.
+ */
+
+#ifndef TPRED_WORKLOADS_FACTORIES_HH
+#define TPRED_WORKLOADS_FACTORIES_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace tpred
+{
+
+std::unique_ptr<Workload> makeCompressWorkload(uint64_t seed);
+std::unique_ptr<Workload> makeGccWorkload(uint64_t seed);
+std::unique_ptr<Workload> makeGoWorkload(uint64_t seed);
+std::unique_ptr<Workload> makeIjpegWorkload(uint64_t seed);
+std::unique_ptr<Workload> makeM88ksimWorkload(uint64_t seed);
+std::unique_ptr<Workload> makePerlWorkload(uint64_t seed);
+std::unique_ptr<Workload> makeVortexWorkload(uint64_t seed);
+std::unique_ptr<Workload> makeXlispWorkload(uint64_t seed);
+std::unique_ptr<Workload> makeCppVirtualWorkload(uint64_t seed);
+
+} // namespace tpred
+
+#endif // TPRED_WORKLOADS_FACTORIES_HH

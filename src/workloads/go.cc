@@ -1,0 +1,205 @@
+/**
+ * @file
+ * go analogue: game-tree search over a synthetic board.  Heavy on
+ * data-dependent conditional branches (board scans, liberty counting),
+ * a shallow recursive search, and a moderate-rate move-type dispatch
+ * whose Markov structure is only partially history-predictable —
+ * matching go's middling BTB and target-cache numbers in the paper.
+ */
+
+#include "workloads/factories.hh"
+
+#include <array>
+
+namespace tpred
+{
+
+namespace
+{
+
+class GoWorkload final : public Workload
+{
+  public:
+    explicit GoWorkload(uint64_t seed)
+        : Workload("go", seed)
+    {
+        searchFnPc_ = layout_.alloc(16);
+        scanFnPc_ = layout_.alloc(24);
+        moveFnPc_ = layout_.alloc(6);
+        for (auto &pc : moveHandlerPc_)
+            pc = layout_.alloc(20);
+        evalFnPc_ = layout_.alloc(24);
+        topLoopPc_ = layout_.alloc(8);
+
+        // Joseki lines: fixed move-type sequences the search replays.
+        for (auto &seq : joseki_) {
+            seq.resize(6 + rng_.below(5));
+            for (auto &m : seq)
+                m = static_cast<uint8_t>(rng_.below(kMoveTypes));
+            // Immediate repeats: reading out a ladder repeats the
+            // same move type, which is what keeps the BTB viable.
+            for (size_t i = 1; i + 1 < seq.size(); i += 3)
+                seq[i + 1] = seq[i];
+        }
+        // Sparse board: occupancy tests are biased 4:1, which keeps
+        // the conditional misprediction rate era-realistic.
+        for (auto &cell : board_)
+            cell = rng_.chance(0.05)
+                       ? static_cast<uint8_t>(1 + rng_.below(2))
+                       : 0;
+    }
+
+  private:
+    static constexpr unsigned kMoveTypes = 12;
+    static constexpr unsigned kBoard = 361;
+    static constexpr uint64_t kBoardMem = kDataBase;
+
+    uint8_t
+    nextMove()
+    {
+        // The search mostly reads out known joseki lines (replayed
+        // deterministic sequences a history predictor can learn, with
+        // internal repeats the BTB can exploit), interleaved with
+        // random exploration moves that no predictor can catch.
+        if (inSeq_) {
+            move_ = joseki_[seqIdx_][seqPos_++];
+            if (seqPos_ >= joseki_[seqIdx_].size())
+                inSeq_ = false;
+            return move_;
+        }
+        if (rng_.chance(0.8)) {
+            seqIdx_ = static_cast<unsigned>(rng_.below(kNumJoseki));
+            seqPos_ = 0;
+            inSeq_ = true;
+            return nextMove();
+        }
+        move_ = static_cast<uint8_t>(rng_.below(kMoveTypes));
+        return move_;
+    }
+
+    void
+    step() override
+    {
+        emit_.setPc(topLoopPc_);
+        emit_.intOps(2);
+        emit_.call(searchFnPc_);
+        emitSearch(2);  // depth-2 lookahead
+        emit_.intOps(1);
+        emit_.jump(topLoopPc_);
+    }
+
+    /** Recursive candidate search: scan, dispatch, evaluate, recurse. */
+    void
+    emitSearch(unsigned depth)
+    {
+        emit_.setPc(searchFnPc_);
+        emit_.intOps(1);
+
+        // Board scan precedes move selection (the search looks before
+        // it moves); kept short so the conditional history window at
+        // the dispatch still holds the previous move's identity bits.
+        emit_.call(scanFnPc_);
+        emitScan();
+
+        // Move-type dispatch (the indirect site).
+        const uint8_t mv = nextMove();
+        emit_.call(moveFnPc_);
+        emit_.intOps(1);
+        emit_.indirectJump(moveHandlerPc_[mv], mv);
+        emit_.aluMix(4 + mv % 3, kBoardMem, kBoard * 8);
+        emit_.condBranch(emit_.pc() + 8, (mv & 1) != 0);
+        if ((mv & 1) == 0)
+            emit_.op(InstClass::Integer);
+        emit_.condBranch(emit_.pc() + 8, (mv & 2) != 0);
+        if ((mv & 2) == 0)
+            emit_.op(InstClass::BitField);
+        emit_.ret();
+
+        // Position evaluation; its trip count encodes a third move
+        // bit.
+        emit_.call(evalFnPc_);
+        emitEval(1 + ((mv >> 2) & 1));
+
+        // Recurse on promising moves: alternating exploration pattern,
+        // so the recursion branch is predictable.
+        ++searchCount_;
+        const bool recurse = depth > 0 && (searchCount_ & 1) == 0;
+        emit_.condBranch(emit_.pc() + 8, !recurse);
+        if (recurse) {
+            emit_.call(searchFnPc_);
+            emitSearch(depth - 1);
+        }
+        emit_.ret();
+    }
+
+    /** Scan a board segment: liberty-count conditionals. */
+    void
+    emitScan()
+    {
+        emit_.setPc(scanFnPc_);
+        emit_.intOps(1);
+        const uint64_t loop = emit_.pc();
+        const unsigned cells = 1;
+        for (unsigned i = 0; i < cells; ++i) {
+            const unsigned at = (scanPos_ + i) % kBoard;
+            emit_.load(kBoardMem + at * 8);
+            // Occupancy test: genuinely data dependent.
+            const bool occupied = board_[at] != 0;
+            emit_.condBranch(emit_.pc() + 12, occupied);
+            if (!occupied) {
+                emit_.intOps(2);
+            }
+            emit_.op(InstClass::BitField);
+            emit_.condBranch(loop, i + 1 < cells);
+        }
+        emit_.ret();
+        scanPos_ = (scanPos_ + 7) % kBoard;
+        // Mutate the board occasionally so patterns drift.
+        if (rng_.chance(0.1))
+            board_[rng_.below(kBoard)] = rng_.chance(0.25)
+                ? static_cast<uint8_t>(1 + rng_.below(2))
+                : 0;
+    }
+
+    /** Leaf evaluation: a short loop whose trips carry a move bit. */
+    void
+    emitEval(unsigned trips)
+    {
+        emit_.setPc(evalFnPc_);
+        emit_.intOps(1);
+        const uint64_t loop = emit_.pc();
+        for (unsigned i = 0; i < trips; ++i) {
+            emit_.aluMix(4, kBoardMem, kBoard * 8);
+            emit_.condBranch(loop, i + 1 < trips);
+        }
+        emit_.ret();
+    }
+
+    static constexpr unsigned kNumJoseki = 10;
+
+    std::array<std::vector<uint8_t>, kNumJoseki> joseki_{};
+    std::array<uint8_t, kBoard> board_{};
+    unsigned seqIdx_ = 0;
+    size_t seqPos_ = 0;
+    bool inSeq_ = false;
+    uint8_t move_ = 0;
+    unsigned scanPos_ = 0;
+    uint64_t searchCount_ = 0;
+
+    uint64_t searchFnPc_ = 0;
+    uint64_t scanFnPc_ = 0;
+    uint64_t moveFnPc_ = 0;
+    std::array<uint64_t, kMoveTypes> moveHandlerPc_{};
+    uint64_t evalFnPc_ = 0;
+    uint64_t topLoopPc_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeGoWorkload(uint64_t seed)
+{
+    return std::make_unique<GoWorkload>(seed);
+}
+
+} // namespace tpred

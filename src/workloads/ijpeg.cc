@@ -1,0 +1,153 @@
+/**
+ * @file
+ * ijpeg analogue: block-based image coding.  Long fixed-trip-count DCT
+ * and quantization loops of Integer/Mul work with highly predictable
+ * conditionals; indirect jumps are rare and effectively monomorphic —
+ * the component dispatch stays on one colour component for a whole scan
+ * row (Figure 4's 1-2 target profile, very low BTB misprediction).
+ */
+
+#include "workloads/factories.hh"
+
+#include <array>
+
+namespace tpred
+{
+
+namespace
+{
+
+class IjpegWorkload final : public Workload
+{
+  public:
+    explicit IjpegWorkload(uint64_t seed)
+        : Workload("ijpeg", seed)
+    {
+        blockLoopPc_ = layout_.alloc(8);
+        dctFnPc_ = layout_.alloc(32);
+        quantFnPc_ = layout_.alloc(24);
+        componentFnPc_ = layout_.alloc(4);
+        for (auto &pc : componentHandlerPc_)
+            pc = layout_.alloc(20);
+        for (auto &pc : encodeHandlerPc_)
+            pc = layout_.alloc(12);
+        encodeFnPc_ = layout_.alloc(6);
+    }
+
+  private:
+    static constexpr unsigned kComponents = 3;  ///< Y, Cb, Cr
+    static constexpr unsigned kEncodePaths = 2; ///< DC / AC path
+    static constexpr unsigned kRowBlocks = 80;  ///< blocks per scan row
+    static constexpr uint64_t kImage = kDataBase;
+    static constexpr uint64_t kCoeff = kDataBase + 0x200000;
+
+    void
+    step() override
+    {
+        // One 8x8 block.
+        emit_.setPc(blockLoopPc_);
+        emit_.intOps(2);
+        emit_.load(kImage + (blockIdx_ % 4096) * 64);
+
+        // Component dispatch: constant within a scan row.
+        const unsigned comp = component_;
+        emit_.call(componentFnPc_);
+        emit_.intOps(1);
+        emit_.indirectJump(componentHandlerPc_[comp], comp);
+        emit_.aluMix(3, kImage, 0x40000);
+        emit_.ret();
+
+        // DCT: 8 rows x fixed 4-op body, then 8 columns.
+        emit_.call(dctFnPc_);
+        emitDct();
+
+        // Quantization + zig-zag with a data-dependent zero-skip.
+        emit_.call(quantFnPc_);
+        emitQuant();
+
+        // Entropy encode: a restart-marker path every 8th block, the
+        // AC fast path otherwise — periodic, so history-recoverable.
+        const unsigned path = (blockIdx_ % 8 == 0) ? 0u : 1u;
+        emit_.call(encodeFnPc_);
+        emit_.intOps(1);
+        emit_.indirectJump(encodeHandlerPc_[path], path);
+        emit_.aluMix(3, kCoeff, 0x10000);
+        emit_.ret();
+
+        emit_.jump(blockLoopPc_);
+
+        ++blockIdx_;
+        if (blockIdx_ % kRowBlocks == 0)
+            component_ = (component_ + 1) % kComponents;
+    }
+
+    void
+    emitDct()
+    {
+        emit_.setPc(dctFnPc_);
+        emit_.intOps(1);
+        const uint64_t row_loop = emit_.pc();
+        for (unsigned r = 0; r < 8; ++r) {
+            emit_.load(kImage + (blockIdx_ % 4096) * 64 + r * 8);
+            emit_.op(InstClass::Mul);
+            emit_.op(InstClass::Mul);
+            emit_.op(InstClass::Integer);
+            emit_.condBranch(row_loop, r + 1 < 8);
+        }
+        const uint64_t col_loop = emit_.pc();
+        for (unsigned c = 0; c < 8; ++c) {
+            emit_.op(InstClass::Mul);
+            emit_.op(InstClass::Integer);
+            emit_.op(InstClass::BitField);
+            emit_.store(kCoeff + (blockIdx_ % 4096) * 64 + c * 8);
+            emit_.condBranch(col_loop, c + 1 < 8);
+        }
+        emit_.ret();
+    }
+
+    void
+    emitQuant()
+    {
+        emit_.setPc(quantFnPc_);
+        emit_.intOps(1);
+        const uint64_t loop = emit_.pc();
+        for (unsigned i = 0; i < 8; ++i) {
+            emit_.load(kCoeff + (blockIdx_ % 4096) * 64 + i * 8);
+            emit_.op(InstClass::Mul);
+            emit_.op(InstClass::BitField);
+            // Zero-coefficient skip: follows the quantization table
+            // for the low coefficients (periodic, predictable); the
+            // highest coefficient depends on the image content.
+            const bool skip = i == 7 ? rng_.chance(0.8)
+                                     : ((blockIdx_ + i) % 4) != 0;
+            emit_.condBranch(emit_.pc() + 12, skip);
+            if (!skip) {
+                emit_.store(kCoeff + i * 8);
+                emit_.op(InstClass::Integer);
+            }
+            emit_.condBranch(loop, i + 1 < 8);
+        }
+        emit_.ret();
+    }
+
+    uint64_t blockIdx_ = 0;
+    unsigned component_ = 0;
+
+    uint64_t blockLoopPc_ = 0;
+    uint64_t dctFnPc_ = 0;
+    uint64_t quantFnPc_ = 0;
+    uint64_t componentFnPc_ = 0;
+    std::array<uint64_t, kComponents> componentHandlerPc_{};
+    uint64_t encodeFnPc_ = 0;
+    std::array<uint64_t, kEncodePaths> encodeHandlerPc_{};
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeIjpegWorkload(uint64_t seed)
+{
+    return std::make_unique<IjpegWorkload>(seed);
+}
+
+} // namespace tpred

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * vortex analogue: an object-oriented database in the C style — method
+ * dispatch through per-object function pointers, deep call/return
+ * chains, pointer-chasing loads.  Call sites are overwhelmingly
+ * monomorphic (each container holds one dominant object kind), so the
+ * BTB's last-target scheme already predicts well (paper Table 1 shows
+ * one of the lowest indirect misprediction rates).
+ */
+
+#include "workloads/factories.hh"
+
+#include <array>
+
+namespace tpred
+{
+
+namespace
+{
+
+class VortexWorkload final : public Workload
+{
+  public:
+    explicit VortexWorkload(uint64_t seed)
+        : Workload("vortex", seed)
+    {
+        txnLoopPc_ = layout_.alloc(10);
+        for (auto &pc : opEntryPc_)
+            pc = layout_.alloc(12);
+        for (auto &pc : methodPc_)
+            pc = layout_.alloc(24);
+        chaseFnPc_ = layout_.alloc(16);
+        commitFnPc_ = layout_.alloc(12);
+
+        // Containers: each dominated by one class, rare intruders.
+        for (auto &c : containerClass_)
+            c = static_cast<uint8_t>(rng_.below(kNumClasses));
+    }
+
+  private:
+    static constexpr unsigned kNumClasses = 6;
+    static constexpr unsigned kNumOps = 4;  ///< lookup/insert/del/scan
+    static constexpr unsigned kNumContainers = 24;
+    static constexpr uint64_t kObjects = kDataBase;
+    static constexpr uint64_t kObjSpan = 512 * 1024;
+
+    void
+    step() override
+    {
+        // One transaction: pick an operation and a container.  The
+        // container is sticky — work clusters on one table for a run
+        // of transactions — so consecutive method dispatches usually
+        // repeat the same class (the BTB-friendly behaviour the paper
+        // reports for vortex).
+        const unsigned op = static_cast<unsigned>(
+            rng_.weighted({5.0, 2.0, 1.0, 2.0}));
+        if (rng_.chance(0.05))
+            curContainer_ = static_cast<unsigned>(
+                rng_.below(kNumContainers));
+        const unsigned container = curContainer_;
+
+        emit_.setPc(txnLoopPc_);
+        emit_.intOps(2);
+        emit_.load(kObjects + container * 0x4000);
+        // Operation selection: short compare chain (static targets).
+        for (unsigned i = 0; i < op; ++i)
+            emit_.condBranch(opEntryPc_[i], false);
+        if (op + 1 < kNumOps)
+            emit_.condBranch(opEntryPc_[op], true);
+        else
+            emit_.jump(opEntryPc_[op]);
+
+        emitOperation(op, container);
+        emit_.jump(txnLoopPc_);
+    }
+
+    void
+    emitOperation(unsigned op, unsigned container)
+    {
+        emit_.setPc(opEntryPc_[op]);
+        emit_.intOps(1);
+
+        // Walk a short chain of objects, invoking a method on each.
+        // The chain length depends on the container's record layout
+        // (its class), so branch history carries the phase identity —
+        // as real pointer-chasing code's trip counts depend on data.
+        const unsigned chain =
+            2 + (op + containerClass_[container]) % 3;
+        emit_.call(chaseFnPc_);
+        emitChase(chain, container);
+
+        // Method dispatch: mostly the container's dominant class.
+        const uint8_t cls =
+            rng_.chance(0.96)
+                ? containerClass_[container]
+                : static_cast<uint8_t>(rng_.below(kNumClasses));
+        emit_.load(kObjects + (container * 0x4000 + 0x10));
+        emit_.indirectCall(methodPc_[cls], cls);
+        emitMethod(cls);
+
+        // Commit bookkeeping.
+        emit_.call(commitFnPc_);
+        emit_.setPc(commitFnPc_);
+        emit_.aluMix(3, kObjects + 0x60000, 0x10000);
+        emit_.store(kObjects + 0x60000 + (txnCount_ & 0xfff) * 8);
+        emit_.ret();
+        ++txnCount_;
+    }
+
+    /** Pointer-chase loop with a data-dependent early-out. */
+    void
+    emitChase(unsigned links, unsigned container)
+    {
+        emit_.setPc(chaseFnPc_);
+        emit_.intOps(1);
+        const uint64_t loop = emit_.pc();
+        for (unsigned i = 0; i < links; ++i) {
+            emit_.load(kObjects +
+                       (container * 0x4000 + i * 40) % kObjSpan);
+            emit_.op(InstClass::Integer);
+            emit_.condBranch(loop, i + 1 < links);
+        }
+        emit_.ret();
+    }
+
+    /** Virtual method body: class-dependent amount of field work. */
+    void
+    emitMethod(uint8_t cls)
+    {
+        emit_.aluMix(4 + cls % 3, kObjects, kObjSpan);
+        emit_.condBranch(emit_.pc() + 8, (cls & 1) != 0);
+        if ((cls & 1) == 0)
+            emit_.store(kObjects + cls * 0x800);
+        emit_.ret();
+    }
+
+    std::array<uint8_t, kNumContainers> containerClass_{};
+    unsigned curContainer_ = 0;
+    uint64_t txnCount_ = 0;
+
+    uint64_t txnLoopPc_ = 0;
+    std::array<uint64_t, kNumOps> opEntryPc_{};
+    std::array<uint64_t, kNumClasses> methodPc_{};
+    uint64_t chaseFnPc_ = 0;
+    uint64_t commitFnPc_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeVortexWorkload(uint64_t seed)
+{
+    return std::make_unique<VortexWorkload>(seed);
+}
+
+} // namespace tpred

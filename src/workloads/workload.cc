@@ -1,0 +1,78 @@
+#include "workloads/workload.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "workloads/factories.hh"
+
+namespace tpred
+{
+
+Workload::Workload(std::string name, uint64_t seed)
+    : emit_(seed),
+      layout_(0x400000),
+      rng_(seed),
+      name_(std::move(name))
+{
+}
+
+bool
+Workload::next(MicroOp &op)
+{
+    // Workload streams are unbounded; the consumer bounds the length.
+    unsigned attempts = 0;
+    while (!emit_.pop(op)) {
+        step();
+        ++attempts;
+        assert(attempts < 16 && "step() emitted no instructions");
+        (void)attempts;
+    }
+    return true;
+}
+
+const std::vector<std::string> &
+spec95Names()
+{
+    static const std::vector<std::string> names = {
+        "compress", "gcc", "go", "ijpeg",
+        "m88ksim", "perl", "vortex", "xlisp",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+allWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "compress", "gcc", "go", "ijpeg",
+        "m88ksim", "perl", "vortex", "xlisp",
+        "cpp-virtual",
+    };
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, uint64_t seed)
+{
+    if (name == "compress")
+        return makeCompressWorkload(seed);
+    if (name == "gcc")
+        return makeGccWorkload(seed);
+    if (name == "go")
+        return makeGoWorkload(seed);
+    if (name == "ijpeg")
+        return makeIjpegWorkload(seed);
+    if (name == "m88ksim")
+        return makeM88ksimWorkload(seed);
+    if (name == "perl")
+        return makePerlWorkload(seed);
+    if (name == "vortex")
+        return makeVortexWorkload(seed);
+    if (name == "xlisp")
+        return makeXlispWorkload(seed);
+    if (name == "cpp-virtual")
+        return makeCppVirtualWorkload(seed);
+    throw std::invalid_argument("unknown workload: " + name);
+}
+
+} // namespace tpred

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Synthetic benchmark framework standing in for the SPECint95 traces
+ * (see DESIGN.md, "Substitutions").
+ *
+ * Each workload is a small program — an interpreter, a compiler pass
+ * pipeline, an LZW coder, a game-tree search — executed step by step;
+ * each step emits the dynamic MicroOps of one unit of work.  Streams
+ * are unbounded; the consumer decides how many instructions to take.
+ */
+
+#ifndef TPRED_WORKLOADS_WORKLOAD_HH
+#define TPRED_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "trace/trace_source.hh"
+#include "workloads/emitter.hh"
+
+namespace tpred
+{
+
+/**
+ * Base class: owns the emitter, layout and RNG; subclasses implement
+ * step() to advance their program by one unit of work.
+ */
+class Workload : public TraceSource
+{
+  public:
+    Workload(std::string name, uint64_t seed);
+
+    bool next(MicroOp &op) final;
+
+    std::string name() const override { return name_; }
+
+    /** Base address of this workload's data segment. */
+    static constexpr uint64_t kDataBase = 0x10000000;
+
+  protected:
+    /** Emits the MicroOps of one unit of work into the emitter. */
+    virtual void step() = 0;
+
+    Emitter emit_;
+    CodeLayout layout_;
+    Rng rng_;
+
+  private:
+    std::string name_;
+};
+
+/**
+ * The eight SPECint95 benchmark analogues of the paper's Table 1, in
+ * the paper's order.
+ */
+const std::vector<std::string> &spec95Names();
+
+/** All workloads, including the C++-virtual-dispatch extension. */
+const std::vector<std::string> &allWorkloadNames();
+
+/**
+ * Factory.
+ * @param name One of allWorkloadNames().
+ * @param seed Deterministic stream seed.
+ * @return The workload; throws std::invalid_argument for unknown names.
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       uint64_t seed = 1);
+
+} // namespace tpred
+
+#endif // TPRED_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * xlisp analogue: a recursive s-expression evaluator over a fixed pool
+ * of expression trees, plus a periodic mark/sweep garbage collection
+ * phase.  The eval dispatch sees the trees' DFS node-type sequences —
+ * periodic, hence history-predictable — with node-type runs that let a
+ * last-target BTB do moderately well (paper Table 1: 20.7%).
+ */
+
+#include "workloads/factories.hh"
+
+#include <array>
+
+namespace tpred
+{
+
+namespace
+{
+
+/** Node types of the interpreted language. */
+enum NodeType : uint8_t
+{
+    kNum, kSym, kStr, kCons, kIf, kLambda, kSetq, kCar, kCdr, kArith,
+    kNumNodeTypes,
+};
+
+struct Node
+{
+    uint8_t type = kNum;
+    std::vector<int> kids;  ///< child node indices, evaluated in order
+};
+
+class XlispWorkload final : public Workload
+{
+  public:
+    explicit XlispWorkload(uint64_t seed)
+        : Workload("xlisp", seed)
+    {
+        replLoopPc_ = layout_.alloc(8);
+        evalFnPc_ = layout_.alloc(24);
+        for (auto &pc : typeHandlerPc_)
+            pc = layout_.alloc(28);
+        gcMarkPc_ = layout_.alloc(16);
+        gcSweepPc_ = layout_.alloc(16);
+        consFnPc_ = layout_.alloc(12);
+
+        buildTrees();
+    }
+
+  private:
+    static constexpr unsigned kNumTrees = 8;
+    static constexpr unsigned kGcPeriod = 40;  ///< evals between GCs
+    static constexpr uint64_t kHeap = kDataBase;
+    static constexpr uint64_t kHeapSpan = 128 * 1024;
+
+    /** Builds the fixed expression-tree pool. */
+    void
+    buildTrees()
+    {
+        for (auto &tree : trees_) {
+            tree.clear();
+            // Each tree prefers a small set of inner node types, so
+            // the eval dispatch sees type runs (the BTB-friendly
+            // behaviour behind xlisp's moderate Table 1 rate).
+            preferred_[0] = kArith;  // argument lists => leaf runs
+            preferred_[1] = static_cast<uint8_t>(kCons + rng_.below(7));
+            buildNode(tree, 0, 4);
+        }
+    }
+
+    /**
+     * Recursively builds one subtree (children first, so the root ends
+     * up last); returns the subtree's node index.
+     */
+    int
+    buildNode(std::vector<Node> &tree, unsigned depth, unsigned max_depth)
+    {
+        Node node;
+        if (depth >= max_depth || rng_.chance(0.3)) {
+            // Leaves: NUM-heavy so type runs occur (BTB-friendly runs).
+            node.type = rng_.chance(0.9)
+                            ? static_cast<uint8_t>(kNum)
+                            : static_cast<uint8_t>(
+                                  rng_.chance(0.5) ? kSym : kStr);
+        } else {
+            static constexpr std::array<uint8_t, 7> inner = {
+                kCons, kIf, kLambda, kSetq, kCar, kCdr, kArith,
+            };
+            node.type = rng_.chance(0.7)
+                            ? preferred_[rng_.below(2)]
+                            : inner[rng_.below(inner.size())];
+            unsigned kid_count;
+            if (node.type == kCar || node.type == kCdr) {
+                kid_count = 1;
+            } else if (node.type == kArith || node.type == kSetq) {
+                // Argument lists: runs of (mostly NUM) leaves, the
+                // source of the type runs a last-target BTB exploits.
+                kid_count = 4 + static_cast<unsigned>(rng_.below(4));
+            } else {
+                kid_count = 2;
+            }
+            for (unsigned k = 0; k < kid_count; ++k) {
+                const unsigned kid_depth =
+                    (node.type == kArith || node.type == kSetq)
+                        ? max_depth  // argument lists hold leaves
+                        : depth + 1;
+                node.kids.push_back(
+                    buildNode(tree, kid_depth, max_depth));
+            }
+        }
+        tree.push_back(node);
+        return static_cast<int>(tree.size()) - 1;
+    }
+
+    void
+    step() override
+    {
+        // REPL loop: evaluate one expression tree.
+        emit_.setPc(replLoopPc_);
+        emit_.intOps(2);
+        emit_.load(kHeap + treeIdx_ * 0x1000);
+        emit_.call(evalFnPc_);
+        const auto &tree = trees_[treeIdx_];
+        emitEval(tree, static_cast<int>(tree.size()) - 1);
+
+        // GC check: periodic, entered through a real branch.
+        ++evalCount_;
+        emit_.intOps(1);
+        const bool gc = evalCount_ % kGcPeriod == 0;
+        emit_.condBranch(gcMarkPc_, gc);
+        if (gc)
+            emitGc();  // ends with a jump back to the REPL loop
+        else
+            emit_.jump(replLoopPc_);
+
+        // Mostly cycle through the pool; occasional random pick.
+        if (rng_.chance(0.9))
+            treeIdx_ = (treeIdx_ + 1) % kNumTrees;
+        else
+            treeIdx_ = static_cast<unsigned>(rng_.below(kNumTrees));
+    }
+
+    /** Recursive eval: dispatch on the node type, then children. */
+    void
+    emitEval(const std::vector<Node> &tree, int idx)
+    {
+        const Node &node = tree[static_cast<size_t>(idx)];
+        emit_.setPc(evalFnPc_);
+        emit_.intOps(1);
+        emit_.load(kHeap + (static_cast<uint64_t>(idx) * 24) %
+                               kHeapSpan);
+        emit_.indirectJump(typeHandlerPc_[node.type], node.type);
+
+        // Handler body.
+        emit_.aluMix(3, kHeap, kHeapSpan);
+        emit_.condBranch(emit_.pc() + 8, (node.type & 1) != 0);
+        if ((node.type & 1) == 0)
+            emit_.op(InstClass::Integer);
+
+        // Inner nodes evaluate children recursively.  All children go
+        // through one loop whose recursive call site is static per
+        // handler; the loop-closing branch count varies with arity.
+        if (!node.kids.empty()) {
+            const uint64_t kid_loop = emit_.pc();
+            for (size_t k = 0; k < node.kids.size(); ++k) {
+                emit_.call(evalFnPc_);
+                emitEval(tree, node.kids[k]);
+                emit_.condBranch(kid_loop, k + 1 < node.kids.size());
+            }
+        }
+        // CONS allocates.
+        if (node.type == kCons) {
+            emit_.call(consFnPc_);
+            emit_.intOps(2);
+            emit_.store(kHeap + (allocPtr_ % kHeapSpan));
+            emit_.store(kHeap + ((allocPtr_ + 8) % kHeapSpan));
+            emit_.ret();
+            allocPtr_ += 16;
+        }
+        emit_.ret();
+    }
+
+    /** Mark/sweep GC: branchy loops, no indirect jumps. */
+    void
+    emitGc()
+    {
+        emit_.setPc(gcMarkPc_);
+        emit_.intOps(1);
+        const uint64_t mark_loop = emit_.pc();
+        for (unsigned i = 0; i < 12; ++i) {
+            emit_.load(kHeap + ((allocPtr_ + i * 16) % kHeapSpan));
+            const bool live = rng_.chance(0.7);
+            emit_.condBranch(emit_.pc() + 12, !live);
+            if (live) {
+                emit_.store(kHeap + ((allocPtr_ + i * 16) % kHeapSpan));
+                emit_.op(InstClass::BitField);
+            }
+            emit_.condBranch(mark_loop, i + 1 < 12);
+        }
+        emit_.jump(gcSweepPc_);
+        emit_.intOps(1);
+        const uint64_t sweep_loop = emit_.pc();
+        for (unsigned i = 0; i < 8; ++i) {
+            emit_.load(kHeap + (i * 64) % kHeapSpan);
+            emit_.op(InstClass::Integer);
+            emit_.condBranch(sweep_loop, i + 1 < 8);
+        }
+        emit_.jump(replLoopPc_);
+    }
+
+    std::array<std::vector<Node>, kNumTrees> trees_{};
+    std::array<uint8_t, 2> preferred_{};
+    unsigned treeIdx_ = 0;
+    uint64_t evalCount_ = 0;
+    uint64_t allocPtr_ = 0;
+
+    uint64_t replLoopPc_ = 0;
+    uint64_t evalFnPc_ = 0;
+    std::array<uint64_t, kNumNodeTypes> typeHandlerPc_{};
+    uint64_t gcMarkPc_ = 0;
+    uint64_t gcSweepPc_ = 0;
+    uint64_t consFnPc_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeXlispWorkload(uint64_t seed)
+{
+    return std::make_unique<XlispWorkload>(seed);
+}
+
+} // namespace tpred

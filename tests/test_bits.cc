@@ -1,0 +1,93 @@
+/** @file Unit tests for the bit-manipulation helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+
+namespace tpred
+{
+namespace
+{
+
+TEST(Bits, MaskBasics)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xffu);
+    EXPECT_EQ(mask(32), 0xffffffffull);
+    EXPECT_EQ(mask(64), ~uint64_t{0});
+}
+
+TEST(Bits, MaskAbove64IsSaturated)
+{
+    EXPECT_EQ(mask(65), ~uint64_t{0});
+    EXPECT_EQ(mask(255), ~uint64_t{0});
+}
+
+TEST(Bits, BitsExtractsField)
+{
+    EXPECT_EQ(bits(0xabcd, 0, 4), 0xdu);
+    EXPECT_EQ(bits(0xabcd, 4, 4), 0xcu);
+    EXPECT_EQ(bits(0xabcd, 8, 8), 0xabu);
+    EXPECT_EQ(bits(0xffffffffffffffffull, 60, 4), 0xfu);
+}
+
+TEST(Bits, BitsZeroWidth)
+{
+    EXPECT_EQ(bits(0xffff, 3, 0), 0u);
+}
+
+TEST(Bits, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 63));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 63) + 1));
+}
+
+TEST(Bits, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1ull << 63), 63u);
+}
+
+TEST(Bits, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1023), 10u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(Bits, FoldXorPreservesLowBitsWhenNarrow)
+{
+    // Value fits in n bits: folding is the identity.
+    EXPECT_EQ(foldXor(0x1f, 5), 0x1fu);
+    EXPECT_EQ(foldXor(0, 8), 0u);
+}
+
+TEST(Bits, FoldXorReducesWideValues)
+{
+    // 0xab ^ 0xcd for an 8-bit fold of 0xabcd.
+    EXPECT_EQ(foldXor(0xabcd, 8), uint64_t{0xab ^ 0xcd});
+    EXPECT_EQ(foldXor(0xffff, 8), 0u);
+    // Zero-width fold collapses everything to 0.
+    EXPECT_EQ(foldXor(0x1234, 0), 0u);
+}
+
+TEST(Bits, FoldXorDistinguishesHighBitChanges)
+{
+    // Two values differing only above bit n must fold differently
+    // (that is the point of folding instead of truncating).
+    EXPECT_NE(foldXor(0x100, 8), foldXor(0x200, 8));
+}
+
+} // namespace
+} // namespace tpred

@@ -1,0 +1,134 @@
+/** @file Unit tests for the branch target buffer. */
+
+#include <gtest/gtest.h>
+
+#include "bpred/btb.hh"
+#include "test_util.hh"
+
+namespace tpred
+{
+namespace
+{
+
+BtbConfig
+smallBtb(BtbUpdateStrategy strategy = BtbUpdateStrategy::Default)
+{
+    BtbConfig config;
+    config.sets = 4;
+    config.ways = 2;
+    config.strategy = strategy;
+    return config;
+}
+
+TEST(Btb, MissOnEmpty)
+{
+    Btb btb(smallBtb());
+    EXPECT_FALSE(btb.lookup(0x100).has_value());
+    EXPECT_EQ(btb.validEntries(), 0u);
+}
+
+TEST(Btb, HitAfterUpdate)
+{
+    Btb btb(smallBtb());
+    btb.update(test::indirectOp(0x100, 0x2000));
+    auto pred = btb.lookup(0x100);
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_EQ(pred->target, 0x2000u);
+    EXPECT_EQ(pred->kind, BranchKind::IndirectJump);
+    EXPECT_EQ(pred->fallthrough, 0x104u);
+}
+
+TEST(Btb, LastComputedTargetForIndirect)
+{
+    // The paper's baseline behaviour: the stored target is whatever
+    // the jump last went to.
+    Btb btb(smallBtb());
+    btb.update(test::indirectOp(0x100, 0x2000));
+    btb.update(test::indirectOp(0x100, 0x3000));
+    EXPECT_EQ(btb.lookup(0x100)->target, 0x3000u);
+}
+
+TEST(Btb, NotTakenCondKeepsTarget)
+{
+    Btb btb(smallBtb());
+    btb.update(test::branchOp(0x100, BranchKind::CondDirect, 0x2000));
+    btb.update(test::branchOp(0x100, BranchKind::CondDirect, 0x2000,
+                              /*taken=*/false));
+    EXPECT_EQ(btb.lookup(0x100)->target, 0x2000u);
+}
+
+TEST(Btb, AllocatingNotTakenBranchStoresNoTarget)
+{
+    Btb btb(smallBtb());
+    btb.update(test::branchOp(0x100, BranchKind::CondDirect, 0x2000,
+                              /*taken=*/false));
+    auto pred = btb.lookup(0x100);
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_EQ(pred->target, 0u);
+}
+
+TEST(Btb, TwoBitStrategyNeedsTwoConsecutiveMisses)
+{
+    // Calder/Grunwald: replace the target only after two consecutive
+    // mispredictions with that target.
+    Btb btb(smallBtb(BtbUpdateStrategy::TwoBit));
+    btb.update(test::indirectOp(0x100, 0x2000));
+    // First disagreement: target kept.
+    btb.update(test::indirectOp(0x100, 0x3000));
+    EXPECT_EQ(btb.lookup(0x100)->target, 0x2000u);
+    // Second consecutive disagreement: target replaced.
+    btb.update(test::indirectOp(0x100, 0x3000));
+    EXPECT_EQ(btb.lookup(0x100)->target, 0x3000u);
+}
+
+TEST(Btb, TwoBitStrategyStreakResetsOnAgreement)
+{
+    Btb btb(smallBtb(BtbUpdateStrategy::TwoBit));
+    btb.update(test::indirectOp(0x100, 0x2000));
+    btb.update(test::indirectOp(0x100, 0x3000));  // streak 1
+    btb.update(test::indirectOp(0x100, 0x2000));  // agreement resets
+    btb.update(test::indirectOp(0x100, 0x3000));  // streak 1 again
+    EXPECT_EQ(btb.lookup(0x100)->target, 0x2000u);
+}
+
+TEST(Btb, SetConflictEvictsLru)
+{
+    // 4 sets x 2 ways; pcs 0x100, 0x140, 0x180 share set index
+    // ((pc>>2) & 3): 0x100 -> 0, 0x110 -> 0 ... use stride 0x40.
+    Btb btb(smallBtb());
+    btb.update(test::indirectOp(0x100, 0x1));
+    btb.update(test::indirectOp(0x140, 0x2));
+    // Touch 0x100 so 0x140 becomes LRU.
+    EXPECT_TRUE(btb.lookup(0x100).has_value());
+    btb.update(test::indirectOp(0x180, 0x3));
+    EXPECT_TRUE(btb.lookup(0x100).has_value());
+    EXPECT_FALSE(btb.lookup(0x140).has_value());
+    EXPECT_TRUE(btb.lookup(0x180).has_value());
+}
+
+TEST(Btb, DistinctSetsDoNotConflict)
+{
+    Btb btb(smallBtb());
+    for (uint64_t pc = 0x100; pc < 0x120; pc += 4)
+        btb.update(test::indirectOp(pc, pc + 0x1000));
+    // 8 branches over 4 sets x 2 ways: all should fit.
+    EXPECT_EQ(btb.validEntries(), 8u);
+    for (uint64_t pc = 0x100; pc < 0x120; pc += 4)
+        EXPECT_TRUE(btb.lookup(pc).has_value()) << std::hex << pc;
+}
+
+TEST(Btb, KindIsRefreshed)
+{
+    Btb btb(smallBtb());
+    btb.update(test::branchOp(0x100, BranchKind::Call, 0x2000));
+    EXPECT_EQ(btb.lookup(0x100)->kind, BranchKind::Call);
+}
+
+TEST(Btb, PaperConfigHolds1KEntries)
+{
+    BtbConfig config;  // 256 sets x 4 ways
+    EXPECT_EQ(config.entries(), 1024u);
+}
+
+} // namespace
+} // namespace tpred

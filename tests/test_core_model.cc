@@ -1,0 +1,180 @@
+/** @file Unit tests for the out-of-order timing model. */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+#include "uarch/core_model.hh"
+
+namespace tpred
+{
+namespace
+{
+
+CoreParams
+smallCore()
+{
+    CoreParams params;
+    params.width = 4;
+    params.window = 32;
+    params.fuCount = 4;
+    return params;
+}
+
+CoreResult
+run(std::vector<MicroOp> ops, const CoreParams &params = smallCore())
+{
+    VectorTraceSource trace(std::move(ops));
+    FrontendPredictor frontend{FrontendConfig{}};
+    CoreModel core(params);
+    return core.run(trace, frontend, 1u << 30);
+}
+
+/** Independent single-cycle ops retire at the machine width. */
+TEST(CoreModel, IdealThroughputBoundedByWidth)
+{
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 4000; ++i) {
+        MicroOp op = test::plainOp(0x1000 + i * 4);
+        op.srcRegs = {kNoReg, kNoReg};
+        op.dstReg = static_cast<RegIndex>(8 + (i % 40));
+        ops.push_back(op);
+    }
+    CoreResult result = run(ops);
+    EXPECT_EQ(result.instructions, 4000u);
+    EXPECT_GT(result.ipc(), 3.0);
+    EXPECT_LE(result.ipc(), 4.0 + 1e-9);
+}
+
+/** A serial dependence chain of 1-cycle ops runs at IPC ~1. */
+TEST(CoreModel, DependenceChainSerializes)
+{
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 2000; ++i) {
+        MicroOp op = test::plainOp(0x1000 + i * 4);
+        op.srcRegs = {10, kNoReg};
+        op.dstReg = 10;  // every op depends on the previous one
+        ops.push_back(op);
+    }
+    CoreResult result = run(ops);
+    EXPECT_NEAR(result.ipc(), 1.0, 0.1);
+}
+
+/** A chain of divides runs at IPC ~ 1/8. */
+TEST(CoreModel, LongLatencyChain)
+{
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 500; ++i) {
+        MicroOp op = test::plainOp(0x1000 + i * 4, InstClass::Div);
+        op.srcRegs = {10, kNoReg};
+        op.dstReg = 10;
+        ops.push_back(op);
+    }
+    CoreResult result = run(ops);
+    EXPECT_NEAR(result.ipc(), 1.0 / 8.0, 0.02);
+}
+
+/** Correctly predicted branches cost nothing beyond the taken-branch
+ *  fetch break. */
+TEST(CoreModel, PredictedLoopIsCheap)
+{
+    // A tight loop: 3 ops + backward branch, 200 iterations; gshare
+    // learns the all-taken pattern immediately.
+    std::vector<MicroOp> ops;
+    for (int iter = 0; iter < 200; ++iter) {
+        for (int i = 0; i < 3; ++i) {
+            MicroOp op = test::plainOp(0x1000 + i * 4);
+            op.srcRegs = {kNoReg, kNoReg};
+            op.dstReg = static_cast<RegIndex>(8 + i);
+            ops.push_back(op);
+        }
+        ops.push_back(test::branchOp(0x100c, BranchKind::CondDirect,
+                                     0x1000, iter + 1 < 200));
+    }
+    CoreResult result = run(ops);
+    // 4 instructions per iteration, 1 fetch group per iteration
+    // (taken branch ends the group): IPC approaches 4.
+    EXPECT_GT(result.ipc(), 2.5);
+}
+
+/** Mispredicted branches cost fetch bubbles. */
+TEST(CoreModel, MispredictionsSlowExecution)
+{
+    auto make_jumps = [](bool alternate) {
+        std::vector<MicroOp> ops;
+        for (int i = 0; i < 2000; ++i) {
+            // Pad so the BTB is warm but targets alternate.
+            MicroOp pad = test::plainOp(0x100);
+            pad.srcRegs = {kNoReg, kNoReg};
+            ops.push_back(pad);
+            uint64_t target = alternate && (i & 1) ? 0x5000 : 0x4000;
+            ops.push_back(test::indirectOp(0x200, target));
+        }
+        return ops;
+    };
+    CoreResult stable = run(make_jumps(false));
+    CoreResult alternating = run(make_jumps(true));
+    EXPECT_GT(alternating.cycles, stable.cycles * 3 / 2);
+}
+
+/** Cache-missing loads cost memory latency. */
+TEST(CoreModel, CacheMissesSlowExecution)
+{
+    auto make_loads = [](uint64_t stride) {
+        std::vector<MicroOp> ops;
+        for (int i = 0; i < 1000; ++i) {
+            MicroOp op = test::plainOp(0x1000 + (i % 8) * 4,
+                                       InstClass::Load);
+            op.memAddr = 0x100000 + i * stride;
+            op.srcRegs = {10, kNoReg};
+            op.dstReg = 10;  // serialize on the load results
+            ops.push_back(op);
+        }
+        return ops;
+    };
+    CoreResult hits = run(make_loads(0));      // same line every time
+    CoreResult misses = run(make_loads(4096)); // new set every time
+    EXPECT_GT(misses.cycles, hits.cycles * 5);
+}
+
+TEST(CoreModel, DrainCompletesAllInstructions)
+{
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 37; ++i)
+        ops.push_back(test::plainOp(0x1000 + i * 4));
+    CoreResult result = run(ops);
+    EXPECT_EQ(result.instructions, 37u);
+    EXPECT_GT(result.cycles, 0u);
+}
+
+TEST(CoreModel, RespectsMaxInstrs)
+{
+    std::vector<MicroOp> ops(500, test::plainOp(0x100));
+    VectorTraceSource trace(ops);
+    FrontendPredictor frontend{FrontendConfig{}};
+    CoreModel core(smallCore());
+    CoreResult result = core.run(trace, frontend, 100);
+    EXPECT_GE(result.instructions, 100u);
+    EXPECT_LT(result.instructions, 150u);
+}
+
+TEST(CoreModel, WindowLimitsInFlight)
+{
+    // With window 4 and a long-latency head, throughput collapses.
+    CoreParams tiny = smallCore();
+    tiny.window = 4;
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 400; ++i) {
+        MicroOp op = test::plainOp(
+            0x1000 + i * 4,
+            i % 4 == 0 ? InstClass::Div : InstClass::Integer);
+        op.srcRegs = {kNoReg, kNoReg};
+        op.dstReg = static_cast<RegIndex>(8 + i % 40);
+        ops.push_back(op);
+    }
+    CoreResult small = run(ops, tiny);
+    CoreResult big = run(ops);
+    EXPECT_GT(big.ipc(), small.ipc() * 1.5);
+}
+
+} // namespace
+} // namespace tpred

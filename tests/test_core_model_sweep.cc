@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Parameterized property sweeps of the timing model: invariants that
+ * must hold for any (width, window) machine on any workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/paper_tables.hh"
+#include "uarch/core_model.hh"
+
+namespace tpred
+{
+namespace
+{
+
+class CoreSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+  protected:
+    static const SharedTrace &
+    trace()
+    {
+        static const SharedTrace t = recordWorkload("xlisp", 40000);
+        return t;
+    }
+};
+
+TEST_P(CoreSweep, RetiresEverythingAndRespectsWidthBound)
+{
+    auto [width, window] = GetParam();
+    CoreParams params;
+    params.width = width;
+    params.window = window;
+    params.fuCount = width;
+
+    CoreResult result = runTiming(trace(), baselineConfig(), params);
+    EXPECT_EQ(result.instructions, trace().size());
+    // IPC can never exceed the retire width.
+    EXPECT_LE(result.ipc(), static_cast<double>(width) + 1e-9);
+    EXPECT_GT(result.ipc(), 0.05);
+}
+
+TEST_P(CoreSweep, OraclePredictionNeverSlower)
+{
+    auto [width, window] = GetParam();
+    CoreParams params;
+    params.width = width;
+    params.window = window;
+    params.fuCount = width;
+
+    uint64_t base = runTiming(trace(), baselineConfig(), params).cycles;
+    uint64_t oracle = runTiming(trace(), oracleConfig(), params).cycles;
+    EXPECT_LE(oracle, base);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndWindows, CoreSweep,
+    ::testing::Combine(::testing::Values(2u, 4u, 8u),
+                       ::testing::Values(16u, 64u, 128u)));
+
+/** Wider machines are (weakly) faster on the same trace. */
+TEST(CoreScaling, WidthMonotonicity)
+{
+    const SharedTrace trace = recordWorkload("ijpeg", 40000);
+    uint64_t prev = UINT64_MAX;
+    for (unsigned width : {1u, 2u, 4u, 8u}) {
+        CoreParams params;
+        params.width = width;
+        params.fuCount = width;
+        uint64_t cycles =
+            runTiming(trace, baselineConfig(), params).cycles;
+        EXPECT_LE(cycles, prev + prev / 50) << "width " << width;
+        prev = cycles;
+    }
+}
+
+/** Bigger windows are (weakly) faster on the same trace. */
+TEST(CoreScaling, WindowMonotonicity)
+{
+    const SharedTrace trace = recordWorkload("go", 40000);
+    uint64_t prev = UINT64_MAX;
+    for (unsigned window : {8u, 32u, 128u}) {
+        CoreParams params;
+        params.window = window;
+        uint64_t cycles =
+            runTiming(trace, baselineConfig(), params).cycles;
+        EXPECT_LE(cycles, prev + prev / 50) << "window " << window;
+        prev = cycles;
+    }
+}
+
+/** Slower memory can only cost cycles. */
+TEST(CoreScaling, MemoryLatencyMonotonicity)
+{
+    const SharedTrace trace = recordWorkload("compress", 40000);
+    uint64_t prev = 0;
+    for (unsigned latency : {0u, 20u, 100u}) {
+        CoreParams params;
+        params.dcache.missLatency = latency;
+        uint64_t cycles =
+            runTiming(trace, baselineConfig(), params).cycles;
+        EXPECT_GE(cycles, prev);
+        prev = cycles;
+    }
+}
+
+} // namespace
+} // namespace tpred

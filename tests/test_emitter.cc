@@ -1,0 +1,191 @@
+/** @file Unit tests for the workload emitter and code layout. */
+
+#include <gtest/gtest.h>
+
+#include "workloads/emitter.hh"
+
+namespace tpred
+{
+namespace
+{
+
+TEST(CodeLayout, AllocatesDisjointBlocks)
+{
+    CodeLayout layout(0x1000);
+    uint64_t a = layout.alloc(4);
+    uint64_t b = layout.alloc(4);
+    EXPECT_EQ(a, 0x1000u);
+    EXPECT_GE(b, a + 4 * 4);
+    EXPECT_EQ(a % 4, 0u);
+    EXPECT_EQ(b % 4, 0u);
+}
+
+TEST(CodeLayout, LowAddressBitsVaryAcrossBlocks)
+{
+    // Path history records low target-address bits; block bases must
+    // not all share them (see the alloc() comment).
+    CodeLayout layout(0x1000);
+    bool bit2_zero = false, bit2_one = false;
+    for (int i = 0; i < 16; ++i) {
+        uint64_t base = layout.alloc(3);
+        ((base >> 2) & 1 ? bit2_one : bit2_zero) = true;
+    }
+    EXPECT_TRUE(bit2_zero);
+    EXPECT_TRUE(bit2_one);
+}
+
+TEST(Emitter, PlainOpsAdvancePc)
+{
+    Emitter emit(1);
+    emit.setPc(0x1000);
+    emit.intOps(3);
+    MicroOp op;
+    for (uint64_t expected = 0x1000; expected < 0x100c; expected += 4) {
+        ASSERT_TRUE(emit.pop(op));
+        EXPECT_EQ(op.pc, expected);
+        EXPECT_EQ(op.nextPc, expected + 4);
+        EXPECT_FALSE(op.isBranch());
+    }
+    EXPECT_FALSE(emit.pop(op));
+}
+
+TEST(Emitter, CondBranchTakenRedirects)
+{
+    Emitter emit(1);
+    emit.setPc(0x1000);
+    emit.condBranch(0x2000, true);
+    EXPECT_EQ(emit.pc(), 0x2000u);
+    MicroOp op;
+    ASSERT_TRUE(emit.pop(op));
+    EXPECT_EQ(op.branch, BranchKind::CondDirect);
+    EXPECT_TRUE(op.taken);
+    EXPECT_EQ(op.nextPc, 0x2000u);
+    EXPECT_EQ(op.fallthrough, 0x1004u);
+}
+
+TEST(Emitter, CondBranchNotTakenFallsThrough)
+{
+    Emitter emit(1);
+    emit.setPc(0x1000);
+    emit.condBranch(0x2000, false);
+    EXPECT_EQ(emit.pc(), 0x1004u);
+    MicroOp op;
+    ASSERT_TRUE(emit.pop(op));
+    EXPECT_FALSE(op.taken);
+    EXPECT_EQ(op.nextPc, 0x1004u);
+}
+
+TEST(Emitter, CallAndRetMatch)
+{
+    Emitter emit(1);
+    emit.setPc(0x1000);
+    emit.call(0x5000);
+    EXPECT_EQ(emit.callDepth(), 1u);
+    emit.intOps(2);
+    emit.ret();
+    EXPECT_EQ(emit.callDepth(), 0u);
+    EXPECT_EQ(emit.pc(), 0x1004u);  // resumed after the call
+
+    MicroOp op;
+    emit.pop(op);
+    EXPECT_EQ(op.branch, BranchKind::Call);
+    emit.pop(op);
+    emit.pop(op);
+    emit.pop(op);
+    EXPECT_EQ(op.branch, BranchKind::Return);
+    EXPECT_EQ(op.nextPc, 0x1004u);
+}
+
+TEST(Emitter, IndirectCallAlsoPushesReturnAddress)
+{
+    Emitter emit(1);
+    emit.setPc(0x1000);
+    emit.indirectCall(0x5000, 7);
+    emit.ret();
+    MicroOp op;
+    emit.pop(op);
+    EXPECT_EQ(op.branch, BranchKind::IndirectCall);
+    EXPECT_EQ(op.selector, 7u);
+    emit.pop(op);
+    EXPECT_EQ(op.nextPc, 0x1004u);
+}
+
+TEST(Emitter, IndirectJumpCarriesSelector)
+{
+    Emitter emit(1);
+    emit.setPc(0x1000);
+    emit.indirectJump(0x7000, 42);
+    MicroOp op;
+    emit.pop(op);
+    EXPECT_EQ(op.branch, BranchKind::IndirectJump);
+    EXPECT_EQ(op.selector, 42u);
+    EXPECT_EQ(op.nextPc, 0x7000u);
+}
+
+TEST(Emitter, LoadStoreCarryAddresses)
+{
+    Emitter emit(1);
+    emit.setPc(0x1000);
+    emit.load(0xbeef0);
+    emit.store(0xfeed8);
+    MicroOp op;
+    emit.pop(op);
+    EXPECT_EQ(op.cls, InstClass::Load);
+    EXPECT_EQ(op.memAddr, 0xbeef0u);
+    EXPECT_NE(op.dstReg, kNoReg);
+    emit.pop(op);
+    EXPECT_EQ(op.cls, InstClass::Store);
+    EXPECT_EQ(op.dstReg, kNoReg);
+}
+
+TEST(Emitter, SourceRegistersComeFromRecentWrites)
+{
+    Emitter emit(1);
+    emit.setPc(0x1000);
+    emit.intOps(64);
+    MicroOp op;
+    while (emit.pop(op)) {
+        ASSERT_NE(op.srcRegs[0], kNoReg);
+        EXPECT_LT(op.srcRegs[0],
+                  static_cast<RegIndex>(kNumArchRegs));
+        EXPECT_GE(op.srcRegs[0], 0);
+    }
+}
+
+TEST(Emitter, DataAddrStaysInRegion)
+{
+    Emitter emit(1);
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t addr = emit.dataAddr(0x10000, 0x4000);
+        EXPECT_GE(addr, 0x10000u);
+        EXPECT_LT(addr, 0x14000u);
+        EXPECT_EQ(addr % 8, 0u);
+    }
+}
+
+TEST(Emitter, DataAddrIsSpatiallyLocal)
+{
+    Emitter emit(1);
+    uint64_t prev = emit.dataAddr(0, 1 << 20);
+    int near = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+        uint64_t addr = emit.dataAddr(0, 1 << 20);
+        uint64_t delta = addr > prev ? addr - prev : prev - addr;
+        near += delta <= 128;
+        prev = addr;
+    }
+    EXPECT_GT(near, n / 2);
+}
+
+TEST(Emitter, AluMixEmitsRequestedCount)
+{
+    Emitter emit(1);
+    emit.setPc(0x1000);
+    emit.aluMix(20, 0x10000, 0x1000);
+    EXPECT_EQ(emit.pending(), 20u);
+    EXPECT_EQ(emit.pc(), 0x1000u + 20 * 4);
+}
+
+} // namespace
+} // namespace tpred

@@ -1,0 +1,174 @@
+/** @file Unit tests for the composite front-end predictor. */
+
+#include <gtest/gtest.h>
+
+#include "core/frontend_predictor.hh"
+#include "core/oracle.hh"
+#include "core/tagless_target_cache.hh"
+#include "test_util.hh"
+
+namespace tpred
+{
+namespace
+{
+
+HistorySpec
+pattern9()
+{
+    HistorySpec spec;
+    spec.kind = HistoryKind::Pattern;
+    spec.lengthBits = 9;
+    return spec;
+}
+
+TEST(Frontend, NonBranchesAlwaysCorrect)
+{
+    FrontendPredictor fe{FrontendConfig{}};
+    auto outcome = fe.onInstruction(test::plainOp(0x100));
+    EXPECT_TRUE(outcome.correct);
+    EXPECT_EQ(outcome.predictedNext, 0x104u);
+    EXPECT_EQ(fe.stats().allBranches.total(), 0u);
+    EXPECT_EQ(fe.stats().instructions, 1u);
+}
+
+TEST(Frontend, FirstSightOfTakenBranchMispredicts)
+{
+    FrontendPredictor fe{FrontendConfig{}};
+    auto outcome = fe.onInstruction(
+        test::branchOp(0x100, BranchKind::UncondDirect, 0x2000));
+    EXPECT_FALSE(outcome.correct);
+}
+
+TEST(Frontend, LearnsDirectJump)
+{
+    FrontendPredictor fe{FrontendConfig{}};
+    MicroOp op = test::branchOp(0x100, BranchKind::UncondDirect, 0x2000);
+    fe.onInstruction(op);
+    EXPECT_TRUE(fe.onInstruction(op).correct);
+}
+
+TEST(Frontend, ReturnsPredictedByRas)
+{
+    FrontendPredictor fe{FrontendConfig{}};
+    fe.onInstruction(test::branchOp(0x100, BranchKind::Call, 0x2000));
+    auto outcome = fe.onInstruction(
+        test::branchOp(0x2010, BranchKind::Return, 0x104));
+    EXPECT_TRUE(outcome.correct);
+    EXPECT_EQ(fe.stats().returns.hits(), 1u);
+}
+
+TEST(Frontend, NestedCallsReturnInOrder)
+{
+    FrontendPredictor fe{FrontendConfig{}};
+    fe.onInstruction(test::branchOp(0x100, BranchKind::Call, 0x2000));
+    fe.onInstruction(test::branchOp(0x2000, BranchKind::IndirectCall,
+                                    0x3000));
+    EXPECT_TRUE(fe.onInstruction(
+                      test::branchOp(0x3010, BranchKind::Return, 0x2004))
+                    .correct);
+    EXPECT_TRUE(fe.onInstruction(
+                      test::branchOp(0x2010, BranchKind::Return, 0x104))
+                    .correct);
+}
+
+TEST(Frontend, BtbOnlyIndirectUsesLastTarget)
+{
+    FrontendPredictor fe{FrontendConfig{}};
+    fe.onInstruction(test::indirectOp(0x100, 0x2000));
+    // Same target again: correct.
+    EXPECT_TRUE(fe.onInstruction(test::indirectOp(0x100, 0x2000))
+                    .correct);
+    // Target changes: the BTB-only machine mispredicts.
+    EXPECT_FALSE(fe.onInstruction(test::indirectOp(0x100, 0x3000))
+                     .correct);
+    EXPECT_EQ(fe.stats().indirectJumps.total(), 3u);
+}
+
+TEST(Frontend, TargetCacheDisambiguatesWithHistory)
+{
+    // An indirect jump whose target is determined by the previous
+    // conditional branch outcome: BTB-only flounders, the target cache
+    // learns it (the paper's core claim).
+    TaglessConfig tc_config;
+    TaglessTargetCache cache(tc_config);
+    HistoryTracker tracker(pattern9());
+    FrontendPredictor fe{FrontendConfig{}, &cache, &tracker};
+
+    auto run = [&](int rounds) {
+        int wrong = 0;
+        bool dir = false;
+        for (int i = 0; i < rounds; ++i) {
+            dir = !dir;
+            fe.onInstruction(
+                test::branchOp(0x100, BranchKind::CondDirect, 0x200,
+                               dir));
+            MicroOp jump = test::indirectOp(0x300,
+                                            dir ? 0x4000 : 0x5000);
+            wrong += !fe.onInstruction(jump).correct;
+        }
+        return wrong;
+    };
+    run(50);                   // warmup
+    EXPECT_LE(run(100), 2);    // steady state: nearly perfect
+}
+
+TEST(Frontend, BtbOnlyCannotLearnAlternatingTargets)
+{
+    FrontendPredictor fe{FrontendConfig{}};
+    int wrong = 0;
+    for (int i = 0; i < 100; ++i) {
+        MicroOp jump = test::indirectOp(0x300,
+                                        (i & 1) ? 0x4000 : 0x5000);
+        wrong += !fe.onInstruction(jump).correct;
+    }
+    EXPECT_GT(wrong, 90);
+}
+
+TEST(Frontend, OracleNeverMissesIndirectAfterBtbWarm)
+{
+    OraclePredictor oracle;
+    HistoryTracker tracker(pattern9());
+    FrontendPredictor fe{FrontendConfig{}, &oracle, &tracker};
+    // First sight: BTB has not detected the branch yet, so even an
+    // oracle target cache cannot be consulted (paper's structure).
+    EXPECT_FALSE(fe.onInstruction(test::indirectOp(0x100, 0x2000))
+                     .correct);
+    for (uint64_t t = 0x3000; t < 0x3100; t += 8) {
+        EXPECT_TRUE(fe.onInstruction(test::indirectOp(0x100, t))
+                        .correct);
+    }
+}
+
+TEST(Frontend, CondDirectionStatsTracked)
+{
+    FrontendPredictor fe{FrontendConfig{}};
+    // The global history register shifts on every outcome, so an
+    // always-taken branch walks through PHT entries until the history
+    // saturates; allow that warmup before expecting correctness.
+    for (int i = 0; i < 40; ++i)
+        fe.onInstruction(
+            test::branchOp(0x100, BranchKind::CondDirect, 0x200, true));
+    EXPECT_EQ(fe.stats().condDirection.total(), 40u);
+    EXPECT_GE(fe.stats().condDirection.hits(), 20u);
+}
+
+TEST(Frontend, MpkiComputed)
+{
+    FrontendPredictor fe{FrontendConfig{}};
+    for (int i = 0; i < 999; ++i)
+        fe.onInstruction(test::plainOp(0x100 + i * 4));
+    fe.onInstruction(test::indirectOp(0x4000, 0x5000));  // miss
+    EXPECT_NEAR(fe.stats().mpki(), 1.0, 0.01);
+}
+
+TEST(Frontend, ResetStats)
+{
+    FrontendPredictor fe{FrontendConfig{}};
+    fe.onInstruction(test::indirectOp(0x100, 0x2000));
+    fe.resetStats();
+    EXPECT_EQ(fe.stats().instructions, 0u);
+    EXPECT_EQ(fe.stats().allBranches.total(), 0u);
+}
+
+} // namespace
+} // namespace tpred

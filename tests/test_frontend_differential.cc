@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Differential test of the composite front end: an independent
+ * straight-line reference reimplementation of the prediction rules
+ * (BTB detection, gshare direction, RAS, tagless target cache
+ * override) is run beside FrontendPredictor on random traces; per-op
+ * predicted next-PCs must agree exactly.
+ */
+
+#include <map>
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "bpred/history.hh"
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "core/frontend_predictor.hh"
+#include "core/tagless_target_cache.hh"
+#include "test_util.hh"
+
+namespace tpred
+{
+namespace
+{
+
+/** The reference machine, written for clarity over speed. */
+class ReferenceFrontend
+{
+  public:
+    uint64_t
+    onInstruction(const MicroOp &op)
+    {
+        if (!op.isBranch())
+            return op.fallthrough;
+
+        const auto btb = btbLookup(op.pc);
+        uint64_t predicted = op.fallthrough;
+
+        switch (op.branch) {
+          case BranchKind::CondDirect:
+            if (gsharePredict(op.pc) && btb)
+                predicted = btb->target;
+            break;
+          case BranchKind::UncondDirect:
+          case BranchKind::Call:
+            predicted = btb ? btb->target : op.fallthrough;
+            break;
+          case BranchKind::Return:
+            predicted = ras_.empty() ? 0 : ras_.back();
+            if (!ras_.empty())
+                ras_.pop_back();
+            break;
+          case BranchKind::IndirectJump:
+          case BranchKind::IndirectCall:
+            if (btb) {
+                // The tagless cache ALWAYS provides the prediction
+                // when the BTB detects the branch — a cold entry
+                // predicts 0 (a guaranteed miss), it does not fall
+                // back to the BTB.  (Only a *tagged* miss falls back.)
+                const uint64_t idx = cacheIndex(op.pc);
+                predicted = cache_.count(idx) ? cache_[idx] : 0;
+            }
+            break;
+          case BranchKind::None:
+            break;
+        }
+
+        if (op.branch == BranchKind::Call ||
+            op.branch == BranchKind::IndirectCall) {
+            ras_.push_back(op.fallthrough);
+            if (ras_.size() > 16)
+                ras_.erase(ras_.begin());
+        }
+
+        // Train.
+        if (op.branch == BranchKind::CondDirect) {
+            // Counters initialize to 1 (weakly not-taken), matching
+            // GShare's SatCounter(2, 1) construction.
+            int &ctr = pht_.try_emplace(phtIndex(op.pc), 1)
+                           .first->second;
+            ctr = op.taken ? std::min(ctr + 1, 3)
+                           : std::max(ctr - 1, 0);
+            ghr_ = ((ghr_ << 1) | (op.taken ? 1 : 0)) & 0xfff;
+        }
+        btbUpdate(op);
+        if (isIndirectNonReturn(op.branch))
+            cache_[cacheIndex(op.pc)] = op.nextPc;
+        return predicted;
+    }
+
+  private:
+    struct BtbEntry
+    {
+        uint64_t target = 0;
+        BranchKind kind = BranchKind::None;
+    };
+
+    // Unbounded BTB: valid as long as the trace touches fewer
+    // branches than the real 1024-entry BTB can hold per set.
+    std::optional<BtbEntry>
+    btbLookup(uint64_t pc)
+    {
+        auto it = btb_.find(pc);
+        if (it == btb_.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    void
+    btbUpdate(const MicroOp &op)
+    {
+        BtbEntry &entry = btb_[op.pc];
+        entry.kind = op.branch;
+        if (op.taken)
+            entry.target = op.nextPc;
+        else if (btb_.count(op.pc) == 0)
+            entry.target = 0;
+    }
+
+    uint64_t phtIndex(uint64_t pc) const
+    {
+        return ((pc >> 2) ^ ghr_) & 0xfff;
+    }
+    bool gsharePredict(uint64_t pc)
+    {
+        auto it = pht_.find(phtIndex(pc));
+        const int ctr = it == pht_.end() ? 1 : it->second;
+        return ctr > 1;
+    }
+    uint64_t cacheIndex(uint64_t pc) const
+    {
+        // 512-entry gshare-indexed tagless cache over 9 history bits.
+        return ((pc >> 2) ^ foldXor(ghr_ & 0x1ff, 9)) & 0x1ff;
+    }
+
+    std::map<uint64_t, BtbEntry> btb_;
+    std::map<uint64_t, int> pht_;
+    std::map<uint64_t, uint64_t> cache_;
+    std::vector<uint64_t> ras_;
+    uint64_t ghr_ = 0;
+};
+
+std::vector<MicroOp>
+randomTrace(uint64_t seed, size_t length)
+{
+    // Few static branches so the real BTB never evicts (the reference
+    // BTB is unbounded) and GHR length (12) exceeds the cache's 9.
+    Rng rng(seed);
+    std::vector<MicroOp> ops;
+    std::vector<uint64_t> ras;
+    uint64_t pc = 0x1000;
+    for (size_t i = 0; i < length; ++i) {
+        const double draw = rng.uniform();
+        // Branch pcs drawn from a small pool that maps to distinct
+        // BTB sets (stride 0x40 over 64 slots < 256 sets).
+        const uint64_t branch_pc = 0x8000 + rng.below(64) * 0x40;
+        if (draw < 0.5) {
+            ops.push_back(test::plainOp(pc));
+            pc += 4;
+        } else if (draw < 0.72) {
+            const bool taken = rng.chance(0.5);
+            MicroOp op = test::branchOp(branch_pc,
+                                        BranchKind::CondDirect,
+                                        0x20000 + rng.below(32) * 4,
+                                        taken);
+            ops.push_back(op);
+            pc = op.nextPc;
+        } else if (draw < 0.86) {
+            MicroOp op = test::indirectOp(branch_pc,
+                                          0x30000 + rng.below(8) * 4);
+            ops.push_back(op);
+            pc = op.nextPc;
+        } else if (draw < 0.94 || ras.empty()) {
+            MicroOp op = test::branchOp(branch_pc, BranchKind::Call,
+                                        0x40000 + rng.below(16) * 4);
+            ops.push_back(op);
+            ras.push_back(branch_pc + 4);
+            if (ras.size() > 16)
+                ras.erase(ras.begin());
+            pc = op.nextPc;
+        } else {
+            MicroOp op = test::branchOp(branch_pc, BranchKind::Return,
+                                        ras.back());
+            ras.pop_back();
+            ops.push_back(op);
+            pc = op.nextPc;
+        }
+    }
+    return ops;
+}
+
+class FrontendDifferential : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FrontendDifferential, PredictionsMatchReference)
+{
+    auto ops = randomTrace(GetParam(), 15000);
+
+    TaglessTargetCache cache(TaglessConfig{});
+    HistorySpec spec;
+    spec.kind = HistoryKind::Pattern;
+    spec.lengthBits = 9;
+    HistoryTracker tracker(spec);
+    FrontendPredictor real{FrontendConfig{}, &cache, &tracker};
+    ReferenceFrontend reference;
+
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const uint64_t expected = reference.onInstruction(ops[i]);
+        const PredictionOutcome outcome = real.onInstruction(ops[i]);
+        ASSERT_EQ(outcome.predictedNext, expected)
+            << "op " << i << " pc 0x" << std::hex << ops[i].pc;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrontendDifferential,
+                         ::testing::Values(1u, 7u, 23u, 1234u));
+
+} // namespace
+} // namespace tpred

@@ -1,0 +1,73 @@
+/** @file Unit tests for the gshare direction predictor. */
+
+#include <gtest/gtest.h>
+
+#include "bpred/gshare.hh"
+
+namespace tpred
+{
+namespace
+{
+
+TEST(GShare, InitialPredictionIsWeaklyNotTaken)
+{
+    GShare gshare(10);
+    EXPECT_FALSE(gshare.predict(0x100, 0));
+}
+
+TEST(GShare, LearnsBias)
+{
+    GShare gshare(10);
+    for (int i = 0; i < 4; ++i)
+        gshare.update(0x100, 0, true);
+    EXPECT_TRUE(gshare.predict(0x100, 0));
+    for (int i = 0; i < 8; ++i)
+        gshare.update(0x100, 0, false);
+    EXPECT_FALSE(gshare.predict(0x100, 0));
+}
+
+TEST(GShare, HistoryDisambiguates)
+{
+    GShare gshare(10);
+    // Same pc, two histories with opposite outcomes.
+    for (int i = 0; i < 4; ++i) {
+        gshare.update(0x100, 0b1010, true);
+        gshare.update(0x100, 0b0101, false);
+    }
+    EXPECT_TRUE(gshare.predict(0x100, 0b1010));
+    EXPECT_FALSE(gshare.predict(0x100, 0b0101));
+}
+
+TEST(GShare, LearnsAlternatingPatternWithHistory)
+{
+    // A branch alternating T/N is perfectly predictable once the
+    // history register distinguishes the two phases.
+    GShare gshare(12);
+    uint64_t history = 0;
+    int correct = 0, total = 0;
+    bool outcome = false;
+    for (int i = 0; i < 2000; ++i) {
+        outcome = !outcome;
+        if (i > 100) {
+            ++total;
+            correct += gshare.predict(0x40c, history) == outcome;
+        }
+        gshare.update(0x40c, history, outcome);
+        history = (history << 1 | outcome) & 0xfff;
+    }
+    EXPECT_GT(correct, total * 99 / 100);
+}
+
+TEST(GShare, TwoBranchesWithDifferentBiases)
+{
+    GShare gshare(12);
+    for (int i = 0; i < 8; ++i) {
+        gshare.update(0x100, 0, true);
+        gshare.update(0x2000, 0, false);
+    }
+    EXPECT_TRUE(gshare.predict(0x100, 0));
+    EXPECT_FALSE(gshare.predict(0x2000, 0));
+}
+
+} // namespace
+} // namespace tpred

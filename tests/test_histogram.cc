@@ -1,0 +1,85 @@
+/** @file Unit tests for the bucketed histogram. */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.hh"
+
+namespace tpred
+{
+namespace
+{
+
+TEST(Histogram, EmptyHistogram)
+{
+    Histogram hist(10);
+    EXPECT_EQ(hist.total(), 0u);
+    EXPECT_DOUBLE_EQ(hist.fraction(3), 0.0);
+    EXPECT_DOUBLE_EQ(hist.overflowFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+}
+
+TEST(Histogram, BasicCounts)
+{
+    Histogram hist(5);
+    hist.add(1);
+    hist.add(1);
+    hist.add(3, 4);
+    EXPECT_EQ(hist.total(), 6u);
+    EXPECT_EQ(hist.count(1), 2u);
+    EXPECT_EQ(hist.count(3), 4u);
+    EXPECT_EQ(hist.count(0), 0u);
+}
+
+TEST(Histogram, OverflowBucket)
+{
+    Histogram hist(30);
+    hist.add(29);
+    hist.add(30);
+    hist.add(1000, 2);
+    EXPECT_EQ(hist.overflow(), 3u);
+    EXPECT_EQ(hist.count(29), 1u);
+    // Reading any key >= capacity reads the overflow bucket.
+    EXPECT_EQ(hist.count(64), 3u);
+}
+
+TEST(Histogram, Fractions)
+{
+    Histogram hist(4);
+    hist.add(0, 1);
+    hist.add(1, 3);
+    EXPECT_DOUBLE_EQ(hist.fraction(0), 0.25);
+    EXPECT_DOUBLE_EQ(hist.fraction(1), 0.75);
+}
+
+TEST(Histogram, MeanWithOverflowAtCapacity)
+{
+    Histogram hist(10);
+    hist.add(2, 2);
+    hist.add(50, 2);  // counted at 10 (capacity) in the mean
+    EXPECT_DOUBLE_EQ(hist.mean(), (2.0 * 2 + 10.0 * 2) / 4.0);
+}
+
+TEST(Histogram, RenderContainsBucketsAndPercentages)
+{
+    Histogram hist(5);
+    hist.add(2, 3);
+    hist.add(9, 1);
+    std::string out = hist.render("title");
+    EXPECT_NE(out.find("title"), std::string::npos);
+    EXPECT_NE(out.find("75.00%"), std::string::npos);
+    EXPECT_NE(out.find(">="), std::string::npos);
+}
+
+TEST(Histogram, RenderSkipsEmptyBuckets)
+{
+    Histogram hist(5);
+    hist.add(1);
+    std::string out = hist.render("t");
+    // Only one bucket row plus the title line.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+} // namespace
+} // namespace tpred

@@ -1,0 +1,190 @@
+/** @file Unit tests for pattern and path history registers. */
+
+#include <gtest/gtest.h>
+
+#include "bpred/history.hh"
+#include "test_util.hh"
+
+namespace tpred
+{
+namespace
+{
+
+TEST(PatternHistory, ShiftsNewestIntoLsb)
+{
+    PatternHistory hist(4);
+    hist.update(true);
+    EXPECT_EQ(hist.value(), 0b1u);
+    hist.update(false);
+    EXPECT_EQ(hist.value(), 0b10u);
+    hist.update(true);
+    EXPECT_EQ(hist.value(), 0b101u);
+}
+
+TEST(PatternHistory, TruncatesToLength)
+{
+    PatternHistory hist(2);
+    for (int i = 0; i < 8; ++i)
+        hist.update(true);
+    EXPECT_EQ(hist.value(), 0b11u);
+    hist.update(false);
+    EXPECT_EQ(hist.value(), 0b10u);
+}
+
+TEST(PatternHistory, Reset)
+{
+    PatternHistory hist(8);
+    hist.update(true);
+    hist.reset();
+    EXPECT_EQ(hist.value(), 0u);
+}
+
+TEST(PathSpec, RecordedBitsSelectsOffsetAndWidth)
+{
+    PathSpec spec;
+    spec.bitsPerTarget = 3;
+    spec.addrBitOffset = 2;
+    EXPECT_EQ(spec.recordedBits(0b10100), 0b101u);
+    spec.addrBitOffset = 4;
+    EXPECT_EQ(spec.recordedBits(0b10100), 0b001u);
+}
+
+TEST(PathRegister, ShiftsTargetBits)
+{
+    PathSpec spec;
+    spec.lengthBits = 6;
+    spec.bitsPerTarget = 2;
+    spec.addrBitOffset = 2;
+    PathRegister reg(spec);
+    reg.record(0x4);   // bits[3:2] = 01
+    reg.record(0x8);   // bits[3:2] = 10
+    EXPECT_EQ(reg.value(), 0b0110u);
+    reg.record(0xc);   // bits[3:2] = 11
+    EXPECT_EQ(reg.value(), 0b011011u);
+    reg.record(0x0);   // shifts out the oldest
+    EXPECT_EQ(reg.value(), 0b101100u);
+}
+
+TEST(GlobalPathHistory, ControlFilterRecordsTakenControlOnly)
+{
+    PathSpec spec{9, 1, 2};
+    GlobalPathHistory hist(spec, PathFilter::Control);
+    // Not-taken conditional does not redirect: not recorded.
+    hist.observe(test::branchOp(0x100, BranchKind::CondDirect, 0x204,
+                                /*taken=*/false));
+    EXPECT_EQ(hist.value(), 0u);
+    // Taken conditional to a target with bit 2 set.
+    hist.observe(test::branchOp(0x100, BranchKind::CondDirect, 0x204));
+    EXPECT_EQ(hist.value(), 1u);
+    // Non-branch never recorded.
+    hist.observe(test::plainOp(0x104));
+    EXPECT_EQ(hist.value(), 1u);
+}
+
+TEST(GlobalPathHistory, BranchFilterIgnoresIndirect)
+{
+    PathSpec spec{9, 1, 2};
+    GlobalPathHistory hist(spec, PathFilter::Branch);
+    hist.observe(test::indirectOp(0x100, 0x204));
+    EXPECT_EQ(hist.value(), 0u);
+    hist.observe(test::branchOp(0x100, BranchKind::CondDirect, 0x204));
+    EXPECT_EQ(hist.value(), 1u);
+}
+
+TEST(GlobalPathHistory, CallRetFilter)
+{
+    PathSpec spec{9, 1, 2};
+    GlobalPathHistory hist(spec, PathFilter::CallRet);
+    hist.observe(test::branchOp(0x100, BranchKind::CondDirect, 0x204));
+    EXPECT_EQ(hist.value(), 0u);
+    hist.observe(test::branchOp(0x100, BranchKind::Call, 0x204));
+    EXPECT_EQ(hist.value(), 1u);
+    hist.observe(test::branchOp(0x200, BranchKind::Return, 0x104));
+    EXPECT_EQ(hist.value(), 0b11u);
+}
+
+TEST(GlobalPathHistory, IndJmpFilter)
+{
+    PathSpec spec{9, 1, 2};
+    GlobalPathHistory hist(spec, PathFilter::IndJmp);
+    hist.observe(test::branchOp(0x100, BranchKind::Call, 0x204));
+    EXPECT_EQ(hist.value(), 0u);
+    hist.observe(test::indirectOp(0x100, 0x204));
+    EXPECT_EQ(hist.value(), 1u);
+}
+
+TEST(PerAddressPathHistory, SeparateRegistersPerSite)
+{
+    PathSpec spec{9, 1, 2};
+    PerAddressPathHistory hist(spec);
+    hist.observe(test::indirectOp(0x100, 0x204));
+    hist.observe(test::indirectOp(0x200, 0x200));
+    EXPECT_EQ(hist.valueFor(0x100), 1u);
+    EXPECT_EQ(hist.valueFor(0x200), 0u);
+    EXPECT_EQ(hist.valueFor(0x300), 0u);  // unseen site
+    EXPECT_EQ(hist.registers(), 2u);
+}
+
+TEST(PerAddressPathHistory, RecordsOwnTargetsOnly)
+{
+    PathSpec spec{4, 1, 2};
+    PerAddressPathHistory hist(spec);
+    hist.observe(test::indirectOp(0x100, 0x204));
+    hist.observe(test::indirectOp(0x200, 0x204));
+    hist.observe(test::indirectOp(0x100, 0x204));
+    EXPECT_EQ(hist.valueFor(0x100), 0b11u);
+    EXPECT_EQ(hist.valueFor(0x200), 0b1u);
+}
+
+TEST(HistoryTracker, PatternKind)
+{
+    HistorySpec spec;
+    spec.kind = HistoryKind::Pattern;
+    spec.lengthBits = 4;
+    HistoryTracker tracker(spec);
+    tracker.observe(test::branchOp(0x100, BranchKind::CondDirect,
+                                   0x200));
+    tracker.observe(test::indirectOp(0x104, 0x300));  // ignored
+    EXPECT_EQ(tracker.valueFor(0x104), 1u);
+    // Pattern history is global: same value for any pc.
+    EXPECT_EQ(tracker.valueFor(0xdead), 1u);
+}
+
+TEST(HistoryTracker, PathPerAddressKind)
+{
+    HistorySpec spec;
+    spec.kind = HistoryKind::PathPerAddress;
+    spec.path = PathSpec{9, 1, 2};
+    HistoryTracker tracker(spec);
+    tracker.observe(test::indirectOp(0x100, 0x204));
+    EXPECT_EQ(tracker.valueFor(0x100), 1u);
+    EXPECT_EQ(tracker.valueFor(0x200), 0u);
+}
+
+TEST(HistoryTracker, Reset)
+{
+    HistorySpec spec;
+    spec.kind = HistoryKind::Pattern;
+    spec.lengthBits = 4;
+    HistoryTracker tracker(spec);
+    tracker.observe(test::branchOp(0x100, BranchKind::CondDirect,
+                                   0x200));
+    tracker.reset();
+    EXPECT_EQ(tracker.valueFor(0x100), 0u);
+}
+
+TEST(HistorySpec, Describe)
+{
+    HistorySpec pattern;
+    pattern.kind = HistoryKind::Pattern;
+    pattern.lengthBits = 9;
+    EXPECT_EQ(pattern.describe(), "pattern(9)");
+
+    HistorySpec path;
+    path.kind = HistoryKind::PathGlobal;
+    path.filter = PathFilter::IndJmp;
+    EXPECT_NE(path.describe().find("ind jmp"), std::string::npos);
+}
+
+} // namespace
+} // namespace tpred

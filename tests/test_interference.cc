@@ -1,0 +1,95 @@
+/** @file Tests for the interference/conflict statistics (paper §5). */
+
+#include <gtest/gtest.h>
+
+#include "core/tagged_target_cache.hh"
+#include "core/tagless_target_cache.hh"
+
+namespace tpred
+{
+namespace
+{
+
+TEST(Interference, ColdProbesAreNotInterference)
+{
+    TaglessTargetCache cache(TaglessConfig{});
+    (void)cache.predict(0x100, 0);
+    EXPECT_EQ(cache.stats().probes, 1u);
+    EXPECT_EQ(cache.stats().crossBranchProbes, 0u);
+}
+
+TEST(Interference, OwnEntryIsNotInterference)
+{
+    TaglessTargetCache cache(TaglessConfig{});
+    cache.update(0x100, 5, 0x2000);
+    (void)cache.predict(0x100, 5);
+    EXPECT_EQ(cache.stats().crossBranchProbes, 0u);
+}
+
+TEST(Interference, CrossBranchProbeCounted)
+{
+    // GAg: every branch shares every entry, so a second branch with
+    // the same history reads the first branch's entry.
+    TaglessConfig config;
+    config.scheme = TaglessIndexScheme::GAg;
+    TaglessTargetCache cache(config);
+    cache.update(0x100, 5, 0x2000);
+    (void)cache.predict(0x5550, 5);
+    EXPECT_EQ(cache.stats().crossBranchProbes, 1u);
+    EXPECT_GT(cache.stats().interferenceRate(), 0.0);
+}
+
+TEST(Interference, GAgInterferesMoreThanGshareUnderTwoBranches)
+{
+    auto run = [](TaglessIndexScheme scheme) {
+        TaglessConfig config;
+        config.scheme = scheme;
+        TaglessTargetCache cache(config);
+        for (uint64_t h = 0; h < 400; ++h) {
+            for (uint64_t pc : {0x100ull, 0x2224ull}) {
+                (void)cache.predict(pc, h & 0x1ff);
+                cache.update(pc, h & 0x1ff, 0x4000 + pc);
+            }
+        }
+        return cache.stats().interferenceRate();
+    };
+    EXPECT_GT(run(TaglessIndexScheme::GAg),
+              run(TaglessIndexScheme::Gshare));
+}
+
+TEST(Interference, TaggedConflictEvictionsCountOnlyDisplacements)
+{
+    TaggedConfig config;
+    config.entries = 2;
+    config.ways = 2;  // one set
+    TaggedTargetCache cache(config);
+    cache.update(0x100, 0, 0x1);
+    cache.update(0x200, 0, 0x2);
+    EXPECT_EQ(cache.conflictEvictions(), 0u);  // filled empty ways
+    cache.update(0x300, 0, 0x3);
+    EXPECT_EQ(cache.conflictEvictions(), 1u);  // displaced a live one
+    cache.update(0x300, 0, 0x4);               // re-train, no eviction
+    EXPECT_EQ(cache.conflictEvictions(), 1u);
+}
+
+TEST(Interference, AssociativityReducesConflictEvictions)
+{
+    auto run = [](unsigned ways) {
+        TaggedConfig config;
+        config.scheme = TaggedIndexScheme::Address;
+        config.entries = 64;
+        config.ways = ways;
+        TaggedTargetCache cache(config);
+        // One jump, 8 history contexts, many rounds: the Address
+        // scheme funnels everything into one set.
+        for (int round = 0; round < 100; ++round)
+            for (uint64_t h = 0; h < 8; ++h)
+                cache.update(0x100, h, 0x4000 + h * 8);
+        return cache.conflictEvictions();
+    };
+    EXPECT_GT(run(1), run(4));
+    EXPECT_EQ(run(8), 0u);  // 8 contexts fit in 8 ways
+}
+
+} // namespace
+} // namespace tpred

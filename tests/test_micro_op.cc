@@ -1,0 +1,68 @@
+/** @file Unit tests for the MicroOp record and its classifiers. */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+#include "trace/micro_op.hh"
+
+namespace tpred
+{
+namespace
+{
+
+TEST(MicroOp, DefaultsAreNonBranch)
+{
+    MicroOp op;
+    EXPECT_FALSE(op.isBranch());
+    EXPECT_FALSE(op.isIndirect());
+    EXPECT_EQ(op.dstReg, kNoReg);
+    EXPECT_EQ(op.srcRegs[0], kNoReg);
+}
+
+TEST(MicroOp, BranchClassification)
+{
+    EXPECT_TRUE(test::branchOp(0x100, BranchKind::CondDirect, 0x200)
+                    .isBranch());
+    EXPECT_FALSE(test::branchOp(0x100, BranchKind::CondDirect, 0x200)
+                     .isIndirect());
+    EXPECT_TRUE(test::indirectOp(0x100, 0x200).isIndirect());
+    EXPECT_TRUE(test::branchOp(0x100, BranchKind::Return, 0x200)
+                    .isIndirect());
+    EXPECT_TRUE(test::branchOp(0x100, BranchKind::IndirectCall, 0x200)
+                    .isIndirect());
+}
+
+TEST(MicroOp, IsIndirectNonReturn)
+{
+    EXPECT_TRUE(isIndirectNonReturn(BranchKind::IndirectJump));
+    EXPECT_TRUE(isIndirectNonReturn(BranchKind::IndirectCall));
+    EXPECT_FALSE(isIndirectNonReturn(BranchKind::Return));
+    EXPECT_FALSE(isIndirectNonReturn(BranchKind::CondDirect));
+    EXPECT_FALSE(isIndirectNonReturn(BranchKind::None));
+}
+
+TEST(MicroOp, IsControl)
+{
+    EXPECT_FALSE(isControl(BranchKind::None));
+    EXPECT_TRUE(isControl(BranchKind::CondDirect));
+    EXPECT_TRUE(isControl(BranchKind::Return));
+}
+
+TEST(MicroOp, Names)
+{
+    EXPECT_EQ(branchKindName(BranchKind::IndirectJump), "indirect-jump");
+    EXPECT_EQ(branchKindName(BranchKind::None), "none");
+    EXPECT_EQ(instClassName(InstClass::Mul), "FP/INT Mul");
+    EXPECT_EQ(instClassName(InstClass::Branch), "Branch");
+}
+
+TEST(MicroOp, NotTakenCondFallsThrough)
+{
+    MicroOp op = test::branchOp(0x100, BranchKind::CondDirect, 0x200,
+                                /*taken=*/false);
+    EXPECT_EQ(op.nextPc, 0x104u);
+    EXPECT_FALSE(op.taken);
+}
+
+} // namespace
+} // namespace tpred

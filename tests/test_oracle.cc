@@ -1,0 +1,45 @@
+/** @file Unit tests for the oracle predictor. */
+
+#include <gtest/gtest.h>
+
+#include "core/oracle.hh"
+#include "test_util.hh"
+
+namespace tpred
+{
+namespace
+{
+
+TEST(Oracle, EchoesPrimedTarget)
+{
+    OraclePredictor oracle;
+    oracle.prime(test::indirectOp(0x100, 0x4242));
+    EXPECT_EQ(oracle.predict(0x100, 0).value(), 0x4242u);
+}
+
+TEST(Oracle, FollowsEachPrime)
+{
+    OraclePredictor oracle;
+    for (uint64_t t = 0x1000; t < 0x1100; t += 8) {
+        oracle.prime(test::indirectOp(0x100, t));
+        EXPECT_EQ(oracle.predict(0x100, 0xdead).value(), t);
+    }
+}
+
+TEST(Oracle, UpdateIsANoOp)
+{
+    OraclePredictor oracle;
+    oracle.prime(test::indirectOp(0x100, 0x1111));
+    oracle.update(0x100, 0, 0x9999);
+    EXPECT_EQ(oracle.predict(0x100, 0).value(), 0x1111u);
+}
+
+TEST(Oracle, ZeroCost)
+{
+    OraclePredictor oracle;
+    EXPECT_EQ(oracle.costBits(), 0u);
+    EXPECT_EQ(oracle.describe(), "oracle");
+}
+
+} // namespace
+} // namespace tpred

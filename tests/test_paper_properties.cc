@@ -1,0 +1,189 @@
+/**
+ * @file
+ * End-to-end properties asserting the paper's qualitative results hold
+ * in this reproduction — the "shape" checks of EXPERIMENTS.md.  These
+ * run on shortened traces, so thresholds are deliberately loose.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/paper_tables.hh"
+
+namespace tpred
+{
+namespace
+{
+
+constexpr size_t kOps = 250000;
+
+const SharedTrace &
+perlTrace()
+{
+    static const SharedTrace trace = recordWorkload("perl", kOps);
+    return trace;
+}
+
+const SharedTrace &
+gccTrace()
+{
+    static const SharedTrace trace = recordWorkload("gcc", kOps);
+    return trace;
+}
+
+/** Paper §1: BTB schemes are ineffective for indirect jumps on the
+ *  interpreter/compiler benchmarks. */
+TEST(PaperProperties, BtbIndirectMispredictionIsHigh)
+{
+    EXPECT_GT(runAccuracy(perlTrace(), baselineConfig())
+                  .indirectJumps.missRate(),
+              0.60);
+    EXPECT_GT(runAccuracy(gccTrace(), baselineConfig())
+                  .indirectJumps.missRate(),
+              0.55);
+}
+
+/** Paper abstract: the target cache sharply reduces the indirect
+ *  misprediction rate for perl and gcc. */
+TEST(PaperProperties, TargetCacheBeatsBtbOnPerlAndGcc)
+{
+    for (const SharedTrace *trace : {&perlTrace(), &gccTrace()}) {
+        double btb = runAccuracy(*trace, baselineConfig())
+                         .indirectJumps.missRate();
+        double tagless = runAccuracy(*trace, taglessGshare())
+                             .indirectJumps.missRate();
+        EXPECT_LT(tagless, btb * 0.75) << trace->name();
+    }
+}
+
+/** Paper Table 2: the 2-bit strategy helps some benchmarks; it never
+ *  approaches the target cache. */
+TEST(PaperProperties, TwoBitStrategyIsNotATargetCache)
+{
+    double two_bit = runAccuracy(perlTrace(), baselineConfig(),
+                                 twoBitBtbFrontend())
+                         .indirectJumps.missRate();
+    double tagless = runAccuracy(perlTrace(), taglessGshare())
+                         .indirectJumps.missRate();
+    EXPECT_GT(two_bit, tagless);
+}
+
+/** Paper §4.2.1: gshare indexing beats GAg for the tagless cache
+ *  (better table utilization). */
+TEST(PaperProperties, GshareNoWorseThanGAgOnGcc)
+{
+    double gag = runAccuracy(gccTrace(), taglessGAg())
+                     .indirectJumps.missRate();
+    double gshare = runAccuracy(gccTrace(), taglessGshare())
+                        .indirectJumps.missRate();
+    EXPECT_LE(gshare, gag + 0.02);
+}
+
+/** Paper §4.2.3: global IndJmp path history excels on perl (the
+ *  interpreter token-stream argument). */
+TEST(PaperProperties, IndJmpPathHistoryStrongOnPerl)
+{
+    double pattern = runAccuracy(perlTrace(), taglessGshare())
+                         .indirectJumps.missRate();
+    double path = runAccuracy(
+                      perlTrace(),
+                      taglessGshare(pathGlobal(PathFilter::IndJmp)))
+                      .indirectJumps.missRate();
+    EXPECT_LT(path, pattern + 0.05);
+    EXPECT_LT(path, 0.5);
+}
+
+/** Paper §4.3.1: with low associativity, Address indexing thrashes and
+ *  History-XOR wins; the gap closes as associativity rises (Table 7). */
+TEST(PaperProperties, AddressIndexingNeedsAssociativity)
+{
+    auto miss = [&](TaggedIndexScheme scheme, unsigned ways) {
+        return runAccuracy(perlTrace(), taggedConfig(scheme, ways))
+            .indirectJumps.missRate();
+    };
+    double addr1 = miss(TaggedIndexScheme::Address, 1);
+    double xor1 = miss(TaggedIndexScheme::HistoryXor, 1);
+    EXPECT_GT(addr1, xor1 + 0.10);
+
+    double addr16 = miss(TaggedIndexScheme::Address, 16);
+    EXPECT_LT(addr16, addr1 - 0.10);
+}
+
+/** Paper §4.3.3 (Table 9): with high associativity, longer history
+ *  helps the tagged cache. */
+TEST(PaperProperties, LongerHistoryHelpsHighAssociativity)
+{
+    auto miss = [&](unsigned history_bits, unsigned ways) {
+        return runAccuracy(perlTrace(),
+                           taggedConfig(TaggedIndexScheme::HistoryXor,
+                                        ways,
+                                        patternHistory(history_bits)))
+            .indirectJumps.missRate();
+    };
+    EXPECT_LT(miss(16, 16), miss(9, 16) + 0.02);
+}
+
+/** Paper §4.4 / Figs 12-13: a tagged cache with >= 4 ways beats the
+ *  direct-mapped tagged cache. */
+TEST(PaperProperties, AssociativityHelpsTaggedCache)
+{
+    auto miss = [&](unsigned ways) {
+        return runAccuracy(perlTrace(),
+                           taggedConfig(TaggedIndexScheme::HistoryXor,
+                                        ways))
+            .indirectJumps.missRate();
+    };
+    EXPECT_LT(miss(4), miss(1) + 0.02);
+}
+
+/** Timing: the target cache reduces execution time on perl and gcc,
+ *  and never beats the oracle. */
+TEST(PaperProperties, ExecutionTimeReductionOrdering)
+{
+    for (const SharedTrace *trace : {&perlTrace(), &gccTrace()}) {
+        uint64_t base = runTiming(*trace, baselineConfig()).cycles;
+        uint64_t tagless = runTiming(*trace, taglessGshare()).cycles;
+        uint64_t oracle = runTiming(*trace, oracleConfig()).cycles;
+        EXPECT_LT(tagless, base) << trace->name();
+        EXPECT_LE(oracle, tagless) << trace->name();
+    }
+}
+
+/** The cascaded extension is at least competitive with the plain
+ *  tagged cache of the same second-stage geometry. */
+TEST(PaperProperties, CascadedCompetitiveWithTagged)
+{
+    double tagged = runAccuracy(perlTrace(),
+                                taggedConfig(TaggedIndexScheme::HistoryXor,
+                                             4))
+                        .indirectJumps.missRate();
+    double cascaded = runAccuracy(perlTrace(), cascadedConfig())
+                          .indirectJumps.missRate();
+    EXPECT_LT(cascaded, tagged + 0.10);
+}
+
+/** Returns stay out of the target cache and are near-perfectly
+ *  predicted by the RAS (paper §1 footnote). */
+TEST(PaperProperties, ReturnsHandledByRas)
+{
+    SharedTrace trace = recordWorkload("xlisp", kOps);
+    FrontendStats stats = runAccuracy(trace, baselineConfig());
+    ASSERT_GT(stats.returns.total(), 0u);
+    EXPECT_GT(stats.returns.hitRate(), 0.99);
+}
+
+/** The C++ future-work workload: denser indirect calls, and the tagged
+ *  cache helps (paper §5's closing conjecture). */
+TEST(PaperProperties, CppVirtualBenefitsFromTaggedCache)
+{
+    SharedTrace trace = recordWorkload("cpp-virtual", kOps);
+    double btb = runAccuracy(trace, baselineConfig())
+                     .indirectJumps.missRate();
+    double tagged = runAccuracy(trace,
+                                taggedConfig(TaggedIndexScheme::HistoryXor,
+                                             8, patternHistory(16)))
+                        .indirectJumps.missRate();
+    EXPECT_LT(tagged, btb);
+}
+
+} // namespace
+} // namespace tpred

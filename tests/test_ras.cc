@@ -1,0 +1,82 @@
+/** @file Unit tests for the return address stack. */
+
+#include <gtest/gtest.h>
+
+#include "bpred/ras.hh"
+
+namespace tpred
+{
+namespace
+{
+
+TEST(Ras, PushPopLifo)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x104);
+    ras.push(0x208);
+    EXPECT_EQ(ras.pop(), 0x208u);
+    EXPECT_EQ(ras.pop(), 0x104u);
+}
+
+TEST(Ras, UnderflowReturnsZero)
+{
+    ReturnAddressStack ras(4);
+    EXPECT_EQ(ras.pop(), 0u);
+    ras.push(0x100);
+    ras.pop();
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(Ras, OverflowOverwritesOldest)
+{
+    ReturnAddressStack ras(2);
+    ras.push(0x1);
+    ras.push(0x2);
+    ras.push(0x3);  // overwrites 0x1
+    EXPECT_EQ(ras.size(), 2u);
+    EXPECT_EQ(ras.pop(), 0x3u);
+    EXPECT_EQ(ras.pop(), 0x2u);
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(Ras, TopDoesNotPop)
+{
+    ReturnAddressStack ras(4);
+    ras.push(0x42);
+    EXPECT_EQ(ras.top(), 0x42u);
+    EXPECT_EQ(ras.size(), 1u);
+}
+
+TEST(Ras, Reset)
+{
+    ReturnAddressStack ras(4);
+    ras.push(0x1);
+    ras.reset();
+    EXPECT_TRUE(ras.empty());
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(Ras, DeepCallChainWithinDepth)
+{
+    ReturnAddressStack ras(16);
+    for (uint64_t i = 1; i <= 16; ++i)
+        ras.push(i * 4);
+    for (uint64_t i = 16; i >= 1; --i)
+        EXPECT_EQ(ras.pop(), i * 4);
+}
+
+TEST(Ras, WrapAroundAfterOverflowKeepsNewest)
+{
+    ReturnAddressStack ras(4);
+    for (uint64_t i = 1; i <= 6; ++i)
+        ras.push(i);
+    // The newest 4 survive: 6,5,4,3.
+    EXPECT_EQ(ras.pop(), 6u);
+    EXPECT_EQ(ras.pop(), 5u);
+    EXPECT_EQ(ras.pop(), 4u);
+    EXPECT_EQ(ras.pop(), 3u);
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+} // namespace
+} // namespace tpred

@@ -1,0 +1,147 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace tpred
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(7);
+    const uint64_t first = a.next();
+    a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, BelowIsInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng rng(5);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 4000; ++i)
+        ++seen[rng.below(8)];
+    for (int v : seen)
+        EXPECT_GT(v, 300);  // roughly uniform
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+        EXPECT_FALSE(rng.chance(-0.5));
+        EXPECT_TRUE(rng.chance(1.5));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / double(n), 0.3, 0.02);
+}
+
+TEST(Rng, UniformInHalfOpenInterval)
+{
+    Rng rng(17);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, WeightedRespectsWeights)
+{
+    Rng rng(19);
+    std::vector<double> w = {1.0, 0.0, 3.0};
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++counts[rng.weighted(w)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(counts[2] / double(counts[0]), 3.0, 0.5);
+}
+
+TEST(Rng, WeightedAllZeroFallsBackToUniform)
+{
+    Rng rng(23);
+    std::vector<double> w = {0.0, 0.0, 0.0, 0.0};
+    std::vector<int> counts(4, 0);
+    for (int i = 0; i < 4000; ++i)
+        ++counts[rng.weighted(w)];
+    for (int c : counts)
+        EXPECT_GT(c, 700);
+}
+
+TEST(Rng, GeometricBounds)
+{
+    Rng rng(29);
+    for (int i = 0; i < 5000; ++i) {
+        unsigned v = rng.geometric(0.5, 4);
+        EXPECT_GE(v, 1u);
+        EXPECT_LE(v, 4u);
+    }
+}
+
+TEST(Rng, GeometricZeroPIsAlwaysOne)
+{
+    Rng rng(31);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.geometric(0.0, 8), 1u);
+}
+
+} // namespace
+} // namespace tpred

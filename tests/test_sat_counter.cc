@@ -1,0 +1,89 @@
+/** @file Unit tests for the saturating counter. */
+
+#include <gtest/gtest.h>
+
+#include "common/sat_counter.hh"
+
+namespace tpred
+{
+namespace
+{
+
+TEST(SatCounter, DefaultIsTwoBitAtZero)
+{
+    SatCounter ctr;
+    EXPECT_EQ(ctr.count(), 0u);
+    EXPECT_EQ(ctr.max(), 3u);
+    EXPECT_TRUE(ctr.isMin());
+    EXPECT_FALSE(ctr.isTaken());
+}
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter ctr(2, 0);
+    for (int i = 0; i < 10; ++i)
+        ctr.increment();
+    EXPECT_EQ(ctr.count(), 3u);
+    EXPECT_TRUE(ctr.isMax());
+    EXPECT_TRUE(ctr.isTaken());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter ctr(2, 3);
+    for (int i = 0; i < 10; ++i)
+        ctr.decrement();
+    EXPECT_EQ(ctr.count(), 0u);
+    EXPECT_TRUE(ctr.isMin());
+}
+
+TEST(SatCounter, TakenThreshold)
+{
+    SatCounter ctr(2, 0);
+    EXPECT_FALSE(ctr.isTaken());  // 0
+    ctr.increment();
+    EXPECT_FALSE(ctr.isTaken());  // 1: weakly not-taken
+    ctr.increment();
+    EXPECT_TRUE(ctr.isTaken());   // 2: weakly taken
+    ctr.increment();
+    EXPECT_TRUE(ctr.isTaken());   // 3
+}
+
+TEST(SatCounter, InitialClamped)
+{
+    SatCounter ctr(2, 100);
+    EXPECT_EQ(ctr.count(), 3u);
+}
+
+TEST(SatCounter, SetClamped)
+{
+    SatCounter ctr(3);
+    ctr.set(200);
+    EXPECT_EQ(ctr.count(), 7u);
+    ctr.set(2);
+    EXPECT_EQ(ctr.count(), 2u);
+}
+
+TEST(SatCounter, OneBitCounter)
+{
+    SatCounter ctr(1);
+    EXPECT_EQ(ctr.max(), 1u);
+    ctr.increment();
+    EXPECT_TRUE(ctr.isTaken());
+    ctr.increment();
+    EXPECT_EQ(ctr.count(), 1u);
+}
+
+/** Hysteresis property: takes two updates to flip a saturated 2-bit
+ *  counter's direction — the behaviour branch predictors rely on. */
+TEST(SatCounter, TwoBitHysteresis)
+{
+    SatCounter ctr(2, 3);
+    ctr.decrement();
+    EXPECT_TRUE(ctr.isTaken());   // one bad outcome does not flip
+    ctr.decrement();
+    EXPECT_FALSE(ctr.isTaken());  // two do
+}
+
+} // namespace
+} // namespace tpred

@@ -1,0 +1,71 @@
+/** @file Tests for the per-site misprediction analysis. */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "harness/paper_tables.hh"
+#include "harness/site_report.hh"
+
+namespace tpred
+{
+namespace
+{
+
+TEST(SiteReport, AccountsForEveryIndirectJump)
+{
+    SharedTrace trace = recordWorkload("perl", 50000);
+    SiteReport report = analyzeSites(trace, baselineConfig());
+
+    uint64_t execs = 0, misses = 0;
+    for (const auto &site : report.sites) {
+        execs += site.executions;
+        misses += site.mispredictions;
+        EXPECT_LE(site.mispredictions, site.executions);
+        EXPECT_GE(site.distinctTargets, 1u);
+    }
+    EXPECT_EQ(execs, report.totalIndirect);
+    EXPECT_EQ(misses, report.totalMisses);
+    EXPECT_GT(report.totalIndirect, 0u);
+}
+
+TEST(SiteReport, MatchesAggregateAccuracy)
+{
+    SharedTrace trace = recordWorkload("xlisp", 50000);
+    SiteReport report = analyzeSites(trace, taglessGshare());
+    FrontendStats stats = runAccuracy(trace, taglessGshare());
+    EXPECT_EQ(report.totalIndirect, stats.indirectJumps.total());
+    EXPECT_EQ(report.totalMisses, stats.indirectJumps.misses());
+}
+
+TEST(SiteReport, SortedByMisses)
+{
+    SharedTrace trace = recordWorkload("gcc", 50000);
+    SiteReport report = analyzeSites(trace, baselineConfig());
+    for (size_t i = 1; i < report.sites.size(); ++i)
+        EXPECT_GE(report.sites[i - 1].mispredictions,
+                  report.sites[i].mispredictions);
+}
+
+TEST(SiteReport, RenderShowsTopSites)
+{
+    SharedTrace trace = recordWorkload("perl", 50000);
+    SiteReport report = analyzeSites(trace, baselineConfig());
+    std::string out = report.render(2);
+    EXPECT_NE(out.find("0x"), std::string::npos);
+    EXPECT_NE(out.find("miss rate"), std::string::npos);
+    // Header + rule + 2 rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(SiteReport, BetterPredictorFewerMisses)
+{
+    SharedTrace trace = recordWorkload("m88ksim", 50000);
+    SiteReport btb = analyzeSites(trace, baselineConfig());
+    SiteReport cache = analyzeSites(trace, taglessGshare());
+    EXPECT_LT(cache.totalMisses, btb.totalMisses);
+    EXPECT_EQ(cache.totalIndirect, btb.totalIndirect);
+}
+
+} // namespace
+} // namespace tpred

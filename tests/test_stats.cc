@@ -1,0 +1,75 @@
+/** @file Unit tests for statistics helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace tpred
+{
+namespace
+{
+
+TEST(RatioStat, Empty)
+{
+    RatioStat stat;
+    EXPECT_EQ(stat.total(), 0u);
+    EXPECT_DOUBLE_EQ(stat.hitRate(), 0.0);
+    EXPECT_DOUBLE_EQ(stat.missRate(), 0.0);
+}
+
+TEST(RatioStat, CountsHitsAndMisses)
+{
+    RatioStat stat;
+    stat.record(true);
+    stat.record(true);
+    stat.record(false);
+    EXPECT_EQ(stat.hits(), 2u);
+    EXPECT_EQ(stat.misses(), 1u);
+    EXPECT_NEAR(stat.hitRate(), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(stat.missRate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(RatioStat, Merge)
+{
+    RatioStat a, b;
+    a.record(true);
+    b.record(false);
+    b.record(false);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 3u);
+    EXPECT_EQ(a.misses(), 2u);
+}
+
+TEST(RatioStat, Reset)
+{
+    RatioStat stat;
+    stat.record(true);
+    stat.reset();
+    EXPECT_EQ(stat.total(), 0u);
+}
+
+TEST(Stats, FormatPercent)
+{
+    EXPECT_EQ(formatPercent(0.5), "50.00%");
+    EXPECT_EQ(formatPercent(0.123456, 1), "12.3%");
+    EXPECT_EQ(formatPercent(-0.05, 0), "-5%");
+}
+
+TEST(Stats, FormatCount)
+{
+    EXPECT_EQ(formatCount(0), "0");
+    EXPECT_EQ(formatCount(999), "999");
+    EXPECT_EQ(formatCount(1000), "1,000");
+    EXPECT_EQ(formatCount(1234567), "1,234,567");
+}
+
+TEST(Stats, ExecTimeReduction)
+{
+    EXPECT_DOUBLE_EQ(execTimeReduction(100, 90), 0.10);
+    EXPECT_DOUBLE_EQ(execTimeReduction(100, 110), -0.10);
+    EXPECT_DOUBLE_EQ(execTimeReduction(100, 100), 0.0);
+    EXPECT_DOUBLE_EQ(execTimeReduction(0, 50), 0.0);
+}
+
+} // namespace
+} // namespace tpred

@@ -1,0 +1,87 @@
+/** @file Unit tests for the ASCII table formatter. */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace tpred
+{
+namespace
+{
+
+TEST(Table, RendersHeaderAndRule)
+{
+    Table table;
+    table.setHeader({"a", "bb"});
+    table.addRow({"1", "2"});
+    std::string out = table.render();
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table table;
+    table.setHeader({"name", "v"});
+    table.addRow({"x", "10"});
+    table.addRow({"longer", "3"});
+    std::string out = table.render();
+    // Both value cells start at the same column.
+    size_t line1 = out.find("x");
+    size_t line2 = out.find("longer");
+    size_t col1 = out.find("10", line1) - out.rfind('\n', line1);
+    size_t col2 = out.find("3", line2) - out.rfind('\n', line2);
+    EXPECT_EQ(col1, col2);
+}
+
+TEST(Table, RaggedRowsAllowed)
+{
+    Table table;
+    table.addRow({"only-one"});
+    table.addRow({"a", "b", "c"});
+    EXPECT_NO_THROW({ auto s = table.render(); (void)s; });
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, RuleBetweenRows)
+{
+    Table table;
+    table.addRow({"x"});
+    table.addRule();
+    table.addRow({"y"});
+    std::string out = table.render();
+    size_t x = out.find("x");
+    size_t dash = out.find("---", x);
+    size_t y = out.find("y", dash);
+    EXPECT_NE(dash, std::string::npos);
+    EXPECT_NE(y, std::string::npos);
+}
+
+TEST(Table, EmptyTableRendersNothing)
+{
+    Table table;
+    EXPECT_EQ(table.render(), "");
+    EXPECT_EQ(table.renderCsv(), "");
+}
+
+TEST(Table, CsvBasics)
+{
+    Table table;
+    table.setHeader({"a", "b"});
+    table.addRow({"1", "2"});
+    table.addRule();  // skipped in CSV
+    table.addRow({"3", "4"});
+    EXPECT_EQ(table.renderCsv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, CsvQuotesSpecialCells)
+{
+    Table table;
+    table.addRow({"has,comma", "has\"quote"});
+    EXPECT_EQ(table.renderCsv(),
+              "\"has,comma\",\"has\"\"quote\"\n");
+}
+
+} // namespace
+} // namespace tpred

@@ -1,0 +1,207 @@
+/** @file Unit tests for the tagged target cache (paper §3.2, Fig 11). */
+
+#include <gtest/gtest.h>
+
+#include "core/tagged_target_cache.hh"
+
+namespace tpred
+{
+namespace
+{
+
+TaggedConfig
+cfg(TaggedIndexScheme scheme, unsigned entries = 256, unsigned ways = 4,
+    unsigned history_bits = 9)
+{
+    TaggedConfig config;
+    config.scheme = scheme;
+    config.entries = entries;
+    config.ways = ways;
+    config.historyBits = history_bits;
+    return config;
+}
+
+TEST(Tagged, MissOnEmpty)
+{
+    TaggedTargetCache cache(cfg(TaggedIndexScheme::HistoryXor));
+    EXPECT_FALSE(cache.predict(0x100, 0).has_value());
+    EXPECT_EQ(cache.validEntries(), 0u);
+}
+
+TEST(Tagged, HitAfterUpdate)
+{
+    TaggedTargetCache cache(cfg(TaggedIndexScheme::HistoryXor));
+    cache.update(0x100, 0b1010, 0x2000);
+    auto pred = cache.predict(0x100, 0b1010);
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_EQ(*pred, 0x2000u);
+}
+
+TEST(Tagged, DifferentHistoryMisses)
+{
+    // Tags remove interference: a different history probes a
+    // different entry and abstains instead of guessing.
+    TaggedTargetCache cache(cfg(TaggedIndexScheme::HistoryXor));
+    cache.update(0x100, 0b1010, 0x2000);
+    EXPECT_FALSE(cache.predict(0x100, 0b0101).has_value());
+}
+
+TEST(Tagged, DifferentBranchMisses)
+{
+    TaggedTargetCache cache(cfg(TaggedIndexScheme::HistoryXor));
+    cache.update(0x100, 0b1010, 0x2000);
+    EXPECT_FALSE(cache.predict(0x10000, 0b1010).has_value());
+}
+
+TEST(Tagged, UpdateOverwritesSameIndex)
+{
+    TaggedTargetCache cache(cfg(TaggedIndexScheme::HistoryXor));
+    cache.update(0x100, 0b1010, 0x2000);
+    cache.update(0x100, 0b1010, 0x3000);
+    EXPECT_EQ(*cache.predict(0x100, 0b1010), 0x3000u);
+    EXPECT_EQ(cache.validEntries(), 1u);
+}
+
+TEST(Tagged, AddressSchemeMapsAllTargetsOfAJumpToOneSet)
+{
+    // The paper's observation about the Address scheme: every history
+    // variant of one jump lands in the same set, so low associativity
+    // thrashes (Table 7).
+    TaggedTargetCache cache(cfg(TaggedIndexScheme::Address));
+    const auto [set_a, tag_a] = cache.indexOf(0x100, 0b0001);
+    const auto [set_b, tag_b] = cache.indexOf(0x100, 0b1110);
+    EXPECT_EQ(set_a, set_b);
+    EXPECT_NE(tag_a, tag_b);
+}
+
+TEST(Tagged, HistorySchemesSpreadTargetsOfAJumpAcrossSets)
+{
+    for (auto scheme : {TaggedIndexScheme::HistoryConcat,
+                        TaggedIndexScheme::HistoryXor}) {
+        TaggedTargetCache cache(cfg(scheme));
+        const auto [set_a, tag_a] = cache.indexOf(0x100, 0b000001);
+        const auto [set_b, tag_b] = cache.indexOf(0x100, 0b111110);
+        EXPECT_NE(set_a, set_b) << taggedIndexSchemeName(scheme);
+        (void)tag_a;
+        (void)tag_b;
+    }
+}
+
+TEST(Tagged, AddressSchemeThrashesDirectMapped)
+{
+    // Direct-mapped Address-indexed cache, one jump with 4 history
+    // contexts: conflict misses every round after warmup.
+    TaggedTargetCache cache(cfg(TaggedIndexScheme::Address, 256, 1));
+    int hits = 0;
+    for (int round = 0; round < 50; ++round) {
+        for (uint64_t h = 0; h < 4; ++h) {
+            hits += cache.predict(0x100, h).has_value();
+            cache.update(0x100, h, 0x1000 + h * 8);
+        }
+    }
+    EXPECT_EQ(hits, 0);
+
+    // The same stream on a History-XOR cache hits after warmup.
+    TaggedTargetCache xcache(cfg(TaggedIndexScheme::HistoryXor, 256, 1));
+    int xhits = 0;
+    for (int round = 0; round < 50; ++round) {
+        for (uint64_t h = 0; h < 4; ++h) {
+            xhits += xcache.predict(0x100, h).has_value();
+            xcache.update(0x100, h, 0x1000 + h * 8);
+        }
+    }
+    EXPECT_GT(xhits, 150);
+}
+
+TEST(Tagged, FourWayHoldsFourHistoriesOfOneJumpUnderAddressScheme)
+{
+    TaggedTargetCache cache(cfg(TaggedIndexScheme::Address, 256, 4));
+    for (uint64_t h = 0; h < 4; ++h)
+        cache.update(0x100, h, 0x1000 + h * 8);
+    for (uint64_t h = 0; h < 4; ++h)
+        EXPECT_EQ(cache.predict(0x100, h).value(), 0x1000 + h * 8);
+}
+
+TEST(Tagged, LruEvictionWithinSet)
+{
+    // 2 entries, 2 ways -> 1 set.  Three (pc, history) pairs compete.
+    TaggedTargetCache cache(cfg(TaggedIndexScheme::HistoryXor, 2, 2));
+    cache.update(0x100, 0, 0x1000);
+    cache.update(0x200, 0, 0x2000);
+    EXPECT_TRUE(cache.predict(0x100, 0).has_value());  // refresh LRU
+    cache.update(0x300, 0, 0x3000);
+    EXPECT_TRUE(cache.predict(0x100, 0).has_value());
+    EXPECT_FALSE(cache.predict(0x200, 0).has_value());
+    EXPECT_TRUE(cache.predict(0x300, 0).has_value());
+}
+
+TEST(Tagged, FullyAssociativeSingleSet)
+{
+    TaggedConfig config = cfg(TaggedIndexScheme::HistoryXor, 16, 16);
+    EXPECT_EQ(config.sets(), 1u);
+    TaggedTargetCache cache(config);
+    for (uint64_t i = 0; i < 16; ++i)
+        cache.update(0x100 + i * 4, 0, 0x1000 + i);
+    EXPECT_EQ(cache.validEntries(), 16u);
+}
+
+TEST(Tagged, CostIncludesTagBits)
+{
+    TaggedTargetCache cache(cfg(TaggedIndexScheme::HistoryXor, 256, 4));
+    EXPECT_EQ(cache.costBits(), 256u * (32 + 16));
+}
+
+/** Property: round trip across schemes, associativities and history
+ *  lengths (paper Tables 7 and 9 dimensions). */
+class TaggedRoundTrip
+    : public ::testing::TestWithParam<
+          std::tuple<TaggedIndexScheme, unsigned, unsigned>>
+{
+};
+
+TEST_P(TaggedRoundTrip, UpdateThenPredictRoundTrips)
+{
+    auto [scheme, ways, history_bits] = GetParam();
+    TaggedTargetCache cache(cfg(scheme, 256, ways, history_bits));
+    // Few enough distinct pairs that nothing is evicted.
+    for (uint64_t i = 0; i < 8; ++i) {
+        const uint64_t pc = 0x1000 + i * 64;
+        const uint64_t hist = i * 31;
+        cache.update(pc, hist, 0x9000 + i * 4);
+        ASSERT_TRUE(cache.predict(pc, hist).has_value());
+        EXPECT_EQ(*cache.predict(pc, hist), 0x9000 + i * 4);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesWaysHistory, TaggedRoundTrip,
+    ::testing::Combine(::testing::Values(TaggedIndexScheme::Address,
+                                         TaggedIndexScheme::HistoryConcat,
+                                         TaggedIndexScheme::HistoryXor),
+                       ::testing::Values(1u, 2u, 4u, 8u, 16u),
+                       ::testing::Values(9u, 16u)));
+
+/** Property: the set index is always within range. */
+class TaggedIndexRange
+    : public ::testing::TestWithParam<TaggedIndexScheme>
+{
+};
+
+TEST_P(TaggedIndexRange, SetWithinRange)
+{
+    TaggedConfig config = cfg(GetParam(), 256, 4);
+    TaggedTargetCache cache(config);
+    for (uint64_t i = 0; i < 500; ++i) {
+        auto [set, tag] = cache.indexOf(0xabc000 + i * 4, i * 0x123);
+        EXPECT_LT(set, config.sets());
+        EXPECT_LE(tag, (uint64_t{1} << config.tagBits) - 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, TaggedIndexRange,
+                         ::testing::Values(TaggedIndexScheme::Address,
+                                           TaggedIndexScheme::HistoryConcat,
+                                           TaggedIndexScheme::HistoryXor));
+
+} // namespace
+} // namespace tpred

@@ -1,0 +1,166 @@
+/** @file Unit tests for the tagless target cache (paper §3.2, Fig 10). */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+#include "core/tagless_target_cache.hh"
+
+namespace tpred
+{
+namespace
+{
+
+TaglessConfig
+cfg(TaglessIndexScheme scheme, unsigned entry_bits = 9,
+    unsigned history_bits = 9, unsigned addr_bits = 0)
+{
+    TaglessConfig config;
+    config.scheme = scheme;
+    config.entryBits = entry_bits;
+    config.historyBits = history_bits;
+    config.addrBits = addr_bits;
+    return config;
+}
+
+TEST(Tagless, ColdEntryPredictsZero)
+{
+    TaglessTargetCache cache(cfg(TaglessIndexScheme::Gshare));
+    auto pred = cache.predict(0x100, 0);
+    ASSERT_TRUE(pred.has_value());  // tagless always predicts
+    EXPECT_EQ(*pred, 0u);
+}
+
+TEST(Tagless, LearnsTargetPerHistory)
+{
+    TaglessTargetCache cache(cfg(TaglessIndexScheme::Gshare));
+    cache.update(0x100, 0b1010, 0x2000);
+    cache.update(0x100, 0b0101, 0x3000);
+    EXPECT_EQ(*cache.predict(0x100, 0b1010), 0x2000u);
+    EXPECT_EQ(*cache.predict(0x100, 0b0101), 0x3000u);
+}
+
+TEST(Tagless, GAgIgnoresAddress)
+{
+    TaglessTargetCache cache(cfg(TaglessIndexScheme::GAg));
+    EXPECT_EQ(cache.indexOf(0x100, 0b111), cache.indexOf(0x9999, 0b111));
+    cache.update(0x100, 0b111, 0x2000);
+    // Another branch with the same history reads the same entry:
+    // the interference the paper describes.
+    EXPECT_EQ(*cache.predict(0x5550, 0b111), 0x2000u);
+}
+
+TEST(Tagless, GshareMixesAddressAndHistory)
+{
+    TaglessTargetCache cache(cfg(TaglessIndexScheme::Gshare));
+    EXPECT_EQ(cache.indexOf(0x100, 0b11),
+              ((0x100 >> 2) ^ 0b11) & mask(9));
+    EXPECT_NE(cache.indexOf(0x100, 0b11), cache.indexOf(0x104, 0b11));
+}
+
+TEST(Tagless, GAsPartitionsByAddress)
+{
+    // GAs(7,2): 2 address bits select the sub-table, 7 history bits
+    // the entry within it.
+    TaglessTargetCache cache(cfg(TaglessIndexScheme::GAs, 9, 7, 2));
+    const uint64_t idx = cache.indexOf(0x104, 0b1010101);
+    EXPECT_EQ(idx >> 7, (0x104 >> 2) & 0b11u);
+    EXPECT_EQ(idx & mask(7), 0b1010101u);
+    // Branches in different sub-tables never interfere.
+    cache.update(0x100, 0b1, 0x2000);
+    cache.update(0x104, 0b1, 0x3000);
+    EXPECT_EQ(*cache.predict(0x100, 0b1), 0x2000u);
+    EXPECT_EQ(*cache.predict(0x104, 0b1), 0x3000u);
+}
+
+TEST(Tagless, HistoryMaskedToConfiguredBits)
+{
+    TaglessTargetCache cache(cfg(TaglessIndexScheme::GAg, 4, 4));
+    EXPECT_EQ(cache.indexOf(0, 0xf0f), 0xfu);
+}
+
+TEST(Tagless, InterferenceOverwrites)
+{
+    // Two different branches hashing to the same entry displace each
+    // other's target — the motivation for the tagged variant.
+    TaglessTargetCache cache(cfg(TaglessIndexScheme::GAg, 4, 4));
+    cache.update(0x100, 0b0011, 0x2000);
+    cache.update(0x777000, 0b0011, 0x5000);
+    EXPECT_EQ(*cache.predict(0x100, 0b0011), 0x5000u);
+}
+
+TEST(Tagless, CostIs32BitsPerEntry)
+{
+    TaglessTargetCache cache(cfg(TaglessIndexScheme::Gshare, 9));
+    EXPECT_EQ(cache.costBits(), 512u * 32u);
+}
+
+TEST(Tagless, DescribeMentionsSchemeAndSize)
+{
+    TaglessTargetCache gag(cfg(TaglessIndexScheme::GAg, 9, 9));
+    EXPECT_NE(gag.describe().find("GAg(9)"), std::string::npos);
+    EXPECT_NE(gag.describe().find("512"), std::string::npos);
+    TaglessTargetCache gas(cfg(TaglessIndexScheme::GAs, 9, 7, 2));
+    EXPECT_NE(gas.describe().find("GAs(7,2)"), std::string::npos);
+}
+
+/** Property: for every scheme, update-then-predict with the same
+ *  (pc, history) returns the stored target. */
+class TaglessRoundTrip
+    : public ::testing::TestWithParam<TaglessIndexScheme>
+{
+};
+
+TEST_P(TaglessRoundTrip, UpdateThenPredictRoundTrips)
+{
+    TaglessConfig config = cfg(GetParam());
+    if (GetParam() == TaglessIndexScheme::GAs) {
+        config.historyBits = 7;
+        config.addrBits = 2;
+    }
+    TaglessTargetCache cache(config);
+    for (uint64_t i = 0; i < 200; ++i) {
+        const uint64_t pc = 0x1000 + i * 4;
+        const uint64_t hist = (i * 37) & 0x1ff;
+        const uint64_t target = 0x40000 + i * 8;
+        cache.update(pc, hist, target);
+        EXPECT_EQ(*cache.predict(pc, hist), target);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, TaglessRoundTrip,
+                         ::testing::Values(TaglessIndexScheme::GAg,
+                                           TaglessIndexScheme::GAs,
+                                           TaglessIndexScheme::Gshare));
+
+/** Property: indexes always fall inside the table. */
+class TaglessIndexRange
+    : public ::testing::TestWithParam<std::tuple<TaglessIndexScheme,
+                                                 unsigned>>
+{
+};
+
+TEST_P(TaglessIndexRange, IndexInRange)
+{
+    auto [scheme, entry_bits] = GetParam();
+    TaglessConfig config = cfg(scheme, entry_bits, entry_bits);
+    if (scheme == TaglessIndexScheme::GAs) {
+        config.historyBits = entry_bits - 1;
+        config.addrBits = 1;
+    }
+    TaglessTargetCache cache(config);
+    for (uint64_t i = 0; i < 500; ++i) {
+        const uint64_t idx =
+            cache.indexOf(0xfffff000 + i * 4, i * 0x9e37);
+        EXPECT_LT(idx, config.entries());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndSizes, TaglessIndexRange,
+    ::testing::Combine(::testing::Values(TaglessIndexScheme::GAg,
+                                         TaglessIndexScheme::GAs,
+                                         TaglessIndexScheme::Gshare),
+                       ::testing::Values(4u, 9u, 12u)));
+
+} // namespace
+} // namespace tpred

@@ -1,0 +1,87 @@
+/** @file Unit tests for the McFarling tournament predictor. */
+
+#include <gtest/gtest.h>
+
+#include "bpred/tournament.hh"
+#include "common/rng.hh"
+
+namespace tpred
+{
+namespace
+{
+
+TEST(Tournament, LearnsStrongBias)
+{
+    TournamentPredictor pred;
+    for (int i = 0; i < 8; ++i)
+        pred.update(0x100, 0, true);
+    EXPECT_TRUE(pred.predict(0x100, 0));
+}
+
+TEST(Tournament, BimodalWinsOnHistoryNoise)
+{
+    // A biased branch probed under random histories: gshare's PHT
+    // fragments, bimodal nails it — the chooser must migrate.
+    TournamentPredictor pred;
+    Rng rng(3);
+    int wrong = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const uint64_t history = rng.below(1 << 12);
+        const bool taken = rng.chance(0.95);
+        if (i > 1000)
+            wrong += pred.predict(0x100, history) != taken;
+        pred.update(0x100, history, taken);
+    }
+    // Close to the 5% noise floor, far from gshare-fragmenting chaos.
+    EXPECT_LT(wrong, 3000 * 0.12);
+}
+
+TEST(Tournament, GshareWinsOnAlternatingPattern)
+{
+    TournamentPredictor pred;
+    uint64_t history = 0;
+    int wrong = 0;
+    bool outcome = false;
+    for (int i = 0; i < 4000; ++i) {
+        outcome = !outcome;
+        if (i > 1000)
+            wrong += pred.predict(0x40c, history) != outcome;
+        pred.update(0x40c, history, outcome);
+        history = (history << 1 | outcome) & 0xfff;
+    }
+    EXPECT_LT(wrong, 3000 * 0.02);
+    EXPECT_GT(pred.gshareShare(), 0.2);
+}
+
+TEST(Tournament, HandlesMixedBranchPopulation)
+{
+    // One alternating branch (gshare-friendly) plus one biased branch
+    // under noisy history (bimodal-friendly) — the tournament must do
+    // well on BOTH, which neither component alone can.
+    TournamentPredictor pred;
+    Rng rng(5);
+    uint64_t history = 0;
+    int wrong = 0, total = 0;
+    bool alt = false;
+    for (int i = 0; i < 6000; ++i) {
+        alt = !alt;
+        if (i > 2000) {
+            ++total;
+            wrong += pred.predict(0x100, history) != alt;
+        }
+        pred.update(0x100, history, alt);
+        history = (history << 1 | alt) & 0xfff;
+
+        const bool biased = rng.chance(0.97);
+        if (i > 2000) {
+            ++total;
+            wrong += pred.predict(0x2000, history) != biased;
+        }
+        pred.update(0x2000, history, biased);
+        history = (history << 1 | biased) & 0xfff;
+    }
+    EXPECT_LT(static_cast<double>(wrong) / total, 0.06);
+}
+
+} // namespace
+} // namespace tpred

@@ -1,0 +1,133 @@
+/** @file Unit tests for binary trace serialization. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+#include "trace/trace_io.hh"
+#include "workloads/workload.hh"
+
+namespace tpred
+{
+namespace
+{
+
+std::vector<MicroOp>
+sampleOps()
+{
+    std::vector<MicroOp> ops;
+    ops.push_back(test::plainOp(0x100, InstClass::Load));
+    ops.back().memAddr = 0xbeef8;
+    ops.push_back(test::indirectOp(0x104, 0x4000, 7));
+    ops.push_back(test::branchOp(0x4000, BranchKind::CondDirect, 0x200,
+                                 false));
+    return ops;
+}
+
+TEST(TraceIo, RoundTripPreservesEverything)
+{
+    std::stringstream buffer;
+    writeTrace(buffer, sampleOps(), "sample");
+
+    std::string name;
+    auto ops = readTrace(buffer, name);
+    EXPECT_EQ(name, "sample");
+    ASSERT_EQ(ops.size(), 3u);
+
+    EXPECT_EQ(ops[0].pc, 0x100u);
+    EXPECT_EQ(ops[0].cls, InstClass::Load);
+    EXPECT_EQ(ops[0].memAddr, 0xbeef8u);
+    EXPECT_EQ(ops[0].fallthrough, 0x104u);
+
+    EXPECT_EQ(ops[1].branch, BranchKind::IndirectJump);
+    EXPECT_EQ(ops[1].nextPc, 0x4000u);
+    EXPECT_EQ(ops[1].selector, 7u);
+    EXPECT_TRUE(ops[1].taken);
+
+    EXPECT_EQ(ops[2].branch, BranchKind::CondDirect);
+    EXPECT_FALSE(ops[2].taken);
+    EXPECT_EQ(ops[2].nextPc, 0x4004u);
+}
+
+TEST(TraceIo, RoundTripRegisters)
+{
+    auto ops = sampleOps();
+    ops[0].dstReg = 12;
+    ops[0].srcRegs = {3, kNoReg};
+    std::stringstream buffer;
+    writeTrace(buffer, ops, "r");
+    std::string name;
+    auto back = readTrace(buffer, name);
+    EXPECT_EQ(back[0].dstReg, 12);
+    EXPECT_EQ(back[0].srcRegs[0], 3);
+    EXPECT_EQ(back[0].srcRegs[1], kNoReg);
+}
+
+TEST(TraceIo, EmptyTrace)
+{
+    std::stringstream buffer;
+    writeTrace(buffer, {}, "");
+    std::string name;
+    auto ops = readTrace(buffer, name);
+    EXPECT_TRUE(ops.empty());
+    EXPECT_TRUE(name.empty());
+}
+
+TEST(TraceIo, RejectsBadMagic)
+{
+    std::stringstream buffer("this is not a trace file at all......");
+    std::string name;
+    EXPECT_THROW(readTrace(buffer, name), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncation)
+{
+    std::stringstream buffer;
+    writeTrace(buffer, sampleOps(), "t");
+    std::string data = buffer.str();
+    std::stringstream cut(data.substr(0, data.size() - 10));
+    std::string name;
+    EXPECT_THROW(readTrace(cut, name), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsWrongVersion)
+{
+    std::stringstream buffer;
+    writeTrace(buffer, {}, "v");
+    std::string data = buffer.str();
+    data[4] = 99;  // clobber the version field
+    std::stringstream bad(data);
+    std::string name;
+    EXPECT_THROW(readTrace(bad, name), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTripOfWorkloadTrace)
+{
+    auto workload = makeWorkload("compress", 3);
+    auto ops = drainTrace(*workload, 5000);
+    const std::string path = "/tmp/tpred_test_trace.tpr";
+    saveTraceFile(path, ops, "compress");
+
+    std::string name;
+    auto back = loadTraceFile(path, name);
+    EXPECT_EQ(name, "compress");
+    ASSERT_EQ(back.size(), ops.size());
+    for (size_t i = 0; i < ops.size(); i += 101) {
+        EXPECT_EQ(back[i].pc, ops[i].pc);
+        EXPECT_EQ(back[i].nextPc, ops[i].nextPc);
+        EXPECT_EQ(back[i].cls, ops[i].cls);
+        EXPECT_EQ(back[i].branch, ops[i].branch);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows)
+{
+    std::string name;
+    EXPECT_THROW(loadTraceFile("/nonexistent/path.tpr", name),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace tpred

@@ -1,0 +1,126 @@
+/** @file Unit tests for trace statistics and the target profiler. */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+#include "trace/trace_source.hh"
+#include "trace/trace_stats.hh"
+
+namespace tpred
+{
+namespace
+{
+
+TEST(TraceCounts, ClassifiesInstructions)
+{
+    TraceCounts counts;
+    counts.observe(test::plainOp(0x100));
+    counts.observe(test::plainOp(0x104, InstClass::Load));
+    counts.observe(test::plainOp(0x108, InstClass::Store));
+    counts.observe(test::branchOp(0x10c, BranchKind::CondDirect, 0x200));
+    counts.observe(test::branchOp(0x110, BranchKind::Call, 0x300));
+    counts.observe(test::branchOp(0x114, BranchKind::Return, 0x120));
+    counts.observe(test::indirectOp(0x118, 0x400));
+    counts.observe(test::branchOp(0x11c, BranchKind::IndirectCall,
+                                  0x500));
+
+    EXPECT_EQ(counts.instructions, 8u);
+    EXPECT_EQ(counts.branches, 5u);
+    EXPECT_EQ(counts.condBranches, 1u);
+    EXPECT_EQ(counts.indirectJumps, 2u);  // jump + indirect call
+    EXPECT_EQ(counts.returns, 1u);
+    EXPECT_EQ(counts.calls, 1u);
+    EXPECT_EQ(counts.loads, 1u);
+    EXPECT_EQ(counts.stores, 1u);
+}
+
+TEST(TargetProfiler, CountsDistinctTargetsPerSite)
+{
+    TargetProfiler profiler;
+    profiler.observe(test::indirectOp(0x100, 0x200));
+    profiler.observe(test::indirectOp(0x100, 0x300));
+    profiler.observe(test::indirectOp(0x100, 0x200));
+    profiler.observe(test::indirectOp(0x500, 0x600));
+
+    EXPECT_EQ(profiler.staticSites(), 2u);
+    EXPECT_EQ(profiler.dynamicJumps(), 4u);
+    EXPECT_EQ(profiler.targetsOfSite(0x100), 2u);
+    EXPECT_EQ(profiler.targetsOfSite(0x500), 1u);
+    EXPECT_EQ(profiler.targetsOfSite(0x999), 0u);
+}
+
+TEST(TargetProfiler, IgnoresReturnsAndDirectBranches)
+{
+    TargetProfiler profiler;
+    profiler.observe(test::branchOp(0x100, BranchKind::Return, 0x200));
+    profiler.observe(test::branchOp(0x104, BranchKind::CondDirect,
+                                    0x200));
+    profiler.observe(test::plainOp(0x108));
+    EXPECT_EQ(profiler.staticSites(), 0u);
+    EXPECT_EQ(profiler.dynamicJumps(), 0u);
+}
+
+TEST(TargetProfiler, HistogramWeightedByDynamicCount)
+{
+    TargetProfiler profiler;
+    // Site A: 2 targets, executed 3 times.
+    profiler.observe(test::indirectOp(0x100, 0x200));
+    profiler.observe(test::indirectOp(0x100, 0x300));
+    profiler.observe(test::indirectOp(0x100, 0x200));
+    // Site B: 1 target, executed once.
+    profiler.observe(test::indirectOp(0x500, 0x600));
+
+    Histogram hist = profiler.buildHistogram();
+    EXPECT_EQ(hist.total(), 4u);
+    EXPECT_EQ(hist.count(2), 3u);
+    EXPECT_EQ(hist.count(1), 1u);
+}
+
+TEST(TargetProfiler, ManyTargetsLandInOverflowBucket)
+{
+    TargetProfiler profiler;
+    for (uint64_t t = 0; t < 40; ++t)
+        profiler.observe(test::indirectOp(0x100, 0x1000 + t * 4));
+    Histogram hist = profiler.buildHistogram();
+    EXPECT_EQ(hist.overflow(), 40u);
+}
+
+TEST(VectorTraceSource, ReplaysAndRewinds)
+{
+    std::vector<MicroOp> ops = {test::plainOp(0x100),
+                                test::plainOp(0x104)};
+    VectorTraceSource source(ops, "t");
+    MicroOp op;
+    EXPECT_TRUE(source.next(op));
+    EXPECT_EQ(op.pc, 0x100u);
+    EXPECT_TRUE(source.next(op));
+    EXPECT_FALSE(source.next(op));
+    source.rewind();
+    EXPECT_TRUE(source.next(op));
+    EXPECT_EQ(op.pc, 0x100u);
+}
+
+TEST(DrainTrace, RespectsMaxOps)
+{
+    std::vector<MicroOp> ops(100, test::plainOp(0x100));
+    VectorTraceSource source(ops);
+    auto drained = drainTrace(source, 30);
+    EXPECT_EQ(drained.size(), 30u);
+}
+
+TEST(ProfileTrace, OnePassCollectsBoth)
+{
+    std::vector<MicroOp> ops = {
+        test::plainOp(0x100),
+        test::indirectOp(0x104, 0x200),
+        test::indirectOp(0x104, 0x300),
+    };
+    VectorTraceSource source(ops);
+    TraceProfile profile = profileTrace(source, 1000);
+    EXPECT_EQ(profile.counts.instructions, 3u);
+    EXPECT_EQ(profile.counts.indirectJumps, 2u);
+    EXPECT_EQ(profile.targets.targetsOfSite(0x104), 2u);
+}
+
+} // namespace
+} // namespace tpred

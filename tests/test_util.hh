@@ -1,0 +1,48 @@
+/** @file Shared helpers for building MicroOps in unit tests. */
+
+#ifndef TPRED_TESTS_TEST_UTIL_HH
+#define TPRED_TESTS_TEST_UTIL_HH
+
+#include "trace/micro_op.hh"
+
+namespace tpred::test
+{
+
+/** A plain non-branch op at @p pc. */
+inline MicroOp
+plainOp(uint64_t pc, InstClass cls = InstClass::Integer)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.fallthrough = pc + 4;
+    op.nextPc = pc + 4;
+    op.cls = cls;
+    return op;
+}
+
+/** A resolved branch of @p kind at @p pc. */
+inline MicroOp
+branchOp(uint64_t pc, BranchKind kind, uint64_t target, bool taken = true)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.fallthrough = pc + 4;
+    op.cls = InstClass::Branch;
+    op.branch = kind;
+    op.taken = taken;
+    op.nextPc = taken ? target : op.fallthrough;
+    return op;
+}
+
+/** An indirect jump at @p pc to @p target. */
+inline MicroOp
+indirectOp(uint64_t pc, uint64_t target, uint64_t selector = 0)
+{
+    MicroOp op = branchOp(pc, BranchKind::IndirectJump, target);
+    op.selector = selector;
+    return op;
+}
+
+} // namespace tpred::test
+
+#endif // TPRED_TESTS_TEST_UTIL_HH

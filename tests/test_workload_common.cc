@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Property tests every synthetic workload must satisfy: determinism,
+ * trace well-formedness, static-code consistency, call/return balance,
+ * and the per-benchmark control-flow profiles DESIGN.md promises.
+ */
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_stats.hh"
+#include "workloads/workload.hh"
+
+namespace tpred
+{
+namespace
+{
+
+constexpr size_t kOps = 60000;
+
+std::vector<MicroOp>
+record(const std::string &name, uint64_t seed = 1, size_t ops = kOps)
+{
+    auto workload = makeWorkload(name, seed);
+    return drainTrace(*workload, ops);
+}
+
+class WorkloadProperties : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    void SetUp() override { trace_ = record(GetParam()); }
+    std::vector<MicroOp> trace_;
+};
+
+TEST_P(WorkloadProperties, ProducesRequestedLength)
+{
+    EXPECT_EQ(trace_.size(), kOps);
+}
+
+TEST_P(WorkloadProperties, DeterministicForSameSeed)
+{
+    auto again = record(GetParam());
+    ASSERT_EQ(again.size(), trace_.size());
+    for (size_t i = 0; i < trace_.size(); i += 997) {
+        EXPECT_EQ(again[i].pc, trace_[i].pc) << "at " << i;
+        EXPECT_EQ(again[i].nextPc, trace_[i].nextPc) << "at " << i;
+        EXPECT_EQ(again[i].branch, trace_[i].branch) << "at " << i;
+    }
+}
+
+TEST_P(WorkloadProperties, DifferentSeedsDiverge)
+{
+    auto other = record(GetParam(), 999, 20000);
+    size_t same = 0;
+    for (size_t i = 0; i < other.size(); ++i)
+        same += other[i].pc == trace_[i].pc;
+    // Static layout is shared, but the dynamic path must differ.
+    EXPECT_LT(same, other.size());
+}
+
+TEST_P(WorkloadProperties, OpsAreWellFormed)
+{
+    for (const MicroOp &op : trace_) {
+        EXPECT_EQ(op.pc % 4, 0u);
+        EXPECT_EQ(op.fallthrough, op.pc + 4);
+        if (!op.isBranch()) {
+            EXPECT_EQ(op.nextPc, op.fallthrough);
+            EXPECT_NE(op.cls, InstClass::Branch);
+        } else {
+            EXPECT_EQ(op.cls, InstClass::Branch);
+            if (op.branch == BranchKind::CondDirect && !op.taken) {
+                EXPECT_EQ(op.nextPc, op.fallthrough);
+            }
+            if (op.branch != BranchKind::CondDirect) {
+                EXPECT_TRUE(op.taken);
+            }
+        }
+        // Code and data segments are disjoint.
+        EXPECT_LT(op.pc, Workload::kDataBase);
+        EXPECT_NE(op.nextPc, 0u);
+    }
+}
+
+TEST_P(WorkloadProperties, StaticCodeIsConsistent)
+{
+    // At a fixed pc: the branch kind never changes, and direct
+    // branches always have the same taken-target.
+    std::map<uint64_t, BranchKind> kind_at;
+    std::map<uint64_t, uint64_t> direct_target_at;
+    for (const MicroOp &op : trace_) {
+        if (!op.isBranch())
+            continue;
+        auto [it, fresh] = kind_at.try_emplace(op.pc, op.branch);
+        if (!fresh) {
+            ASSERT_EQ(it->second, op.branch)
+                << "branch kind changed at 0x" << std::hex << op.pc;
+        }
+        const bool direct = op.branch == BranchKind::CondDirect ||
+                            op.branch == BranchKind::UncondDirect ||
+                            op.branch == BranchKind::Call;
+        if (direct && op.taken) {
+            auto [t, tfresh] =
+                direct_target_at.try_emplace(op.pc, op.nextPc);
+            if (!tfresh) {
+                ASSERT_EQ(t->second, op.nextPc)
+                    << "direct target changed at 0x" << std::hex
+                    << op.pc;
+            }
+        }
+    }
+}
+
+TEST_P(WorkloadProperties, CallsAndReturnsBalance)
+{
+    // Simulate a perfect return stack: every return must go back to
+    // the fall-through of the matching call.
+    std::vector<uint64_t> stack;
+    for (const MicroOp &op : trace_) {
+        if (op.branch == BranchKind::Call ||
+            op.branch == BranchKind::IndirectCall) {
+            stack.push_back(op.fallthrough);
+        } else if (op.branch == BranchKind::Return) {
+            ASSERT_FALSE(stack.empty());
+            ASSERT_EQ(op.nextPc, stack.back());
+            stack.pop_back();
+        }
+    }
+    EXPECT_LT(stack.size(), 64u);  // bounded nesting
+}
+
+TEST_P(WorkloadProperties, RealisticInstructionMix)
+{
+    TraceCounts counts;
+    for (const MicroOp &op : trace_)
+        counts.observe(op);
+    const double branch_frac =
+        double(counts.branches) / double(counts.instructions);
+    EXPECT_GT(branch_frac, 0.10);
+    EXPECT_LT(branch_frac, 0.55);
+    EXPECT_GT(counts.indirectJumps, 0u);
+    EXPECT_GT(counts.loads, 0u);
+    EXPECT_GT(counts.stores, 0u);
+}
+
+TEST_P(WorkloadProperties, IndirectJumpsHaveSelectors)
+{
+    // The CBT needs the dispatch selector; at least the dominant
+    // indirect sites must provide varying selectors.
+    std::map<uint64_t, std::set<uint64_t>> selectors;
+    for (const MicroOp &op : trace_) {
+        if (isIndirectNonReturn(op.branch))
+            selectors[op.pc].insert(op.selector);
+    }
+    size_t max_selectors = 0;
+    for (const auto &[pc, sels] : selectors)
+        max_selectors = std::max(max_selectors, sels.size());
+    EXPECT_GE(max_selectors, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadProperties,
+    ::testing::ValuesIn(allWorkloadNames()),
+    [](const auto &info) {
+        std::string name = info.param;
+        for (auto &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+// ---- Per-benchmark profile properties (DESIGN.md / paper Figs 1-8) --
+
+TEST(WorkloadProfiles, PerlEvalSiteHasThirtyPlusTargets)
+{
+    auto trace = record("perl", 1, 120000);
+    TargetProfiler profiler;
+    for (const auto &op : trace)
+        profiler.observe(op);
+    // Few static sites, at least one with >= 30 targets (Figure 6).
+    EXPECT_LE(profiler.staticSites(), 6u);
+    Histogram hist = profiler.buildHistogram();
+    EXPECT_GT(hist.overflowFraction(), 0.3);
+}
+
+TEST(WorkloadProfiles, GccHasManySitesWithSpreadTargetCounts)
+{
+    auto trace = record("gcc", 1, 120000);
+    TargetProfiler profiler;
+    for (const auto &op : trace)
+        profiler.observe(op);
+    EXPECT_GE(profiler.staticSites(), 10u);  // Figure 2's spread
+}
+
+TEST(WorkloadProfiles, CompressIndirectJumpsAreRareAndFewTargets)
+{
+    auto trace = record("compress", 1, 120000);
+    TraceCounts counts;
+    TargetProfiler profiler;
+    for (const auto &op : trace) {
+        counts.observe(op);
+        profiler.observe(op);
+    }
+    EXPECT_LT(double(counts.indirectJumps) / counts.instructions, 0.02);
+    Histogram hist = profiler.buildHistogram();
+    EXPECT_EQ(hist.overflow(), 0u);  // no >=30-target sites (Fig 1)
+}
+
+TEST(WorkloadProfiles, IjpegNearlyMonomorphic)
+{
+    auto trace = record("ijpeg", 1, 120000);
+    TargetProfiler profiler;
+    for (const auto &op : trace)
+        profiler.observe(op);
+    Histogram hist = profiler.buildHistogram();
+    // Dominant mass at <= 3 targets per site (Figure 4).
+    EXPECT_GT(hist.fraction(1) + hist.fraction(2) + hist.fraction(3),
+              0.95);
+}
+
+TEST(WorkloadProfiles, VortexDispatchMostlyRepeats)
+{
+    auto trace = record("vortex", 1, 120000);
+    uint64_t changes = 0, total = 0;
+    std::map<uint64_t, uint64_t> last;
+    for (const auto &op : trace) {
+        if (!isIndirectNonReturn(op.branch))
+            continue;
+        auto it = last.find(op.pc);
+        if (it != last.end()) {
+            ++total;
+            changes += it->second != op.nextPc;
+        }
+        last[op.pc] = op.nextPc;
+    }
+    ASSERT_GT(total, 100u);
+    // Low target-change rate = low BTB misprediction (Table 1).
+    EXPECT_LT(double(changes) / total, 0.3);
+}
+
+TEST(WorkloadProfiles, PerlDispatchRarelyRepeats)
+{
+    auto trace = record("perl", 1, 120000);
+    uint64_t changes = 0, total = 0;
+    std::map<uint64_t, uint64_t> last;
+    for (const auto &op : trace) {
+        if (!isIndirectNonReturn(op.branch))
+            continue;
+        auto it = last.find(op.pc);
+        if (it != last.end()) {
+            ++total;
+            changes += it->second != op.nextPc;
+        }
+        last[op.pc] = op.nextPc;
+    }
+    ASSERT_GT(total, 100u);
+    EXPECT_GT(double(changes) / total, 0.6);
+}
+
+TEST(WorkloadFactory, UnknownNameThrows)
+{
+    EXPECT_THROW(makeWorkload("nonesuch"), std::invalid_argument);
+}
+
+TEST(WorkloadFactory, NamesListedAreConstructible)
+{
+    EXPECT_EQ(spec95Names().size(), 8u);
+    EXPECT_EQ(allWorkloadNames().size(), 9u);
+    for (const auto &name : allWorkloadNames()) {
+        auto workload = makeWorkload(name);
+        EXPECT_EQ(workload->name(), name);
+    }
+}
+
+} // namespace
+} // namespace tpred

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Per-workload structural tests: each generator's *specific* promises
+ * from docs/workloads.md, beyond the common invariants of
+ * test_workload_common.cc.
+ */
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_stats.hh"
+#include "workloads/workload.hh"
+
+namespace tpred
+{
+namespace
+{
+
+std::vector<MicroOp>
+record(const std::string &name, size_t ops, uint64_t seed = 1)
+{
+    auto workload = makeWorkload(name, seed);
+    return drainTrace(*workload, ops);
+}
+
+/**
+ * Windowed periodicity: split @p seq into windows, find the best
+ * single-lag self-match fraction per window, return the mean.
+ */
+double
+windowedPeriodicity(const std::vector<uint64_t> &seq, size_t window,
+                    size_t max_lag)
+{
+    double sum = 0.0;
+    size_t windows = 0;
+    for (size_t start = 0; start + window <= seq.size();
+         start += window) {
+        double best = 0.0;
+        for (size_t lag = 4; lag <= max_lag && lag * 2 < window;
+             ++lag) {
+            size_t m = 0;
+            for (size_t i = start + lag; i < start + window; ++i)
+                m += seq[i] == seq[i - lag];
+            best = std::max(best, static_cast<double>(m) /
+                                      (window - lag));
+        }
+        sum += best;
+        ++windows;
+    }
+    return windows ? sum / windows : 0.0;
+}
+
+/** Collect per-site target sets. */
+std::map<uint64_t, std::set<uint64_t>>
+siteTargets(const std::vector<MicroOp> &trace)
+{
+    std::map<uint64_t, std::set<uint64_t>> sites;
+    for (const auto &op : trace)
+        if (isIndirectNonReturn(op.branch))
+            sites[op.pc].insert(op.nextPc);
+    return sites;
+}
+
+// ---- perl ----------------------------------------------------------
+
+TEST(PerlWorkload, EvalDispatchCoversTheFullAlphabet)
+{
+    auto sites = siteTargets(record("perl", 200000));
+    size_t max_targets = 0;
+    for (const auto &[pc, targets] : sites)
+        max_targets = std::max(max_targets, targets.size());
+    EXPECT_GE(max_targets, 30u);  // Figure 6's ">=30" profile
+}
+
+TEST(PerlWorkload, TokenStreamIsPeriodicWithinALine)
+{
+    // Extract the eval-site target sequence; within one line pass the
+    // same subsequence must recur many times (16 iterations/line).
+    auto trace = record("perl", 300000);
+    auto sites = siteTargets(trace);
+    // The eval site is the one with the most targets.
+    uint64_t eval_pc = 0;
+    size_t best = 0;
+    for (const auto &[pc, targets] : sites) {
+        if (targets.size() > best) {
+            best = targets.size();
+            eval_pc = pc;
+        }
+    }
+    std::vector<uint64_t> seq;
+    for (const auto &op : trace)
+        if (op.pc == eval_pc)
+            seq.push_back(op.nextPc);
+    ASSERT_GT(seq.size(), 1000u);
+
+    // Lines differ in length, so periodicity is windowed: within a
+    // window (inside one line's 16-iteration run) some lag must match
+    // strongly; average the per-window best.
+    EXPECT_GT(windowedPeriodicity(seq, 150, 60), 0.55);
+}
+
+// ---- gcc -----------------------------------------------------------
+
+TEST(GccWorkload, PassesCreateManyDistinctSites)
+{
+    auto sites = siteTargets(record("gcc", 300000));
+    EXPECT_GE(sites.size(), 10u);
+    // Target-count spread: at least one small and one large site.
+    size_t smallest = SIZE_MAX, largest = 0;
+    for (const auto &[pc, targets] : sites) {
+        smallest = std::min(smallest, targets.size());
+        largest = std::max(largest, targets.size());
+    }
+    EXPECT_LE(smallest, 8u);
+    EXPECT_GE(largest, 30u);
+}
+
+TEST(GccWorkload, PassIterationRepeatsTheDispatchSequence)
+{
+    // Within a pass, the fixpoint iterations replay the same node
+    // sequence: for each site, consecutive visits should show exact
+    // k-step periodicity a good fraction of the time.
+    auto trace = record("gcc", 200000);
+    std::map<uint64_t, std::vector<uint64_t>> seqs;
+    for (const auto &op : trace)
+        if (op.branch == BranchKind::IndirectJump)
+            seqs[op.pc].push_back(op.nextPc);
+    // Pick the busiest site.
+    const std::vector<uint64_t> *seq = nullptr;
+    for (const auto &[pc, s] : seqs)
+        if (!seq || s.size() > seq->size())
+            seq = &s;
+    ASSERT_NE(seq, nullptr);
+    // Iteration length varies by function, so measure windowed
+    // periodicity (each window sits inside one function's fixpoint
+    // iterations).
+    EXPECT_GT(windowedPeriodicity(*seq, 160, 80), 0.4);
+}
+
+// ---- m88ksim -------------------------------------------------------
+
+TEST(M88ksimWorkload, HotLoopDominatesTheDecodeStream)
+{
+    auto trace = record("m88ksim", 200000);
+    std::map<uint64_t, uint64_t> target_counts;
+    uint64_t total = 0;
+    for (const auto &op : trace) {
+        if (op.branch != BranchKind::IndirectJump)
+            continue;
+        ++target_counts[op.nextPc];
+        ++total;
+    }
+    // The hot inner loop's handlers (kAdd/kSub run) dominate.
+    uint64_t top2 = 0;
+    std::vector<uint64_t> counts;
+    for (const auto &[t, c] : target_counts)
+        counts.push_back(c);
+    std::sort(counts.rbegin(), counts.rend());
+    if (counts.size() >= 2)
+        top2 = counts[0] + counts[1];
+    EXPECT_GT(static_cast<double>(top2) / total, 0.35);
+}
+
+// ---- vortex --------------------------------------------------------
+
+TEST(VortexWorkload, ContainerPhasesAreSticky)
+{
+    auto trace = record("vortex", 200000);
+    // Consecutive method-dispatch targets at the same site repeat
+    // most of the time (sticky container + dominant class).
+    std::map<uint64_t, uint64_t> last;
+    uint64_t repeats = 0, total = 0;
+    for (const auto &op : trace) {
+        if (op.branch != BranchKind::IndirectCall)
+            continue;
+        auto it = last.find(op.pc);
+        if (it != last.end()) {
+            ++total;
+            repeats += it->second == op.nextPc;
+        }
+        last[op.pc] = op.nextPc;
+    }
+    ASSERT_GT(total, 1000u);
+    EXPECT_GT(static_cast<double>(repeats) / total, 0.7);
+}
+
+// ---- xlisp ---------------------------------------------------------
+
+TEST(XlispWorkload, RecursionReachesRealDepth)
+{
+    auto trace = record("xlisp", 100000);
+    size_t depth = 0, max_depth = 0;
+    for (const auto &op : trace) {
+        if (op.branch == BranchKind::Call ||
+            op.branch == BranchKind::IndirectCall)
+            max_depth = std::max(max_depth, ++depth);
+        else if (op.branch == BranchKind::Return && depth > 0)
+            --depth;
+    }
+    EXPECT_GE(max_depth, 4u);
+    EXPECT_LE(max_depth, 16u);  // within the RAS depth
+}
+
+TEST(XlispWorkload, GcPhaseContainsNoIndirectJumps)
+{
+    // GC is conditional/ALU work: overall indirect density drops when
+    // GC runs, but more simply, the trace has long indirect-free gaps.
+    auto trace = record("xlisp", 100000);
+    size_t gap = 0, max_gap = 0;
+    for (const auto &op : trace) {
+        if (isIndirectNonReturn(op.branch)) {
+            max_gap = std::max(max_gap, gap);
+            gap = 0;
+        } else {
+            ++gap;
+        }
+    }
+    EXPECT_GE(max_gap, 100u);
+}
+
+// ---- compress / ijpeg ----------------------------------------------
+
+TEST(CompressWorkload, OutputPathsArePeriodic)
+{
+    auto trace = record("compress", 300000);
+    // Find the 3-target output site and check its majority target
+    // dominates (fast path most of the time).
+    auto sites = siteTargets(trace);
+    std::map<uint64_t, std::map<uint64_t, uint64_t>> counts;
+    for (const auto &op : trace)
+        if (isIndirectNonReturn(op.branch))
+            ++counts[op.pc][op.nextPc];
+    bool found = false;
+    for (const auto &[pc, targets] : sites) {
+        if (targets.size() == 3) {
+            found = true;
+            uint64_t total = 0, best = 0;
+            for (const auto &[t, c] : counts[pc]) {
+                total += c;
+                best = std::max(best, c);
+            }
+            EXPECT_GT(static_cast<double>(best) / total, 0.7);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(IjpegWorkload, ComponentConstantWithinScanRows)
+{
+    auto trace = record("ijpeg", 300000);
+    auto sites = siteTargets(trace);
+    // The 3-target component site changes target rarely.
+    for (const auto &op0 : trace) {
+        (void)op0;
+        break;
+    }
+    std::map<uint64_t, uint64_t> last;
+    std::map<uint64_t, std::pair<uint64_t, uint64_t>> change_of;
+    for (const auto &op : trace) {
+        if (op.branch != BranchKind::IndirectJump)
+            continue;
+        auto it = last.find(op.pc);
+        if (it != last.end()) {
+            auto &[changes, total] = change_of[op.pc];
+            ++total;
+            changes += it->second != op.nextPc;
+        }
+        last[op.pc] = op.nextPc;
+    }
+    for (const auto &[pc, targets] : sites) {
+        if (targets.size() == 3) {
+            const auto &[changes, total] = change_of[pc];
+            ASSERT_GT(total, 100u);
+            EXPECT_LT(static_cast<double>(changes) / total, 0.05);
+        }
+    }
+}
+
+// ---- go ------------------------------------------------------------
+
+TEST(GoWorkload, JosekiSequencesRepeatAcrossTheRun)
+{
+    // The same 3-gram of move targets must recur many times (replayed
+    // joseki lines), even though the stream has noise.
+    auto trace = record("go", 200000);
+    std::vector<uint64_t> seq;
+    for (const auto &op : trace)
+        if (op.branch == BranchKind::IndirectJump)
+            seq.push_back(op.nextPc);
+    std::map<std::tuple<uint64_t, uint64_t, uint64_t>, int> trigrams;
+    for (size_t i = 2; i < seq.size(); ++i)
+        ++trigrams[{seq[i - 2], seq[i - 1], seq[i]}];
+    int max_count = 0;
+    for (const auto &[key, count] : trigrams)
+        max_count = std::max(max_count, count);
+    EXPECT_GT(max_count, 50);
+}
+
+// ---- cpp-virtual ---------------------------------------------------
+
+TEST(CppVirtualWorkload, MixedPolymorphismDegrees)
+{
+    auto sites = siteTargets(record("cpp-virtual", 200000));
+    size_t mono = 0, mega = 0;
+    for (const auto &[pc, targets] : sites) {
+        if (targets.size() <= 2)
+            ++mono;
+        if (targets.size() >= 8)
+            ++mega;
+    }
+    EXPECT_GE(mono, 2u);
+    EXPECT_GE(mega, 2u);
+}
+
+} // namespace
+} // namespace tpred

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * tpredsim — command-line driver for the target-cache library.
+ *
+ * Runs any workload through any predictor configuration, in accuracy
+ * or timing mode, and can save/load binary traces.
+ *
+ *   tpredsim --workload perl --predictor tagged --ways 8 --hist 16
+ *   tpredsim --workload gcc --predictor tagless --history path-indjmp
+ *   tpredsim --workload perl --timing --ops 2000000
+ *   tpredsim --workload perl --save-trace perl.tpr
+ *   tpredsim --load-trace perl.tpr --predictor ittage --sites 10
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "common/stats.hh"
+#include "harness/paper_tables.hh"
+#include "harness/site_report.hh"
+#include "trace/trace_io.hh"
+#include "workloads/workload.hh"
+
+using namespace tpred;
+
+namespace
+{
+
+struct Options
+{
+    std::string workload = "perl";
+    std::string predictor = "tagless";
+    std::string history = "pattern";
+    std::string scheme = "xor";
+    std::string saveTrace;
+    std::string loadTrace;
+    size_t ops = 1'000'000;
+    unsigned ways = 4;
+    unsigned histBits = 9;
+    unsigned bitsPerTarget = 1;
+    uint64_t seed = 1;
+    size_t sites = 0;
+    bool timing = false;
+    bool twoBitBtb = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::puts(
+        "tpredsim — indirect-jump target prediction simulator\n"
+        "\n"
+        "  --workload NAME     compress|gcc|go|ijpeg|m88ksim|perl|\n"
+        "                      vortex|xlisp|cpp-virtual   [perl]\n"
+        "  --ops N             instructions to simulate   [1000000]\n"
+        "  --seed N            workload seed              [1]\n"
+        "  --predictor KIND    btb|tagless|tagged|cascaded|ittage|\n"
+        "                      oracle                     [tagless]\n"
+        "  --history KIND      pattern|path-control|path-branch|\n"
+        "                      path-callret|path-indjmp|path-peraddr\n"
+        "                                                 [pattern]\n"
+        "  --hist N            history bits               [9]\n"
+        "  --bits-per-target N path bits per target       [1]\n"
+        "  --scheme S          tagged index: addr|concat|xor  [xor]\n"
+        "  --ways N            tagged associativity       [4]\n"
+        "  --two-bit-btb       Calder/Grunwald BTB update strategy\n"
+        "  --timing            run the OoO timing model too\n"
+        "  --sites N           print the top-N misbehaving sites\n"
+        "  --save-trace FILE   record the workload to a trace file\n"
+        "  --load-trace FILE   replay a recorded trace file\n");
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--workload")
+            opt.workload = need(i);
+        else if (arg == "--ops")
+            opt.ops = static_cast<size_t>(std::atoll(need(i)));
+        else if (arg == "--seed")
+            opt.seed = static_cast<uint64_t>(std::atoll(need(i)));
+        else if (arg == "--predictor")
+            opt.predictor = need(i);
+        else if (arg == "--history")
+            opt.history = need(i);
+        else if (arg == "--hist")
+            opt.histBits = static_cast<unsigned>(std::atoi(need(i)));
+        else if (arg == "--bits-per-target")
+            opt.bitsPerTarget =
+                static_cast<unsigned>(std::atoi(need(i)));
+        else if (arg == "--scheme")
+            opt.scheme = need(i);
+        else if (arg == "--ways")
+            opt.ways = static_cast<unsigned>(std::atoi(need(i)));
+        else if (arg == "--two-bit-btb")
+            opt.twoBitBtb = true;
+        else if (arg == "--timing")
+            opt.timing = true;
+        else if (arg == "--sites")
+            opt.sites = static_cast<size_t>(std::atoll(need(i)));
+        else if (arg == "--save-trace")
+            opt.saveTrace = need(i);
+        else if (arg == "--load-trace")
+            opt.loadTrace = need(i);
+        else
+            usage();
+    }
+    return opt;
+}
+
+HistorySpec
+historyFor(const Options &opt)
+{
+    if (opt.history == "pattern")
+        return patternHistory(opt.histBits);
+    if (opt.history == "path-control")
+        return pathGlobal(PathFilter::Control, opt.histBits,
+                          opt.bitsPerTarget);
+    if (opt.history == "path-branch")
+        return pathGlobal(PathFilter::Branch, opt.histBits,
+                          opt.bitsPerTarget);
+    if (opt.history == "path-callret")
+        return pathGlobal(PathFilter::CallRet, opt.histBits,
+                          opt.bitsPerTarget);
+    if (opt.history == "path-indjmp")
+        return pathGlobal(PathFilter::IndJmp, opt.histBits,
+                          opt.bitsPerTarget);
+    if (opt.history == "path-peraddr")
+        return pathPerAddress(opt.histBits, opt.bitsPerTarget);
+    throw std::invalid_argument("unknown history: " + opt.history);
+}
+
+TaggedIndexScheme
+schemeFor(const Options &opt)
+{
+    if (opt.scheme == "addr")
+        return TaggedIndexScheme::Address;
+    if (opt.scheme == "concat")
+        return TaggedIndexScheme::HistoryConcat;
+    if (opt.scheme == "xor")
+        return TaggedIndexScheme::HistoryXor;
+    throw std::invalid_argument("unknown scheme: " + opt.scheme);
+}
+
+IndirectConfig
+configFor(const Options &opt)
+{
+    if (opt.predictor == "btb")
+        return baselineConfig();
+    if (opt.predictor == "tagless")
+        return taglessGshare(historyFor(opt));
+    if (opt.predictor == "tagged")
+        return taggedConfig(schemeFor(opt), opt.ways, historyFor(opt));
+    if (opt.predictor == "cascaded")
+        return cascadedConfig(128, opt.ways);
+    if (opt.predictor == "ittage")
+        return ittageConfig();
+    if (opt.predictor == "oracle")
+        return oracleConfig();
+    throw std::invalid_argument("unknown predictor: " + opt.predictor);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const Options opt = parse(argc, argv);
+
+        SharedTrace trace = [&] {
+            if (!opt.loadTrace.empty()) {
+                std::string name;
+                VectorTraceSource source(
+                    loadTraceFile(opt.loadTrace, name), name);
+                return SharedTrace(source, opt.ops);
+            }
+            auto workload = makeWorkload(opt.workload, opt.seed);
+            return SharedTrace(*workload, opt.ops);
+        }();
+        std::printf("trace: %s, %s instructions\n", trace.name().c_str(),
+                    formatCount(trace.size()).c_str());
+
+        if (!opt.saveTrace.empty()) {
+            saveTraceFile(opt.saveTrace, trace.ops(), trace.name());
+            std::printf("saved trace to %s\n", opt.saveTrace.c_str());
+        }
+
+        const IndirectConfig config = configFor(opt);
+        FrontendConfig fe;
+        if (opt.twoBitBtb)
+            fe = twoBitBtbFrontend();
+
+        std::printf("predictor: %s\n\n", config.describe().c_str());
+
+        FrontendStats stats = runAccuracy(trace, config, fe);
+        std::printf("indirect jumps : %s, miss rate %s\n",
+                    formatCount(stats.indirectJumps.total()).c_str(),
+                    formatPercent(stats.indirectJumps.missRate(), 2)
+                        .c_str());
+        std::printf("cond direction : miss rate %s\n",
+                    formatPercent(stats.condDirection.missRate(), 2)
+                        .c_str());
+        std::printf("returns        : miss rate %s\n",
+                    formatPercent(stats.returns.missRate(), 2).c_str());
+        std::printf("all branches   : %.2f MPKI\n", stats.mpki());
+
+        if (opt.timing) {
+            CoreResult base = runTiming(trace, baselineConfig(), {},
+                                        fe);
+            CoreResult result = runTiming(trace, config, {}, fe);
+            std::printf("\ntiming         : %s cycles, IPC %.2f\n",
+                        formatCount(result.cycles).c_str(),
+                        result.ipc());
+            std::printf("indirect stalls: %s cycles (%s of total)\n",
+                        formatCount(result.indirectStallCycles())
+                            .c_str(),
+                        formatPercent(
+                            result.cycles
+                                ? static_cast<double>(
+                                      result.indirectStallCycles()) /
+                                      static_cast<double>(result.cycles)
+                                : 0.0,
+                            1)
+                            .c_str());
+            std::printf("vs BTB baseline: %s reduction in execution "
+                        "time\n",
+                        formatPercent(execTimeReduction(base.cycles,
+                                                        result.cycles),
+                                      2)
+                            .c_str());
+        }
+
+        if (opt.sites > 0) {
+            SiteReport report = analyzeSites(trace, config, fe);
+            std::printf("\ntop mispredicting sites:\n%s",
+                        report.render(opt.sites).c_str());
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "tpredsim: %s\n", e.what());
+        return 1;
+    }
+}
