@@ -11,6 +11,9 @@
  *      motivation for adding tags);
  *   6. the direction predictor's influence (gshare vs McFarling
  *      tournament baseline machine).
+ *
+ * Every grid runs on the parallel experiment engine; traces are
+ * shared across sections through the trace cache.
  */
 
 #include "bench_util.hh"
@@ -24,23 +27,32 @@ main(int argc, char **argv)
     const size_t ops = resolveOps(argc, argv, kDefaultAccuracyOps);
     bench::heading("Ablations (indirect-jump misprediction rate)", ops);
 
+    const ParallelRunner runner;
+    const std::vector<std::string> headline = bench::headlinePair();
+    const std::vector<SharedTrace> headline_traces =
+        bench::recordAll(headline, ops);
+
     // --- 1. History length sweep --------------------------------
     {
+        const std::vector<unsigned> lengths = {4, 6, 9, 12, 16};
+        // Entry count fixed at 512; longer histories fold through
+        // the XOR index.
+        const auto cells = runner.map<double>(
+            headline.size() * lengths.size(), [&](size_t j) {
+                return runAccuracy(
+                           headline_traces[j / lengths.size()],
+                           taglessGshare(patternHistory(
+                               lengths[j % lengths.size()])))
+                    .indirectJumps.missRate();
+            });
         Table table;
         table.setHeader({"Benchmark", "h=4", "h=6", "h=9", "h=12",
                          "h=16"});
-        for (const auto &name : bench::headlinePair()) {
-            SharedTrace trace = recordWorkload(name, ops);
-            std::vector<std::string> row = {name};
-            for (unsigned bits : {4u, 6u, 9u, 12u, 16u}) {
-                // Entry count fixed at 512; longer histories fold
-                // through the XOR index.
-                double miss =
-                    runAccuracy(trace,
-                                taglessGshare(patternHistory(bits)))
-                        .indirectJumps.missRate();
-                row.push_back(formatPercent(miss, 1));
-            }
+        for (size_t w = 0; w < headline.size(); ++w) {
+            std::vector<std::string> row = {headline[w]};
+            for (size_t k = 0; k < lengths.size(); ++k)
+                row.push_back(formatPercent(
+                    cells[w * lengths.size() + k], 1));
             table.addRow(row);
         }
         std::printf("[history length, tagless gshare 512]\n%s\n",
@@ -67,14 +79,22 @@ main(int argc, char **argv)
                              " B)");
         }
         table.setHeader(header);
-        for (const auto &name : spec95Names()) {
-            SharedTrace trace = recordWorkload(name, ops);
-            std::vector<std::string> row = {name};
-            for (const auto &[label, config] : structures) {
-                double miss = runAccuracy(trace, config)
-                                  .indirectJumps.missRate();
-                row.push_back(formatPercent(miss, 1));
-            }
+
+        const auto &names = spec95Names();
+        const std::vector<SharedTrace> traces =
+            bench::recordAll(names, ops);
+        const auto cells = runner.map<double>(
+            names.size() * structures.size(), [&](size_t j) {
+                return runAccuracy(
+                           traces[j / structures.size()],
+                           structures[j % structures.size()].second)
+                    .indirectJumps.missRate();
+            });
+        for (size_t w = 0; w < names.size(); ++w) {
+            std::vector<std::string> row = {names[w]};
+            for (size_t k = 0; k < structures.size(); ++k)
+                row.push_back(formatPercent(
+                    cells[w * structures.size() + k], 1));
             table.addRow(row);
         }
         std::printf("[structures at comparable budget]\n%s\n",
@@ -83,41 +103,38 @@ main(int argc, char **argv)
 
     // --- 3. C++ virtual dispatch (paper §5 future work) ----------
     {
-        SharedTrace trace = recordWorkload("cpp-virtual", ops);
+        const SharedTrace trace = cachedTrace("cpp-virtual", ops);
+        const std::vector<std::pair<std::string, IndirectConfig>>
+            configs = {
+                {"BTB", baselineConfig()},
+                {"tagless-512", taglessGshare()},
+                {"tagged-256x8w-h16",
+                 taggedConfig(TaggedIndexScheme::HistoryXor, 8,
+                              patternHistory(16))},
+                {"cascaded", cascadedConfig()},
+            };
+        const auto cells = runner.map<double>(
+            configs.size(), [&](size_t j) {
+                return runAccuracy(trace, configs[j].second)
+                    .indirectJumps.missRate();
+            });
         Table table;
         table.setHeader({"Predictor", "Mispred. rate"});
-        table.addRow({"BTB", formatPercent(
-                                 runAccuracy(trace, baselineConfig())
-                                     .indirectJumps.missRate(),
-                                 1)});
-        table.addRow(
-            {"tagless-512",
-             formatPercent(runAccuracy(trace, taglessGshare())
-                               .indirectJumps.missRate(),
-                           1)});
-        table.addRow(
-            {"tagged-256x8w-h16",
-             formatPercent(
-                 runAccuracy(trace,
-                             taggedConfig(TaggedIndexScheme::HistoryXor,
-                                          8, patternHistory(16)))
-                     .indirectJumps.missRate(),
-                 1)});
-        table.addRow(
-            {"cascaded",
-             formatPercent(runAccuracy(trace, cascadedConfig())
-                               .indirectJumps.missRate(),
-                           1)});
+        for (size_t k = 0; k < configs.size(); ++k)
+            table.addRow({configs[k].first,
+                          formatPercent(cells[k], 1)});
         std::printf("[cpp-virtual workload]\n%s\n",
                     table.render().c_str());
     }
+
     // --- 4. Seed sensitivity --------------------------------------
     {
         Table table;
         table.setHeader({"Benchmark", "BTB (5 seeds)",
                          "tagless (5 seeds)"});
         const size_t seed_ops = std::min<size_t>(ops, 400000);
-        for (const auto &name : bench::headlinePair()) {
+        for (const auto &name : headline) {
+            // sweepSeeds shards its seeds across the runner itself.
             auto btb = sweepSeeds(name, seed_ops, 5,
                                   indirectMissMetric(baselineConfig()));
             auto tc = sweepSeeds(name, seed_ops, 5,
@@ -131,30 +148,32 @@ main(int argc, char **argv)
 
     // --- 5. Tagless interference ----------------------------------
     {
-        Table table;
-        table.setHeader({"Benchmark", "GAg(9) interference",
-                         "gshare interference"});
-        for (const auto &name : bench::headlinePair()) {
-            SharedTrace trace = recordWorkload(name, ops);
-            std::vector<std::string> row = {name};
-            for (auto scheme : {TaglessIndexScheme::GAg,
-                                TaglessIndexScheme::Gshare}) {
+        const std::vector<TaglessIndexScheme> schemes = {
+            TaglessIndexScheme::GAg, TaglessIndexScheme::Gshare};
+        const auto cells = runner.map<double>(
+            headline.size() * schemes.size(), [&](size_t j) {
                 TaglessConfig config;
-                config.scheme = scheme;
+                config.scheme = schemes[j % schemes.size()];
                 config.entryBits = 9;
                 config.historyBits = 9;
                 TaglessTargetCache cache(config);
                 HistoryTracker tracker(patternHistory(9));
                 FrontendPredictor fe{FrontendConfig{}, &cache,
                                      &tracker};
-                auto src = trace.open();
+                auto src =
+                    headline_traces[j / schemes.size()].open();
                 MicroOp op;
                 while (src->next(op))
                     fe.onInstruction(op);
-                row.push_back(formatPercent(
-                    cache.stats().interferenceRate(), 1));
-            }
-            table.addRow(row);
+                return cache.stats().interferenceRate();
+            });
+        Table table;
+        table.setHeader({"Benchmark", "GAg(9) interference",
+                         "gshare interference"});
+        for (size_t w = 0; w < headline.size(); ++w) {
+            table.addRow({headline[w],
+                          formatPercent(cells[w * 2], 1),
+                          formatPercent(cells[w * 2 + 1], 1)});
         }
         std::printf("[tagless cross-branch interference: fraction of "
                     "probes reading another branch's entry]\n%s\n",
@@ -163,18 +182,24 @@ main(int argc, char **argv)
 
     // --- 6. Direction predictor baseline --------------------------
     {
+        FrontendConfig tourney;
+        tourney.direction = DirectionScheme::Tournament;
+        const auto stats = runner.map<FrontendStats>(
+            headline.size() * 2, [&](size_t j) {
+                const SharedTrace &trace = headline_traces[j / 2];
+                return j % 2 == 0
+                           ? runAccuracy(trace, taglessGshare())
+                           : runAccuracy(trace, taglessGshare(),
+                                         tourney);
+            });
         Table table;
         table.setHeader({"Benchmark", "gshare dir miss",
                          "tournament dir miss", "ind miss (gshare fe)",
                          "ind miss (tournament fe)"});
-        FrontendConfig tourney;
-        tourney.direction = DirectionScheme::Tournament;
-        for (const auto &name : bench::headlinePair()) {
-            SharedTrace trace = recordWorkload(name, ops);
-            FrontendStats g = runAccuracy(trace, taglessGshare());
-            FrontendStats t = runAccuracy(trace, taglessGshare(),
-                                          tourney);
-            table.addRow({name,
+        for (size_t w = 0; w < headline.size(); ++w) {
+            const FrontendStats &g = stats[w * 2];
+            const FrontendStats &t = stats[w * 2 + 1];
+            table.addRow({headline[w],
                           formatPercent(g.condDirection.missRate(), 1),
                           formatPercent(t.condDirection.missRate(), 1),
                           formatPercent(g.indirectJumps.missRate(), 1),

@@ -3,6 +3,7 @@
 #ifndef TPRED_BENCH_BENCH_UTIL_HH
 #define TPRED_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -10,27 +11,31 @@
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "harness/paper_tables.hh"
+#include "harness/parallel_runner.hh"
+#include "harness/trace_cache.hh"
 #include "workloads/workload.hh"
 
 namespace tpred::bench
 {
 
-/** Records one trace per named workload at the requested length. */
+/**
+ * Records one trace per named workload at the requested length,
+ * through the shared trace cache, sharded across the runner.
+ */
 inline std::vector<SharedTrace>
 recordAll(const std::vector<std::string> &names, size_t ops)
 {
-    std::vector<SharedTrace> traces;
-    traces.reserve(names.size());
-    for (const auto &name : names)
-        traces.push_back(recordWorkload(name, ops));
-    return traces;
+    const ParallelRunner runner;
+    return runner.map<SharedTrace>(names.size(), [&](size_t i) {
+        return cachedTrace(names[i], ops);
+    });
 }
 
 /** The paper's headline pair (sections 4.2-4.4 report these two). */
 inline std::vector<std::string>
 headlinePair()
 {
-    return {"gcc", "perl"};
+    return headlineWorkloads();
 }
 
 /** Prints a heading in the style used by all bench binaries. */
@@ -47,12 +52,30 @@ heading(const std::string &title, size_t ops)
 inline std::vector<uint64_t>
 baselineCycles(const std::vector<SharedTrace> &traces)
 {
-    std::vector<uint64_t> cycles;
-    cycles.reserve(traces.size());
-    for (const auto &trace : traces)
-        cycles.push_back(runTiming(trace, baselineConfig()).cycles);
-    return cycles;
+    const ParallelRunner runner;
+    return runner.map<uint64_t>(traces.size(), [&](size_t i) {
+        return runTiming(traces[i], baselineConfig()).cycles;
+    });
 }
+
+/** Wall-clock stopwatch for the speedup lines in sweep benches. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Seconds elapsed since construction. */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
 
 } // namespace tpred::bench
 

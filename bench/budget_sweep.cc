@@ -6,6 +6,12 @@
  * for tags with entry count — the trade the paper quantifies with its
  * "target cache(n) = 32 x n bits" accounting.
  *
+ * The cell grid is evaluated twice — once serially, once through the
+ * parallel experiment engine — and the wall-clock speedup is reported
+ * so BENCH_*.json can track the scaling trajectory.  Traces are
+ * recorded up front through the shared cache so both timings measure
+ * only the sweep itself.
+ *
  * Pass "csv" as the second argument for machine-readable output.
  */
 
@@ -14,6 +20,39 @@
 #include "bench_util.hh"
 
 using namespace tpred;
+
+namespace
+{
+
+/** Matched-budget pairs: a tagged entry costs 48 bits vs the tagless
+ *  32, so a 2^n tagless cache pairs with ~2/3 the tagged entries; we
+ *  round to the nearest power-of-two-friendly count. */
+struct Point
+{
+    unsigned taglessBits;   ///< log2 tagless entries
+    unsigned taggedEntries; ///< same budget at 48 bits/entry
+};
+
+const std::vector<Point> kPoints = {
+    {7, 84}, {8, 168}, {9, 340}, {10, 680}, {11, 1364},
+};
+
+IndirectConfig
+taglessAt(const Point &point)
+{
+    return taglessGshare(patternHistory(9), point.taglessBits);
+}
+
+IndirectConfig
+taggedAt(const Point &point)
+{
+    // Tagged entry counts must be a multiple of ways=4.
+    return taggedConfig(TaggedIndexScheme::HistoryXor, 4,
+                        patternHistory(9),
+                        point.taggedEntries / 4 * 4);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -25,57 +64,77 @@ main(int argc, char **argv)
                        "storage (tagless vs tagged 4-way)",
                        ops);
 
-    // Matched-budget pairs: a tagged entry costs 48 bits vs the
-    // tagless 32, so a 2^n tagless cache pairs with ~2/3 the tagged
-    // entries; we round to the nearest power-of-two-friendly count.
-    struct Point
-    {
-        unsigned taglessBits;   ///< log2 tagless entries
-        unsigned taggedEntries; ///< same budget at 48 bits/entry
-    };
-    const std::vector<Point> points = {
-        {7, 84}, {8, 168}, {9, 340}, {10, 680}, {11, 1364},
+    const std::vector<std::string> names = bench::headlinePair();
+    const std::vector<SharedTrace> traces = bench::recordAll(names, ops);
+
+    // Flattened grid: (workload x point x {tagless, tagged}).
+    const size_t per_workload = kPoints.size() * 2;
+    const size_t cell_count = names.size() * per_workload;
+    const auto cell = [&](size_t j) {
+        const SharedTrace &trace = traces[j / per_workload];
+        const Point &point = kPoints[j % per_workload / 2];
+        const IndirectConfig config =
+            j % 2 == 0 ? taglessAt(point) : taggedAt(point);
+        return runAccuracy(trace, config).indirectJumps.missRate();
     };
 
-    for (const auto &name : bench::headlinePair()) {
-        SharedTrace trace = recordWorkload(name, ops);
+    bench::Stopwatch serial_watch;
+    std::vector<double> serial_cells;
+    serial_cells.reserve(cell_count);
+    for (size_t j = 0; j < cell_count; ++j)
+        serial_cells.push_back(cell(j));
+    const double serial_s = serial_watch.seconds();
+
+    const ParallelRunner runner;
+    bench::Stopwatch parallel_watch;
+    const std::vector<double> cells =
+        runner.map<double>(cell_count, cell);
+    const double parallel_s = parallel_watch.seconds();
+
+    const bool identical =
+        std::memcmp(cells.data(), serial_cells.data(),
+                    cell_count * sizeof(double)) == 0;
+
+    for (size_t w = 0; w < names.size(); ++w) {
         Table table;
         table.setHeader({"budget (bytes)", "tagless entries",
                          "tagless miss", "tagged entries",
                          "tagged miss"});
-        for (const Point &point : points) {
-            // Tagged entry counts must be a multiple of ways=4.
-            const unsigned tagged_entries =
-                point.taggedEntries / 4 * 4;
-            IndirectConfig tagless =
-                taglessGshare(patternHistory(9), point.taglessBits);
-            IndirectConfig tagged =
-                taggedConfig(TaggedIndexScheme::HistoryXor, 4,
-                             patternHistory(9), tagged_entries);
-
-            auto tagless_stack = buildStack(tagless);
+        for (size_t p = 0; p < kPoints.size(); ++p) {
+            const Point &point = kPoints[p];
+            auto tagless_stack = buildStack(taglessAt(point));
             const uint64_t budget =
                 tagless_stack.predictor->costBits() / 8;
-
             table.addRow({
                 std::to_string(budget),
                 std::to_string(1u << point.taglessBits),
-                formatPercent(runAccuracy(trace, tagless)
-                                  .indirectJumps.missRate(),
-                              1),
-                std::to_string(tagged_entries),
-                formatPercent(runAccuracy(trace, tagged)
-                                  .indirectJumps.missRate(),
-                              1),
+                formatPercent(cells[w * per_workload + p * 2], 1),
+                std::to_string(point.taggedEntries / 4 * 4),
+                formatPercent(cells[w * per_workload + p * 2 + 1], 1),
             });
         }
         if (csv) {
-            std::printf("# %s\n%s", name.c_str(),
+            std::printf("# %s\n%s", names[w].c_str(),
                         table.renderCsv().c_str());
         } else {
-            std::printf("[%s]\n%s\n", name.c_str(),
+            std::printf("[%s]\n%s\n", names[w].c_str(),
                         table.render().c_str());
         }
     }
-    return 0;
+
+    const double speedup =
+        parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+    if (csv) {
+        std::printf("# speedup_x,serial_s,parallel_s,jobs,identical\n"
+                    "# %.2f,%.3f,%.3f,%u,%d\n",
+                    speedup, serial_s, parallel_s, runner.threads(),
+                    identical ? 1 : 0);
+    } else {
+        std::printf("parallel vs serial: %s (bit-identical cells)\n",
+                    identical ? "ok" : "MISMATCH");
+        std::printf("parallel speedup: %.2fx (serial %.3fs, parallel "
+                    "%.3fs, %u jobs)\n",
+                    speedup, serial_s, parallel_s, runner.threads());
+    }
+    return identical ? 0 : 1;
 }

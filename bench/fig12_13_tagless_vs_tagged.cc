@@ -8,6 +8,9 @@
  *
  * Metric: reduction in execution time over the BTB-only baseline,
  * printed as a series over associativity.
+ *
+ * Thin wrapper over renderFig1213(); the grid runs on the parallel
+ * experiment engine.
  */
 
 #include "bench_util.hh"
@@ -22,28 +25,6 @@ main(int argc, char **argv)
                    "(512-entry) target cache (reduction in execution "
                    "time vs set-associativity)",
                    ops);
-
-    const std::vector<unsigned> assocs = {1, 2, 4, 8, 16};
-
-    for (const auto &name : bench::headlinePair()) {
-        SharedTrace trace = recordWorkload(name, ops);
-        const uint64_t base = runTiming(trace, baselineConfig()).cycles;
-
-        const double tagless = reductionOver(base, trace,
-                                             taglessGshare());
-        Table table;
-        table.setHeader({"set-assoc.", "w/ tags (256-entry)",
-                         "w/o tags (512-entry)"});
-        for (unsigned ways : assocs) {
-            double tagged = reductionOver(
-                base, trace,
-                taggedConfig(TaggedIndexScheme::HistoryXor, ways));
-            table.addRow({std::to_string(ways),
-                          formatPercent(tagged, 2),
-                          formatPercent(tagless, 2)});
-        }
-        std::printf("[%s]\n%s\n", name.c_str(),
-                    table.render().c_str());
-    }
+    std::printf("%s", renderFig1213({.ops = ops}).c_str());
     return 0;
 }

@@ -18,18 +18,26 @@ main(int argc, char **argv)
     bench::heading("Figures 1-8: number of targets per indirect jump",
                    ops);
 
-    for (const auto &name : spec95Names()) {
-        auto workload = makeWorkload(name);
-        TraceProfile profile = profileTrace(*workload, ops);
-        Histogram hist = profile.targets.buildHistogram();
-        std::printf("%s\n",
-                    hist.render("Figure (" + name + "): % of dynamic "
-                                "indirect jumps by targets of their "
-                                "static site")
-                        .c_str());
-        std::printf("  static sites: %zu, dynamic indirect jumps: %s\n\n",
-                    profile.targets.staticSites(),
-                    formatCount(profile.targets.dynamicJumps()).c_str());
-    }
+    const auto &names = spec95Names();
+    // One job per benchmark: profile its (cached) trace and render the
+    // whole figure block; blocks print afterwards in benchmark order.
+    const auto blocks = ParallelRunner().map<std::string>(
+        names.size(), [&](size_t w) {
+            const std::string &name = names[w];
+            auto src = cachedTrace(name, ops).open();
+            TraceProfile profile = profileTrace(*src, ops);
+            Histogram hist = profile.targets.buildHistogram();
+            std::string block =
+                hist.render("Figure (" + name + "): % of dynamic "
+                            "indirect jumps by targets of their "
+                            "static site") +
+                "\n  static sites: " +
+                std::to_string(profile.targets.staticSites()) +
+                ", dynamic indirect jumps: " +
+                formatCount(profile.targets.dynamicJumps()) + "\n\n";
+            return block;
+        });
+    for (const auto &block : blocks)
+        std::printf("%s", block.c_str());
     return 0;
 }

@@ -46,14 +46,19 @@ main(int argc, char **argv)
     }
     table.setHeader(header);
 
-    for (const auto &name : allWorkloadNames()) {
-        SharedTrace trace = recordWorkload(name, ops);
-        std::vector<std::string> row = {name};
-        for (const auto &[label, config] : configs) {
-            row.push_back(formatPercent(
-                runAccuracy(trace, config).indirectJumps.missRate(),
-                1));
-        }
+    const auto &names = allWorkloadNames();
+    const std::vector<SharedTrace> traces = bench::recordAll(names, ops);
+    const auto cells = ParallelRunner().map<double>(
+        names.size() * configs.size(), [&](size_t j) {
+            return runAccuracy(traces[j / configs.size()],
+                               configs[j % configs.size()].second)
+                .indirectJumps.missRate();
+        });
+    for (size_t w = 0; w < names.size(); ++w) {
+        std::vector<std::string> row = {names[w]};
+        for (size_t k = 0; k < configs.size(); ++k)
+            row.push_back(
+                formatPercent(cells[w * configs.size() + k], 1));
         table.addRow(row);
     }
     std::printf("%s\n", table.render().c_str());

@@ -33,17 +33,24 @@ main(int argc, char **argv)
                    "cycles as % of total cycles)",
                    ops);
 
-    for (const auto &config_pair :
-         std::vector<std::pair<std::string, IndirectConfig>>{
-             {"BTB-only baseline", baselineConfig()},
-             {"with 512-entry target cache", taglessGshare()},
-         }) {
+    const std::vector<std::pair<std::string, IndirectConfig>> configs = {
+        {"BTB-only baseline", baselineConfig()},
+        {"with 512-entry target cache", taglessGshare()},
+    };
+    const auto &names = spec95Names();
+    const std::vector<SharedTrace> traces = bench::recordAll(names, ops);
+    const auto results = ParallelRunner().map<CoreResult>(
+        configs.size() * names.size(), [&](size_t j) {
+            return runTiming(traces[j % names.size()],
+                             configs[j / names.size()].second);
+        });
+    for (size_t c = 0; c < configs.size(); ++c) {
         Table table;
         table.setHeader({"Benchmark", "cond", "indirect", "return",
                          "uncond/call", "all stalls", "IPC"});
-        for (const auto &name : spec95Names()) {
-            SharedTrace trace = recordWorkload(name, ops);
-            CoreResult r = runTiming(trace, config_pair.second);
+        for (size_t w = 0; w < names.size(); ++w) {
+            const std::string &name = names[w];
+            const CoreResult &r = results[c * names.size() + w];
             const auto &s = r.stallCyclesByKind;
             const uint64_t cond =
                 s[static_cast<size_t>(BranchKind::CondDirect)];
@@ -62,7 +69,7 @@ main(int argc, char **argv)
                           pct(ret, r.cycles), pct(uncond, r.cycles),
                           pct(all, r.cycles), ipc});
         }
-        std::printf("[%s]\n%s\n", config_pair.first.c_str(),
+        std::printf("[%s]\n%s\n", configs[c].first.c_str(),
                     table.render().c_str());
     }
     std::printf("The indirect column is the pool of cycles a target "

@@ -63,16 +63,26 @@ main(int argc, char **argv)
     table.setHeader({"Benchmark", "CBT (oracle value)",
                      "CBT (value @ fetch)", "BTB",
                      "Target cache (tagless gshare)"});
-    for (const auto &name : bench::headlinePair()) {
-        SharedTrace trace = recordWorkload(name, ops);
-        CbtResult cbt = runCbt(trace);
-        double btb = runAccuracy(trace, baselineConfig())
-                         .indirectJumps.missRate();
-        double cache = runAccuracy(trace, taglessGshare())
-                           .indirectJumps.missRate();
-        table.addRow({name, formatPercent(cbt.oracle_miss, 1),
-                      formatPercent(cbt.fetch_miss, 1),
-                      formatPercent(btb, 1), formatPercent(cache, 1)});
+    const std::vector<std::string> names = bench::headlinePair();
+    const std::vector<SharedTrace> traces = bench::recordAll(names, ops);
+    // Per workload: CBT (its own deterministic Rng per job), BTB and
+    // target-cache metrics — one row's four cells as one job.
+    const auto rows = ParallelRunner().map<std::vector<double>>(
+        names.size(), [&](size_t w) {
+            const SharedTrace &trace = traces[w];
+            CbtResult cbt = runCbt(trace);
+            return std::vector<double>{
+                cbt.oracle_miss, cbt.fetch_miss,
+                runAccuracy(trace, baselineConfig())
+                    .indirectJumps.missRate(),
+                runAccuracy(trace, taglessGshare())
+                    .indirectJumps.missRate()};
+        });
+    for (size_t w = 0; w < names.size(); ++w) {
+        table.addRow({names[w], formatPercent(rows[w][0], 1),
+                      formatPercent(rows[w][1], 1),
+                      formatPercent(rows[w][2], 1),
+                      formatPercent(rows[w][3], 1)});
     }
     std::printf("%s\n", table.render().c_str());
     std::printf("The oracle CBT is nearly perfect but unimplementable "

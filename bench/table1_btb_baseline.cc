@@ -3,10 +3,12 @@
  * Table 1: per-benchmark instruction/branch/indirect-jump counts and
  * the indirect-jump misprediction rate of the baseline machine's
  * 1K-entry 4-way BTB with the default (last-target) update strategy.
+ *
+ * Thin wrapper over renderTable1(); the grid runs on the parallel
+ * experiment engine.
  */
 
 #include "bench_util.hh"
-#include "trace/trace_stats.hh"
 
 using namespace tpred;
 
@@ -17,21 +19,6 @@ main(int argc, char **argv)
     bench::heading("Table 1: benchmark profile and BTB indirect-jump "
                    "misprediction rate",
                    ops);
-
-    Table table;
-    table.setHeader({"Benchmark", "#Instructions", "#Branches",
-                     "#Indirect Jumps", "Ind. Jump Mispred. Rate"});
-    for (const auto &name : spec95Names()) {
-        SharedTrace trace = recordWorkload(name, ops);
-        TraceCounts counts;
-        for (const auto &op : trace.ops())
-            counts.observe(op);
-        FrontendStats stats = runAccuracy(trace, baselineConfig());
-        table.addRow({name, formatCount(counts.instructions),
-                      formatCount(counts.branches),
-                      formatCount(counts.indirectJumps),
-                      formatPercent(stats.indirectJumps.missRate(), 1)});
-    }
-    std::printf("%s\n", table.render().c_str());
+    std::printf("%s\n", renderTable1({.ops = ops}).c_str());
     return 0;
 }

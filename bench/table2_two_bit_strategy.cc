@@ -3,6 +3,9 @@
  * Table 2: indirect-jump misprediction rate of the default-update BTB
  * versus the Calder/Grunwald 2-bit update strategy, plus (as the paper
  * does in the text) the 512-entry target cache for contrast.
+ *
+ * Thin wrapper over renderTable2(); the grid runs on the parallel
+ * experiment engine.
  */
 
 #include "bench_util.hh"
@@ -16,23 +19,6 @@ main(int argc, char **argv)
     bench::heading("Table 2: default vs 2-bit BTB target-update "
                    "strategy",
                    ops);
-
-    Table table;
-    table.setHeader({"Benchmark", "BTB", "2-bit BTB",
-                     "512-entry target cache"});
-    for (const auto &name : spec95Names()) {
-        SharedTrace trace = recordWorkload(name, ops);
-        double plain = runAccuracy(trace, baselineConfig())
-                           .indirectJumps.missRate();
-        double two_bit = runAccuracy(trace, baselineConfig(),
-                                     twoBitBtbFrontend())
-                             .indirectJumps.missRate();
-        double cache = runAccuracy(trace, taglessGshare())
-                           .indirectJumps.missRate();
-        table.addRow({name, formatPercent(plain, 1),
-                      formatPercent(two_bit, 1),
-                      formatPercent(cache, 1)});
-    }
-    std::printf("%s\n", table.render().c_str());
+    std::printf("%s\n", renderTable2({.ops = ops}).c_str());
     return 0;
 }

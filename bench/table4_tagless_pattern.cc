@@ -3,6 +3,9 @@
  * Table 4: misprediction rates of 512-entry tagless target caches
  * under the pattern-history index schemes — GAg(9), GAs(8,1),
  * GAs(7,2), gshare — for the headline benchmarks.
+ *
+ * Thin wrapper over renderTable4(); the grid runs on the parallel
+ * experiment engine.
  */
 
 #include "bench_util.hh"
@@ -16,32 +19,7 @@ main(int argc, char **argv)
     bench::heading("Table 4: tagless target cache, pattern-history "
                    "index schemes (512 entries)",
                    ops);
-
-    const std::vector<std::pair<std::string, IndirectConfig>> schemes = {
-        {"GAg(9)", taglessGAg(9)},
-        {"GAs(8,1)", taglessGAs(8, 1)},
-        {"GAs(7,2)", taglessGAs(7, 2)},
-        {"gshare", taglessGshare()},
-    };
-
-    Table table;
-    table.setHeader({"Benchmark", "BTB", "GAg(9)", "GAs(8,1)",
-                     "GAs(7,2)", "gshare"});
-    for (const auto &name : bench::headlinePair()) {
-        SharedTrace trace = recordWorkload(name, ops);
-        std::vector<std::string> row = {name};
-        row.push_back(formatPercent(
-            runAccuracy(trace, baselineConfig())
-                .indirectJumps.missRate(),
-            1));
-        for (const auto &[label, config] : schemes) {
-            row.push_back(formatPercent(
-                runAccuracy(trace, config).indirectJumps.missRate(),
-                1));
-        }
-        table.addRow(row);
-    }
-    std::printf("%s\n", table.render().c_str());
+    std::printf("%s\n", renderTable4({.ops = ops}).c_str());
     std::printf("Misprediction rates of indirect jumps (lower is "
                 "better).  The paper adopts gshare for all further "
                 "tagless experiments.\n");

@@ -7,33 +7,14 @@
  *
  * Metric: reduction in execution time over the BTB-only baseline, for
  * 512-entry tagless caches indexed with each path-history variant.
+ *
+ * Thin wrapper over renderTable5(); the grid runs on the parallel
+ * experiment engine.
  */
 
 #include "bench_util.hh"
 
 using namespace tpred;
-
-namespace
-{
-
-IndirectConfig
-configFor(const std::string &scheme, unsigned offset)
-{
-    if (scheme == "per-addr")
-        return taglessGshare(pathPerAddress(9, 1, offset));
-    if (scheme == "branch")
-        return taglessGshare(pathGlobal(PathFilter::Branch, 9, 1,
-                                        offset));
-    if (scheme == "control")
-        return taglessGshare(pathGlobal(PathFilter::Control, 9, 1,
-                                        offset));
-    if (scheme == "ind jmp")
-        return taglessGshare(pathGlobal(PathFilter::IndJmp, 9, 1,
-                                        offset));
-    return taglessGshare(pathGlobal(PathFilter::CallRet, 9, 1, offset));
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -43,33 +24,6 @@ main(int argc, char **argv)
                    "(reduction in execution time, 9-bit path, 1 "
                    "bit/target)",
                    ops);
-
-    const std::vector<std::string> schemes = {
-        "per-addr", "branch", "control", "ind jmp", "call/ret",
-    };
-    const std::vector<unsigned> offsets = {2, 4, 6, 8, 10};
-
-    for (const auto &name : bench::headlinePair()) {
-        SharedTrace trace = recordWorkload(name, ops);
-        const uint64_t base = runTiming(trace, baselineConfig()).cycles;
-
-        Table table;
-        table.setHeader({"addr bit", "Per-addr", "Branch", "Control",
-                         "Ind jmp", "Call/ret"});
-        for (unsigned offset : offsets) {
-            std::vector<std::string> row = {
-                "bit " + std::to_string(offset) +
-                (offset == 2 ? " (lowest)" : ""),
-            };
-            for (const auto &scheme : schemes) {
-                double reduction = reductionOver(
-                    base, trace, configFor(scheme, offset));
-                row.push_back(formatPercent(reduction, 2));
-            }
-            table.addRow(row);
-        }
-        std::printf("[%s]\n%s\n", name.c_str(),
-                    table.render().c_str());
-    }
+    std::printf("%s", renderTable5({.ops = ops}).c_str());
     return 0;
 }

@@ -6,34 +6,14 @@
  * benefit generally *decreases* as bits-per-target rises.
  *
  * Metric: reduction in execution time over the BTB-only baseline.
+ *
+ * Thin wrapper over renderTable6(); the grid runs on the parallel
+ * experiment engine.
  */
 
 #include "bench_util.hh"
 
 using namespace tpred;
-
-namespace
-{
-
-IndirectConfig
-configFor(const std::string &scheme, unsigned bits_per_target)
-{
-    if (scheme == "per-addr")
-        return taglessGshare(pathPerAddress(9, bits_per_target));
-    if (scheme == "branch")
-        return taglessGshare(
-            pathGlobal(PathFilter::Branch, 9, bits_per_target));
-    if (scheme == "control")
-        return taglessGshare(
-            pathGlobal(PathFilter::Control, 9, bits_per_target));
-    if (scheme == "ind jmp")
-        return taglessGshare(
-            pathGlobal(PathFilter::IndJmp, 9, bits_per_target));
-    return taglessGshare(
-        pathGlobal(PathFilter::CallRet, 9, bits_per_target));
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -42,29 +22,6 @@ main(int argc, char **argv)
     bench::heading("Table 6: path history bits recorded per target "
                    "(9-bit register; reduction in execution time)",
                    ops);
-
-    const std::vector<std::string> schemes = {
-        "per-addr", "branch", "control", "ind jmp", "call/ret",
-    };
-
-    for (const auto &name : bench::headlinePair()) {
-        SharedTrace trace = recordWorkload(name, ops);
-        const uint64_t base = runTiming(trace, baselineConfig()).cycles;
-
-        Table table;
-        table.setHeader({"bits per addr", "Per-addr", "Branch",
-                         "Control", "Ind jmp", "Call/ret"});
-        for (unsigned bits = 1; bits <= 4; ++bits) {
-            std::vector<std::string> row = {std::to_string(bits)};
-            for (const auto &scheme : schemes) {
-                double reduction = reductionOver(
-                    base, trace, configFor(scheme, bits));
-                row.push_back(formatPercent(reduction, 2));
-            }
-            table.addRow(row);
-        }
-        std::printf("[%s]\n%s\n", name.c_str(),
-                    table.render().c_str());
-    }
+    std::printf("%s", renderTable6({.ops = ops}).c_str());
     return 0;
 }

@@ -9,6 +9,9 @@
  * spread them and need far less associativity.
  *
  * Metric: reduction in execution time over the BTB-only baseline.
+ *
+ * Thin wrapper over renderTable7(); the grid runs on the parallel
+ * experiment engine.
  */
 
 #include "bench_util.hh"
@@ -23,29 +26,6 @@ main(int argc, char **argv)
                    "(256 entries, 9 pattern-history bits; reduction in "
                    "execution time)",
                    ops);
-
-    const std::vector<unsigned> assocs = {1, 2, 4, 8, 16};
-
-    for (const auto &name : bench::headlinePair()) {
-        SharedTrace trace = recordWorkload(name, ops);
-        const uint64_t base = runTiming(trace, baselineConfig()).cycles;
-
-        Table table;
-        table.setHeader({"set-assoc.", "Addr", "History Conc",
-                         "History Xor"});
-        for (unsigned ways : assocs) {
-            std::vector<std::string> row = {std::to_string(ways)};
-            for (auto scheme : {TaggedIndexScheme::Address,
-                                TaggedIndexScheme::HistoryConcat,
-                                TaggedIndexScheme::HistoryXor}) {
-                double reduction = reductionOver(
-                    base, trace, taggedConfig(scheme, ways));
-                row.push_back(formatPercent(reduction, 2));
-            }
-            table.addRow(row);
-        }
-        std::printf("[%s]\n%s\n", name.c_str(),
-                    table.render().c_str());
-    }
+    std::printf("%s", renderTable7({.ops = ops}).c_str());
     return 0;
 }

@@ -5,30 +5,14 @@
  * set associativities and path variants.
  *
  * Metric: reduction in execution time over the BTB-only baseline.
+ *
+ * Thin wrapper over renderTable8(); the grid runs on the parallel
+ * experiment engine.
  */
 
 #include "bench_util.hh"
 
 using namespace tpred;
-
-namespace
-{
-
-HistorySpec
-historyFor(const std::string &scheme)
-{
-    if (scheme == "per-addr")
-        return pathPerAddress(9, 1);
-    if (scheme == "branch")
-        return pathGlobal(PathFilter::Branch, 9, 1);
-    if (scheme == "control")
-        return pathGlobal(PathFilter::Control, 9, 1);
-    if (scheme == "ind jmp")
-        return pathGlobal(PathFilter::IndJmp, 9, 1);
-    return pathGlobal(PathFilter::CallRet, 9, 1);
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -38,32 +22,6 @@ main(int argc, char **argv)
                    "history, 1 bit/target (reduction in execution "
                    "time)",
                    ops);
-
-    const std::vector<std::string> schemes = {
-        "per-addr", "branch", "control", "ind jmp", "call/ret",
-    };
-    const std::vector<unsigned> assocs = {1, 2, 4, 8, 16};
-
-    for (const auto &name : bench::headlinePair()) {
-        SharedTrace trace = recordWorkload(name, ops);
-        const uint64_t base = runTiming(trace, baselineConfig()).cycles;
-
-        Table table;
-        table.setHeader({"set-assoc.", "Per-addr", "Branch", "Control",
-                         "Ind jmp", "Call/ret"});
-        for (unsigned ways : assocs) {
-            std::vector<std::string> row = {std::to_string(ways)};
-            for (const auto &scheme : schemes) {
-                double reduction = reductionOver(
-                    base, trace,
-                    taggedConfig(TaggedIndexScheme::HistoryXor, ways,
-                                 historyFor(scheme)));
-                row.push_back(formatPercent(reduction, 2));
-            }
-            table.addRow(row);
-        }
-        std::printf("[%s]\n%s\n", name.c_str(),
-                    table.render().c_str());
-    }
+    std::printf("%s", renderTable8({.ops = ops}).c_str());
     return 0;
 }

@@ -7,6 +7,9 @@
  * misses.
  *
  * Metric: reduction in execution time over the BTB-only baseline.
+ *
+ * Thin wrapper over renderTable9(); the grid runs on the parallel
+ * experiment engine.
  */
 
 #include "bench_util.hh"
@@ -21,28 +24,6 @@ main(int argc, char **argv)
                    "history bits (256 entries, History-XOR; reduction "
                    "in execution time)",
                    ops);
-
-    const std::vector<unsigned> assocs = {1, 2, 4, 8, 16};
-
-    for (const auto &name : bench::headlinePair()) {
-        SharedTrace trace = recordWorkload(name, ops);
-        const uint64_t base = runTiming(trace, baselineConfig()).cycles;
-
-        Table table;
-        table.setHeader({"set-assoc.", "9 bits", "16 bits"});
-        for (unsigned ways : assocs) {
-            std::vector<std::string> row = {std::to_string(ways)};
-            for (unsigned bits : {9u, 16u}) {
-                double reduction = reductionOver(
-                    base, trace,
-                    taggedConfig(TaggedIndexScheme::HistoryXor, ways,
-                                 patternHistory(bits)));
-                row.push_back(formatPercent(reduction, 2));
-            }
-            table.addRow(row);
-        }
-        std::printf("[%s]\n%s\n", name.c_str(),
-                    table.render().c_str());
-    }
+    std::printf("%s", renderTable9({.ops = ops}).c_str());
     return 0;
 }

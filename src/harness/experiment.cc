@@ -94,6 +94,11 @@ buildStack(const IndirectConfig &config)
     return stack;
 }
 
+SharedTrace::SharedTrace()
+    : ops_(std::make_shared<const std::vector<MicroOp>>())
+{
+}
+
 SharedTrace::SharedTrace(TraceSource &source, size_t max_ops)
     : name_(source.name())
 {

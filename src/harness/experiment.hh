@@ -66,6 +66,9 @@ PredictorStack buildStack(const IndirectConfig &config);
 class SharedTrace
 {
   public:
+    /** Empty trace (zero ops); assign over it to fill a result slot. */
+    SharedTrace();
+
     /** Records @p max_ops instructions of @p source. */
     SharedTrace(TraceSource &source, size_t max_ops);
 

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdio>
 
+#include "harness/parallel_runner.hh"
+#include "harness/trace_cache.hh"
+
 namespace tpred
 {
 
@@ -46,14 +49,16 @@ SeedSweepResult::renderPercent(int precision) const
 
 SeedSweepResult
 sweepSeeds(const std::string &workload, size_t ops, unsigned num_seeds,
-           const std::function<double(const SharedTrace &)> &metric)
+           const std::function<double(const SharedTrace &)> &metric,
+           unsigned threads)
 {
-    std::vector<double> samples;
-    samples.reserve(num_seeds);
-    for (unsigned seed = 1; seed <= num_seeds; ++seed) {
-        SharedTrace trace = recordWorkload(workload, ops, seed);
-        samples.push_back(metric(trace));
-    }
+    const ParallelRunner runner(threads);
+    std::vector<double> samples = runner.map<double>(
+        num_seeds, [&](size_t i) {
+            const SharedTrace trace = cachedTrace(
+                workload, ops, static_cast<uint64_t>(i) + 1);
+            return metric(trace);
+        });
     return summarize(std::move(samples));
 }
 

@@ -1,6 +1,13 @@
 #include "harness/paper_tables.hh"
 
+#include <functional>
+
 #include "common/stats.hh"
+#include "common/table.hh"
+#include "harness/parallel_runner.hh"
+#include "harness/trace_cache.hh"
+#include "trace/trace_stats.hh"
+#include "workloads/workload.hh"
 
 namespace tpred
 {
@@ -142,6 +149,356 @@ reductionOver(uint64_t baseline_cycles, const SharedTrace &trace,
 {
     const CoreResult result = runTiming(trace, config, params);
     return execTimeReduction(baseline_cycles, result.cycles);
+}
+
+// --- Paper-table drivers -------------------------------------------
+//
+// Every driver follows the same shape: record traces through the
+// shared cache, evaluate the experiment grid as index-keyed jobs
+// (serially or across the runner — each job is a pure function of its
+// index over immutable traces, so both paths produce the same bits),
+// then format the cells in grid order.
+
+namespace
+{
+
+/** Runs job(i) for i in [0, count) per the requested ExecMode. */
+template <typename T>
+std::vector<T>
+mapJobs(const TableOptions &opt, size_t count,
+        const std::function<T(size_t)> &job)
+{
+    if (opt.mode == ExecMode::Serial) {
+        std::vector<T> results;
+        results.reserve(count);
+        for (size_t i = 0; i < count; ++i)
+            results.push_back(job(i));
+        return results;
+    }
+    return ParallelRunner(opt.threads).map<T>(count, job);
+}
+
+/** One cached trace per workload name, at opt.ops instructions. */
+std::vector<SharedTrace>
+tracesFor(const TableOptions &opt, const std::vector<std::string> &names)
+{
+    return mapJobs<SharedTrace>(opt, names.size(), [&](size_t i) {
+        return cachedTrace(names[i], opt.ops);
+    });
+}
+
+/** BTB-only baseline cycles per trace, for the timing tables. */
+std::vector<uint64_t>
+baseCyclesFor(const TableOptions &opt,
+              const std::vector<SharedTrace> &traces)
+{
+    return mapJobs<uint64_t>(opt, traces.size(), [&](size_t i) {
+        return runTiming(traces[i], baselineConfig()).cycles;
+    });
+}
+
+/** The five path-history variants Tables 5, 6 and 8 sweep. */
+const std::vector<std::string> &
+pathSchemeLabels()
+{
+    static const std::vector<std::string> labels = {
+        "per-addr", "branch", "control", "ind jmp", "call/ret",
+    };
+    return labels;
+}
+
+HistorySpec
+pathSchemeHistory(const std::string &scheme, unsigned bits_per_target,
+                  unsigned addr_bit_offset)
+{
+    if (scheme == "per-addr")
+        return pathPerAddress(9, bits_per_target, addr_bit_offset);
+    if (scheme == "branch")
+        return pathGlobal(PathFilter::Branch, 9, bits_per_target,
+                          addr_bit_offset);
+    if (scheme == "control")
+        return pathGlobal(PathFilter::Control, 9, bits_per_target,
+                          addr_bit_offset);
+    if (scheme == "ind jmp")
+        return pathGlobal(PathFilter::IndJmp, 9, bits_per_target,
+                          addr_bit_offset);
+    return pathGlobal(PathFilter::CallRet, 9, bits_per_target,
+                      addr_bit_offset);
+}
+
+/**
+ * Shared skeleton of the per-workload timing tables (5-9, Figs
+ * 12-13): for each headline workload, a rows x cols grid of
+ * execution-time reductions over the BTB baseline, flattened into
+ * (workload x row x col)-indexed jobs.
+ */
+std::string
+renderReductionGrid(const TableOptions &opt,
+                    const std::vector<std::string> &header,
+                    const std::vector<std::string> &row_labels,
+                    const std::function<IndirectConfig(size_t row,
+                                                       size_t col)>
+                        &config_at)
+{
+    const auto &names = headlineWorkloads();
+    const auto traces = tracesFor(opt, names);
+    const auto bases = baseCyclesFor(opt, traces);
+
+    const size_t rows = row_labels.size();
+    const size_t cols = header.size() - 1;
+    const size_t per_workload = rows * cols;
+    const auto cells = mapJobs<double>(
+        opt, names.size() * per_workload, [&](size_t j) {
+            const size_t w = j / per_workload;
+            const size_t row = j % per_workload / cols;
+            const size_t col = j % cols;
+            return reductionOver(bases[w], traces[w],
+                                 config_at(row, col));
+        });
+
+    std::string out;
+    for (size_t w = 0; w < names.size(); ++w) {
+        Table table;
+        table.setHeader(header);
+        for (size_t row = 0; row < rows; ++row) {
+            std::vector<std::string> cells_row = {row_labels[row]};
+            for (size_t col = 0; col < cols; ++col)
+                cells_row.push_back(formatPercent(
+                    cells[w * per_workload + row * cols + col], 2));
+            table.addRow(cells_row);
+        }
+        out += "[" + names[w] + "]\n" + table.render() + "\n";
+    }
+    return out;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+headlineWorkloads()
+{
+    static const std::vector<std::string> names = {"gcc", "perl"};
+    return names;
+}
+
+std::string
+renderTable1(const TableOptions &opt)
+{
+    const auto &names = spec95Names();
+    const auto traces = tracesFor(opt, names);
+    const auto rows = mapJobs<std::vector<std::string>>(
+        opt, names.size(), [&](size_t i) {
+            TraceCounts counts;
+            for (const auto &op : traces[i].ops())
+                counts.observe(op);
+            const FrontendStats stats =
+                runAccuracy(traces[i], baselineConfig());
+            return std::vector<std::string>{
+                names[i],
+                formatCount(counts.instructions),
+                formatCount(counts.branches),
+                formatCount(counts.indirectJumps),
+                formatPercent(stats.indirectJumps.missRate(), 1),
+            };
+        });
+
+    Table table;
+    table.setHeader({"Benchmark", "#Instructions", "#Branches",
+                     "#Indirect Jumps", "Ind. Jump Mispred. Rate"});
+    for (const auto &row : rows)
+        table.addRow(row);
+    return table.render();
+}
+
+std::string
+renderTable2(const TableOptions &opt)
+{
+    const auto &names = spec95Names();
+    const auto traces = tracesFor(opt, names);
+    constexpr size_t cols = 3;
+    const auto cells =
+        mapJobs<double>(opt, names.size() * cols, [&](size_t j) {
+            const SharedTrace &trace = traces[j / cols];
+            switch (j % cols) {
+              case 0:
+                return runAccuracy(trace, baselineConfig())
+                    .indirectJumps.missRate();
+              case 1:
+                return runAccuracy(trace, baselineConfig(),
+                                   twoBitBtbFrontend())
+                    .indirectJumps.missRate();
+              default:
+                return runAccuracy(trace, taglessGshare())
+                    .indirectJumps.missRate();
+            }
+        });
+
+    Table table;
+    table.setHeader({"Benchmark", "BTB", "2-bit BTB",
+                     "512-entry target cache"});
+    for (size_t i = 0; i < names.size(); ++i) {
+        table.addRow({names[i],
+                      formatPercent(cells[i * cols + 0], 1),
+                      formatPercent(cells[i * cols + 1], 1),
+                      formatPercent(cells[i * cols + 2], 1)});
+    }
+    return table.render();
+}
+
+std::string
+renderTable4(const TableOptions &opt)
+{
+    const auto &names = headlineWorkloads();
+    const auto traces = tracesFor(opt, names);
+    const std::vector<IndirectConfig> configs = {
+        baselineConfig(),   taglessGAg(9),    taglessGAs(8, 1),
+        taglessGAs(7, 2),   taglessGshare(),
+    };
+    const size_t cols = configs.size();
+    const auto cells =
+        mapJobs<double>(opt, names.size() * cols, [&](size_t j) {
+            return runAccuracy(traces[j / cols], configs[j % cols])
+                .indirectJumps.missRate();
+        });
+
+    Table table;
+    table.setHeader({"Benchmark", "BTB", "GAg(9)", "GAs(8,1)",
+                     "GAs(7,2)", "gshare"});
+    for (size_t i = 0; i < names.size(); ++i) {
+        std::vector<std::string> row = {names[i]};
+        for (size_t col = 0; col < cols; ++col)
+            row.push_back(formatPercent(cells[i * cols + col], 1));
+        table.addRow(row);
+    }
+    return table.render();
+}
+
+std::string
+renderTable5(const TableOptions &opt)
+{
+    const std::vector<unsigned> offsets = {2, 4, 6, 8, 10};
+    std::vector<std::string> row_labels;
+    for (unsigned offset : offsets)
+        row_labels.push_back("bit " + std::to_string(offset) +
+                             (offset == 2 ? " (lowest)" : ""));
+    return renderReductionGrid(
+        opt,
+        {"addr bit", "Per-addr", "Branch", "Control", "Ind jmp",
+         "Call/ret"},
+        row_labels, [&](size_t row, size_t col) {
+            return taglessGshare(pathSchemeHistory(
+                pathSchemeLabels()[col], 1, offsets[row]));
+        });
+}
+
+std::string
+renderTable6(const TableOptions &opt)
+{
+    std::vector<std::string> row_labels;
+    for (unsigned bits = 1; bits <= 4; ++bits)
+        row_labels.push_back(std::to_string(bits));
+    return renderReductionGrid(
+        opt,
+        {"bits per addr", "Per-addr", "Branch", "Control", "Ind jmp",
+         "Call/ret"},
+        row_labels, [&](size_t row, size_t col) {
+            return taglessGshare(pathSchemeHistory(
+                pathSchemeLabels()[col],
+                static_cast<unsigned>(row) + 1, 2));
+        });
+}
+
+std::string
+renderTable7(const TableOptions &opt)
+{
+    const std::vector<unsigned> assocs = {1, 2, 4, 8, 16};
+    const std::vector<TaggedIndexScheme> schemes = {
+        TaggedIndexScheme::Address,
+        TaggedIndexScheme::HistoryConcat,
+        TaggedIndexScheme::HistoryXor,
+    };
+    std::vector<std::string> row_labels;
+    for (unsigned ways : assocs)
+        row_labels.push_back(std::to_string(ways));
+    return renderReductionGrid(
+        opt, {"set-assoc.", "Addr", "History Conc", "History Xor"},
+        row_labels, [&](size_t row, size_t col) {
+            return taggedConfig(schemes[col], assocs[row]);
+        });
+}
+
+std::string
+renderTable8(const TableOptions &opt)
+{
+    const std::vector<unsigned> assocs = {1, 2, 4, 8, 16};
+    std::vector<std::string> row_labels;
+    for (unsigned ways : assocs)
+        row_labels.push_back(std::to_string(ways));
+    return renderReductionGrid(
+        opt,
+        {"set-assoc.", "Per-addr", "Branch", "Control", "Ind jmp",
+         "Call/ret"},
+        row_labels, [&](size_t row, size_t col) {
+            return taggedConfig(
+                TaggedIndexScheme::HistoryXor, assocs[row],
+                pathSchemeHistory(pathSchemeLabels()[col], 1, 2));
+        });
+}
+
+std::string
+renderTable9(const TableOptions &opt)
+{
+    const std::vector<unsigned> assocs = {1, 2, 4, 8, 16};
+    const std::vector<unsigned> history_bits = {9, 16};
+    std::vector<std::string> row_labels;
+    for (unsigned ways : assocs)
+        row_labels.push_back(std::to_string(ways));
+    return renderReductionGrid(
+        opt, {"set-assoc.", "9 bits", "16 bits"}, row_labels,
+        [&](size_t row, size_t col) {
+            return taggedConfig(TaggedIndexScheme::HistoryXor,
+                                assocs[row],
+                                patternHistory(history_bits[col]));
+        });
+}
+
+std::string
+renderFig1213(const TableOptions &opt)
+{
+    const std::vector<unsigned> assocs = {1, 2, 4, 8, 16};
+    const auto &names = headlineWorkloads();
+    const auto traces = tracesFor(opt, names);
+    const auto bases = baseCyclesFor(opt, traces);
+
+    // Per workload: job 0 is the tagless reference, jobs 1..n the
+    // tagged cache at each associativity.
+    const size_t per_workload = 1 + assocs.size();
+    const auto cells = mapJobs<double>(
+        opt, names.size() * per_workload, [&](size_t j) {
+            const size_t w = j / per_workload;
+            const size_t k = j % per_workload;
+            const IndirectConfig config =
+                k == 0 ? taglessGshare()
+                       : taggedConfig(TaggedIndexScheme::HistoryXor,
+                                      assocs[k - 1]);
+            return reductionOver(bases[w], traces[w], config);
+        });
+
+    std::string out;
+    for (size_t w = 0; w < names.size(); ++w) {
+        const double tagless = cells[w * per_workload];
+        Table table;
+        table.setHeader({"set-assoc.", "w/ tags (256-entry)",
+                         "w/o tags (512-entry)"});
+        for (size_t k = 0; k < assocs.size(); ++k) {
+            table.addRow({std::to_string(assocs[k]),
+                          formatPercent(cells[w * per_workload + 1 + k],
+                                        2),
+                          formatPercent(tagless, 2)});
+        }
+        out += "[" + names[w] + "]\n" + table.render() + "\n";
+    }
+    return out;
 }
 
 } // namespace tpred

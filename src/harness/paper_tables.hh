@@ -8,6 +8,7 @@
 #define TPRED_HARNESS_PAPER_TABLES_HH
 
 #include <string>
+#include <vector>
 
 #include "harness/experiment.hh"
 
@@ -82,6 +83,41 @@ IndirectConfig oracleConfig();
 double reductionOver(uint64_t baseline_cycles, const SharedTrace &trace,
                      const IndirectConfig &config,
                      const CoreParams &params = {});
+
+/** How a paper-table driver executes its experiment grid. */
+enum class ExecMode : uint8_t
+{
+    Serial,    ///< legacy path: one cell after another, calling thread
+    Parallel,  ///< cells sharded across a ParallelRunner
+};
+
+/** Options shared by every paper-table render function. */
+struct TableOptions
+{
+    size_t ops = kDefaultAccuracyOps;   ///< instructions per trace
+    ExecMode mode = ExecMode::Parallel;
+    unsigned threads = 0;               ///< 0 = defaultJobs()
+};
+
+/** The paper's headline pair (sections 4.2-4.4 report these two). */
+const std::vector<std::string> &headlineWorkloads();
+
+/**
+ * Paper-table drivers.  Each records its traces through the shared
+ * trace cache, evaluates its (workload x config) grid serially or
+ * through the parallel runner — bit-identical output either way, with
+ * cells keyed by grid index — and returns the rendered text the
+ * corresponding bench binary prints.
+ */
+std::string renderTable1(const TableOptions &opt);   ///< BTB baseline
+std::string renderTable2(const TableOptions &opt);   ///< 2-bit strategy
+std::string renderTable4(const TableOptions &opt);   ///< tagless pattern
+std::string renderTable5(const TableOptions &opt);   ///< path addr bits
+std::string renderTable6(const TableOptions &opt);   ///< bits per target
+std::string renderTable7(const TableOptions &opt);   ///< tagged indexing
+std::string renderTable8(const TableOptions &opt);   ///< tagged path
+std::string renderTable9(const TableOptions &opt);   ///< history length
+std::string renderFig1213(const TableOptions &opt);  ///< tagless v tagged
 
 } // namespace tpred
 

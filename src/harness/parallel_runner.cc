@@ -1,0 +1,83 @@
+#include "harness/parallel_runner.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+
+namespace tpred
+{
+
+namespace
+{
+
+std::atomic<unsigned> g_default_jobs{0};
+
+unsigned
+envJobs()
+{
+    if (const char *env = std::getenv("TPRED_JOBS")) {
+        const long value = std::atol(env);
+        if (value > 0)
+            return static_cast<unsigned>(value);
+    }
+    return 0;
+}
+
+} // namespace
+
+unsigned
+defaultJobs()
+{
+    const unsigned overridden = g_default_jobs.load();
+    if (overridden > 0)
+        return overridden;
+    static const unsigned from_env = envJobs();
+    if (from_env > 0)
+        return from_env;
+    return ThreadPool::hardwareThreads();
+}
+
+void
+setDefaultJobs(unsigned jobs)
+{
+    g_default_jobs.store(jobs);
+}
+
+ParallelRunner::ParallelRunner(unsigned threads)
+    : threads_(threads > 0 ? threads : defaultJobs())
+{
+    if (threads_ > 1)
+        pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+ParallelRunner::~ParallelRunner() = default;
+
+void
+ParallelRunner::forEach(size_t count,
+                        const std::function<void(size_t)> &job) const
+{
+    if (!pool_) {
+        for (size_t i = 0; i < count; ++i)
+            job(i);
+        return;
+    }
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    for (size_t i = 0; i < count; ++i) {
+        pool_->submit([&job, &error_mutex, &first_error, i] {
+            try {
+                job(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        });
+    }
+    pool_->wait();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace tpred

@@ -1,0 +1,134 @@
+#include "harness/thread_pool.hh"
+
+#include <algorithm>
+
+namespace tpred
+{
+
+namespace
+{
+
+/** Pool (and worker index) the current thread belongs to, if any. */
+thread_local const ThreadPool *current_pool = nullptr;
+thread_local size_t current_worker = 0;
+
+} // namespace
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned count = std::max(1u, threads);
+    queues_.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(done_mutex_);
+        ++unfinished_;
+    }
+    // queued_ rises before the task is visible in a deque so a worker
+    // that pops it can decrement without underflow.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++queued_;
+    }
+    if (current_pool == this) {
+        // Submitted from a worker: push to its own deque, LIFO end, so
+        // nested work runs depth-first and stays cache-warm.
+        WorkerQueue &queue = *queues_[current_worker];
+        std::lock_guard<std::mutex> lock(queue.mutex);
+        queue.tasks.push_front(std::move(task));
+    } else {
+        const size_t target =
+            next_queue_.fetch_add(1, std::memory_order_relaxed) %
+            queues_.size();
+        WorkerQueue &queue = *queues_[target];
+        std::lock_guard<std::mutex> lock(queue.mutex);
+        queue.tasks.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+bool
+ThreadPool::tryTake(size_t index, std::function<void()> &task)
+{
+    {
+        WorkerQueue &own = *queues_[index];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            task = std::move(own.tasks.front());
+            own.tasks.pop_front();
+            return true;
+        }
+    }
+    for (size_t step = 1; step < queues_.size(); ++step) {
+        WorkerQueue &victim = *queues_[(index + step) % queues_.size()];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            task = std::move(victim.tasks.back());
+            victim.tasks.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(size_t index)
+{
+    current_pool = this;
+    current_worker = index;
+    for (;;) {
+        std::function<void()> task;
+        if (!tryTake(index, task)) {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+            if (stop_ && queued_ == 0)
+                return;
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --queued_;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(done_mutex_);
+            if (--unfinished_ == 0)
+                done_cv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(done_mutex_);
+    done_cv_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+} // namespace tpred

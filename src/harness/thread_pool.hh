@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Small work-stealing thread pool backing the parallel experiment
+ * engine.  Each worker owns a deque: submit() distributes external
+ * tasks round-robin across the deques (a task submitted from inside a
+ * worker goes to that worker's own deque, depth-first), workers pop
+ * from the front of their own deque and steal from the back of a
+ * sibling's when theirs runs dry.
+ */
+
+#ifndef TPRED_HARNESS_THREAD_POOL_HH
+#define TPRED_HARNESS_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tpred
+{
+
+/**
+ * Fixed-size pool of worker threads with per-worker work-stealing
+ * deques.  Tasks must not throw: the pool executes them verbatim, so
+ * an escaping exception terminates the process (ParallelRunner wraps
+ * jobs in a catch-all before they reach the pool).
+ */
+class ThreadPool
+{
+  public:
+    /** Spawns @p threads workers (minimum 1). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains outstanding work, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueues @p task for execution; returns immediately. */
+    void submit(std::function<void()> task);
+
+    /** Blocks until every task submitted so far has finished. */
+    void wait();
+
+    unsigned
+    threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** std::thread::hardware_concurrency() with a floor of 1. */
+    static unsigned hardwareThreads();
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void workerLoop(size_t index);
+
+    /** Pops from worker @p index's deque, else steals from a sibling. */
+    bool tryTake(size_t index, std::function<void()> &task);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> workers_;
+    std::atomic<size_t> next_queue_{0};  ///< round-robin submit target
+
+    std::mutex mutex_;            ///< guards queued_ and stop_
+    std::condition_variable cv_;  ///< wakes idle workers
+    size_t queued_ = 0;           ///< tasks sitting in some deque
+    bool stop_ = false;
+
+    std::mutex done_mutex_;            ///< guards unfinished_
+    std::condition_variable done_cv_;  ///< wakes wait()
+    size_t unfinished_ = 0;            ///< submitted, not yet completed
+};
+
+} // namespace tpred
+
+#endif // TPRED_HARNESS_THREAD_POOL_HH

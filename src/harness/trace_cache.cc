@@ -1,0 +1,68 @@
+#include "harness/trace_cache.hh"
+
+namespace tpred
+{
+
+SharedTrace
+TraceCache::get(const std::string &workload, size_t ops, uint64_t seed)
+{
+    const Key key{workload, seed, ops};
+    std::promise<SharedTrace> promise;
+    std::shared_future<SharedTrace> future;
+    bool recorder = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = memo_.find(key);
+        if (it != memo_.end()) {
+            future = it->second;
+        } else {
+            future = promise.get_future().share();
+            memo_.emplace(key, future);
+            recorder = true;
+        }
+    }
+    if (recorder) {
+        recordings_.fetch_add(1);
+        try {
+            promise.set_value(recordWorkload(workload, ops, seed));
+        } catch (...) {
+            // Un-memoize so a later retry isn't poisoned, then let the
+            // waiters (and this caller, via get()) see the exception.
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                memo_.erase(key);
+            }
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+size_t
+TraceCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return memo_.size();
+}
+
+void
+TraceCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    memo_.clear();
+}
+
+TraceCache &
+globalTraceCache()
+{
+    static TraceCache cache;
+    return cache;
+}
+
+SharedTrace
+cachedTrace(const std::string &workload, size_t ops, uint64_t seed)
+{
+    return globalTraceCache().get(workload, ops, seed);
+}
+
+} // namespace tpred

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared immutable trace cache: memoizes recordWorkload() so each
+ * (workload, seed, ops) trace is generated exactly once per process,
+ * even under concurrent access, and every consumer shares the same
+ * underlying op storage.  This is what makes the parallel experiment
+ * engine cheap — a table sweeping 25 configs over one trace records
+ * that trace once, not 25 times.  See docs/parallelism.md.
+ */
+
+#ifndef TPRED_HARNESS_TRACE_CACHE_HH
+#define TPRED_HARNESS_TRACE_CACHE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "harness/experiment.hh"
+
+namespace tpred
+{
+
+/**
+ * Mutex-guarded memo from (workload, seed, ops) to a recorded
+ * SharedTrace.
+ *
+ * Thread safety: get() may be called concurrently from any number of
+ * threads.  The first caller for a key claims it under the mutex and
+ * records the trace outside it; later callers for the same key block
+ * on a shared future instead of re-recording.  Cached traces stay
+ * alive until clear(); SharedTrace handles already handed out remain
+ * valid past clear() because the op storage is reference-counted.
+ */
+class TraceCache
+{
+  public:
+    /** Returns the memoized trace, recording it on first request. */
+    SharedTrace get(const std::string &workload, size_t ops,
+                    uint64_t seed = 1);
+
+    /** Number of traces actually recorded (i.e. cache misses). */
+    size_t recordings() const { return recordings_.load(); }
+
+    /** Number of traces currently memoized. */
+    size_t size() const;
+
+    /** Drops every memoized trace (handed-out handles stay valid). */
+    void clear();
+
+  private:
+    using Key = std::tuple<std::string, uint64_t, size_t>;
+
+    mutable std::mutex mutex_;
+    std::map<Key, std::shared_future<SharedTrace>> memo_;
+    std::atomic<size_t> recordings_{0};
+};
+
+/** Process-wide cache shared by the harness and bench drivers. */
+TraceCache &globalTraceCache();
+
+/** Shorthand for globalTraceCache().get(...). */
+SharedTrace cachedTrace(const std::string &workload, size_t ops,
+                        uint64_t seed = 1);
+
+} // namespace tpred
+
+#endif // TPRED_HARNESS_TRACE_CACHE_HH

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "harness/multi_seed.hh"
 #include "harness/paper_tables.hh"
 
@@ -39,6 +41,20 @@ TEST(MultiSeed, RenderPercent)
     std::string s = r.renderPercent();
     EXPECT_NE(s.find("30.0%"), std::string::npos);
     EXPECT_NE(s.find("±"), std::string::npos);
+}
+
+TEST(MultiSeed, SingleSeedSweepReportsZeroStddev)
+{
+    // Regression: sample stddev divides by n - 1; a 1-seed sweep must
+    // report 0, not NaN.
+    auto r = sweepSeeds("compress", 20000, 1,
+                        indirectMissMetric(baselineConfig()));
+    ASSERT_EQ(r.samples.size(), 1u);
+    EXPECT_FALSE(std::isnan(r.stddev));
+    EXPECT_DOUBLE_EQ(r.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(r.mean, r.samples[0]);
+    EXPECT_DOUBLE_EQ(r.min, r.samples[0]);
+    EXPECT_DOUBLE_EQ(r.max, r.samples[0]);
 }
 
 TEST(MultiSeed, SweepProducesOneSamplePerSeed)

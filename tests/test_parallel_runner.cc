@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests for the parallel experiment engine: thread pool, runner
+ * determinism (bit-identical results at any thread count), and
+ * record-exactly-once behaviour of the shared trace cache.  These run
+ * under `ctest -L tsan` in a TPRED_SANITIZE=thread build.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "harness/multi_seed.hh"
+#include "harness/paper_tables.hh"
+#include "harness/parallel_runner.hh"
+#include "harness/thread_pool.hh"
+#include "harness/trace_cache.hh"
+
+namespace tpred
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 1000; ++i)
+        pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.wait();
+    SUCCEED();
+}
+
+TEST(ThreadPool, TasksCanSubmitTasks)
+{
+    // Nested submissions land on the submitting worker's own deque
+    // and get stolen by idle siblings; wait() must cover them too.
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 16; ++i) {
+        pool.submit([&pool, &count] {
+            for (int j = 0; j < 8; ++j)
+                pool.submit([&count] { count.fetch_add(1); });
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(count.load(), 16 * 8);
+}
+
+TEST(ThreadPool, ReusableAcrossWaitCycles)
+{
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&count] { count.fetch_add(1); });
+        pool.wait();
+        EXPECT_EQ(count.load(), (round + 1) * 50);
+    }
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ParallelRunner, MapKeysResultsByIndex)
+{
+    const ParallelRunner runner(8);
+    const auto results = runner.map<size_t>(
+        1000, [](size_t i) { return i * i; });
+    ASSERT_EQ(results.size(), 1000u);
+    for (size_t i = 0; i < results.size(); ++i)
+        ASSERT_EQ(results[i], i * i);
+}
+
+TEST(ParallelRunner, SingleThreadRunsInline)
+{
+    const ParallelRunner runner(1);
+    const auto caller = std::this_thread::get_id();
+    runner.forEach(10, [&](size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}
+
+TEST(ParallelRunner, PropagatesJobExceptions)
+{
+    const ParallelRunner runner(4);
+    EXPECT_THROW(runner.forEach(100,
+                                [](size_t i) {
+                                    if (i == 37)
+                                        throw std::runtime_error("boom");
+                                }),
+                 std::runtime_error);
+}
+
+TEST(ParallelRunner, DefaultJobsOverride)
+{
+    setDefaultJobs(3);
+    EXPECT_EQ(defaultJobs(), 3u);
+    EXPECT_EQ(ParallelRunner().threads(), 3u);
+    setDefaultJobs(0);
+    EXPECT_GE(defaultJobs(), 1u);
+}
+
+// --- Determinism: the tentpole contract ----------------------------
+
+TEST(ParallelSweep, SeedSweepBitIdenticalAcrossThreadCounts)
+{
+    constexpr size_t kOps = 30000;
+    constexpr unsigned kSeeds = 6;
+    const auto metric = indirectMissMetric(taglessGshare());
+
+    // Legacy serial ground truth: a plain loop, no runner involved.
+    std::vector<double> legacy;
+    for (unsigned seed = 1; seed <= kSeeds; ++seed)
+        legacy.push_back(metric(cachedTrace("perl", kOps, seed)));
+
+    for (unsigned threads : {1u, 2u, 8u}) {
+        const auto result =
+            sweepSeeds("perl", kOps, kSeeds, metric, threads);
+        ASSERT_EQ(result.samples.size(), legacy.size())
+            << "threads=" << threads;
+        for (size_t i = 0; i < legacy.size(); ++i) {
+            EXPECT_EQ(std::memcmp(&result.samples[i], &legacy[i],
+                                  sizeof(double)),
+                      0)
+                << "threads=" << threads << " sample " << i
+                << " not bit-identical";
+        }
+    }
+}
+
+TEST(ParallelSweep, SummaryStatsIdenticalAcrossThreadCounts)
+{
+    constexpr size_t kOps = 20000;
+    const auto metric = indirectMissMetric(baselineConfig());
+    const auto serial = sweepSeeds("gcc", kOps, 4, metric, 1);
+    const auto parallel = sweepSeeds("gcc", kOps, 4, metric, 8);
+    EXPECT_EQ(std::memcmp(&serial.mean, &parallel.mean,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&serial.stddev, &parallel.stddev,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(serial.renderPercent(), parallel.renderPercent());
+}
+
+// --- Trace cache ---------------------------------------------------
+
+TEST(TraceCache, RecordsEachKeyExactlyOnceUnderConcurrentAccess)
+{
+    TraceCache cache;
+    constexpr unsigned kThreads = 8;
+    std::vector<const std::vector<MicroOp> *> storage(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cache, &storage, t] {
+            const SharedTrace trace = cache.get("gcc", 20000, 7);
+            storage[t] = &trace.ops();
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(cache.recordings(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+    for (unsigned t = 1; t < kThreads; ++t)
+        EXPECT_EQ(storage[t], storage[0])
+            << "consumers must share one op vector";
+}
+
+TEST(TraceCache, DistinctKeysRecordSeparately)
+{
+    TraceCache cache;
+    cache.get("compress", 10000, 1);
+    cache.get("compress", 10000, 2);
+    cache.get("compress", 10000, 1);  // hit
+    EXPECT_EQ(cache.recordings(), 2u);
+    cache.get("compress", 5000, 1);  // different length: new key
+    EXPECT_EQ(cache.recordings(), 3u);
+    EXPECT_EQ(cache.size(), 3u);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    cache.get("compress", 10000, 1);  // re-recorded after clear
+    EXPECT_EQ(cache.recordings(), 4u);
+}
+
+TEST(TraceCache, ConcurrentDistinctKeysAllRecorded)
+{
+    TraceCache cache;
+    constexpr unsigned kThreads = 8;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cache, t] {
+            cache.get("compress", 10000, t + 1);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(cache.recordings(), kThreads);
+    EXPECT_EQ(cache.size(), kThreads);
+}
+
+TEST(TraceCache, MatchesDirectRecording)
+{
+    TraceCache cache;
+    const SharedTrace cached = cache.get("perl", 15000, 3);
+    const SharedTrace direct = recordWorkload("perl", 15000, 3);
+    ASSERT_EQ(cached.size(), direct.size());
+    EXPECT_EQ(cached.name(), direct.name());
+    for (size_t i = 0; i < cached.size(); ++i) {
+        ASSERT_EQ(cached.ops()[i].pc, direct.ops()[i].pc);
+        ASSERT_EQ(cached.ops()[i].nextPc, direct.ops()[i].nextPc);
+    }
+}
+
+TEST(TraceCache, UnknownWorkloadThrowsAndIsNotPoisoned)
+{
+    TraceCache cache;
+    EXPECT_THROW(cache.get("no-such-workload", 1000, 1),
+                 std::invalid_argument);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_THROW(cache.get("no-such-workload", 1000, 1),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace tpred

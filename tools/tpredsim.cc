@@ -19,6 +19,7 @@
 
 #include "common/stats.hh"
 #include "harness/paper_tables.hh"
+#include "harness/parallel_runner.hh"
 #include "harness/site_report.hh"
 #include "trace/trace_io.hh"
 #include "workloads/workload.hh"
@@ -42,6 +43,7 @@ struct Options
     unsigned bitsPerTarget = 1;
     uint64_t seed = 1;
     size_t sites = 0;
+    unsigned jobs = 0;  ///< 0 = hardware concurrency
     bool timing = false;
     bool twoBitBtb = false;
 };
@@ -67,6 +69,8 @@ usage()
         "  --ways N            tagged associativity       [4]\n"
         "  --two-bit-btb       Calder/Grunwald BTB update strategy\n"
         "  --timing            run the OoO timing model too\n"
+        "  --jobs N            worker threads for parallel runs\n"
+        "                      [hardware concurrency]\n"
         "  --sites N           print the top-N misbehaving sites\n"
         "  --save-trace FILE   record the workload to a trace file\n"
         "  --load-trace FILE   replay a recorded trace file\n");
@@ -103,6 +107,8 @@ parse(int argc, char **argv)
             opt.scheme = need(i);
         else if (arg == "--ways")
             opt.ways = static_cast<unsigned>(std::atoi(need(i)));
+        else if (arg == "--jobs")
+            opt.jobs = static_cast<unsigned>(std::atoi(need(i)));
         else if (arg == "--two-bit-btb")
             opt.twoBitBtb = true;
         else if (arg == "--timing")
@@ -178,6 +184,7 @@ main(int argc, char **argv)
 {
     try {
         const Options opt = parse(argc, argv);
+        setDefaultJobs(opt.jobs);
 
         SharedTrace trace = [&] {
             if (!opt.loadTrace.empty()) {
@@ -217,9 +224,18 @@ main(int argc, char **argv)
         std::printf("all branches   : %.2f MPKI\n", stats.mpki());
 
         if (opt.timing) {
-            CoreResult base = runTiming(trace, baselineConfig(), {},
-                                        fe);
-            CoreResult result = runTiming(trace, config, {}, fe);
+            // Baseline and configured runs are independent: shard
+            // them across the runner (results keyed by job index).
+            const ParallelRunner runner;
+            const auto timings = runner.map<CoreResult>(
+                2, [&](size_t i) {
+                    return runTiming(trace,
+                                     i == 0 ? baselineConfig()
+                                            : config,
+                                     {}, fe);
+                });
+            const CoreResult &base = timings[0];
+            const CoreResult &result = timings[1];
             std::printf("\ntiming         : %s cycles, IPC %.2f\n",
                         formatCount(result.cycles).c_str(),
                         result.ipc());
