@@ -160,11 +160,10 @@ main(int argc, char **argv)
                 HistoryTracker tracker(patternHistory(9));
                 FrontendPredictor fe{FrontendConfig{}, &cache,
                                      &tracker};
-                auto src =
-                    headline_traces[j / schemes.size()].open();
-                MicroOp op;
-                while (src->next(op))
-                    fe.onInstruction(op);
+                headline_traces[j / schemes.size()].forEachOp(
+                    [&fe](const MicroOp &op) {
+                        fe.onInstruction(op);
+                    });
                 return cache.stats().interferenceRate();
             });
         Table table;

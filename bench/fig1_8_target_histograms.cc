@@ -24,8 +24,11 @@ main(int argc, char **argv)
     const auto blocks = ParallelRunner().map<std::string>(
         names.size(), [&](size_t w) {
             const std::string &name = names[w];
-            auto src = cachedTrace(name, ops).open();
-            TraceProfile profile = profileTrace(*src, ops);
+            TraceProfile profile;
+            cachedTrace(name, ops).forEachOp([&](const MicroOp &op) {
+                profile.counts.observe(op);
+                profile.targets.observe(op);
+            });
             Histogram hist = profile.targets.buildHistogram();
             std::string block =
                 hist.render("Figure (" + name + "): % of dynamic "

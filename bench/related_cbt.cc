@@ -34,9 +34,10 @@ runCbt(const SharedTrace &trace)
     RatioStat oracle_stat, fetch_stat;
     Rng rng(7);
 
-    for (const auto &op : trace.ops()) {
+    // Branch-index batch replay: only indirect non-returns matter.
+    trace.compact().forEachBranch([&](const MicroOp &op, size_t) {
         if (!isIndirectNonReturn(op.branch))
-            continue;
+            return;
         auto op_pred = oracle.lookup(op.pc, op.selector);
         oracle_stat.record(op_pred && *op_pred == op.nextPc);
         oracle.update(op.pc, op.selector, op.nextPc);
@@ -45,7 +46,7 @@ runCbt(const SharedTrace &trace)
         auto f_pred = fetch.lookupAtFetch(op.pc, op.selector, known);
         fetch_stat.record(f_pred && *f_pred == op.nextPc);
         fetch.update(op.pc, op.selector, op.nextPc);
-    }
+    });
     return {oracle_stat.missRate(), fetch_stat.missRate()};
 }
 

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Replay-kernel microbenchmark: how fast can a recorded trace be
+ * walked by each of the three replay paths the harness offers?
+ *
+ *   legacy   — virtual TraceSource::next() pull loop, one indirect
+ *              call and one 56-byte MicroOp copy per dynamic
+ *              instruction (the pre-columnar hot path, kept as the
+ *              SharedTrace::open() compatibility shim);
+ *   compact  — devirtualized batch replay: block-decode the columnar
+ *              trace into a stack buffer, visit every op inline;
+ *   indexed  — branch-index fast path: materialize only the control
+ *              transfers (O(branches) on coherent traces), accounting
+ *              for the skipped ops arithmetically — what
+ *              runAccuracy() and analyzeSites() ship.
+ *
+ * The timed region feeds a checksum so the lanes measure the replay
+ * machinery itself; an untimed self-check first replays every lane
+ * through an identical predictor stack and requires bit-identical
+ * FrontendStats, so the speedups are only reported for paths proven
+ * semantically equivalent.  Results go to stdout and to
+ * BENCH_replay.json (override the path with TPRED_BENCH_OUT) for
+ * tools/bench_compare.py to diff across commits.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/frontend_predictor.hh"
+
+using namespace tpred;
+
+namespace
+{
+
+/** Best-of-reps wall-clock Mops/s; returns the lane's checksum. */
+template <typename Lane>
+double
+measure(size_t ops, unsigned reps, uint64_t &checksum, Lane &&lane)
+{
+    double best = 0.0;
+    for (unsigned r = 0; r < reps; ++r) {
+        const bench::Stopwatch timer;
+        checksum = lane();
+        const double secs = timer.seconds();
+        if (secs > 0.0)
+            best = std::max(best,
+                            static_cast<double>(ops) / secs / 1e6);
+    }
+    return best;
+}
+
+/** Full predictor replay for the untimed lane-equivalence check. */
+template <typename Replay>
+FrontendStats
+statsOf(const IndirectConfig &config, Replay &&replay)
+{
+    PredictorStack stack = buildStack(config);
+    FrontendPredictor frontend(FrontendConfig{}, stack.predictor.get(),
+                               stack.tracker.get());
+    replay(frontend);
+    return frontend.stats();
+}
+
+bool
+sameStats(const FrontendStats &a, const FrontendStats &b)
+{
+    auto ratio_eq = [](const RatioStat &x, const RatioStat &y) {
+        return x.hits() == y.hits() && x.total() == y.total();
+    };
+    return a.instructions == b.instructions &&
+           ratio_eq(a.allBranches, b.allBranches) &&
+           ratio_eq(a.condDirection, b.condDirection) &&
+           ratio_eq(a.condBranches, b.condBranches) &&
+           ratio_eq(a.uncondDirect, b.uncondDirect) &&
+           ratio_eq(a.indirectJumps, b.indirectJumps) &&
+           ratio_eq(a.returns, b.returns) &&
+           ratio_eq(a.btbHits, b.btbHits);
+}
+
+inline uint64_t
+mix(uint64_t acc, const MicroOp &op)
+{
+    return acc * 0x9E3779B97F4A7C15ull + (op.pc ^ op.nextPc);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const size_t ops = resolveOps(argc, argv, kDefaultAccuracyOps);
+    const unsigned reps = 3;
+    bench::heading("Replay-kernel throughput: legacy virtual pull vs "
+                   "columnar batch replay",
+                   ops);
+
+    const auto &names = spec95Names();
+    const std::vector<SharedTrace> traces = bench::recordAll(names, ops);
+    const IndirectConfig config = taglessGshare();
+
+    Table table;
+    table.setHeader({"Benchmark", "legacy Mops/s", "compact Mops/s",
+                     "indexed Mops/s", "speedup", "bytes/op",
+                     "compression"});
+
+    std::string json = "{\n  \"ops\": " + std::to_string(ops) +
+                       ",\n  \"workloads\": {\n";
+    size_t ge2x = 0;
+    for (size_t w = 0; w < names.size(); ++w) {
+        const SharedTrace &trace = traces[w];
+
+        // --- Untimed: all three lanes must drive a predictor to the
+        // same statistics before their speed means anything.
+        const FrontendStats ref =
+            statsOf(config, [&](FrontendPredictor &fe) {
+                auto src = trace.open();
+                MicroOp op;
+                while (src->next(op))
+                    fe.onInstruction(op);
+            });
+        const FrontendStats via_batch =
+            statsOf(config, [&](FrontendPredictor &fe) {
+                trace.forEachOp(
+                    [&fe](const MicroOp &op) { fe.onInstruction(op); });
+            });
+        const FrontendStats via_index =
+            statsOf(config, [&](FrontendPredictor &fe) {
+                size_t consumed = 0;
+                trace.compact().forEachBranch(
+                    [&](const MicroOp &op, size_t pos) {
+                        fe.skipNonBranches(pos - consumed);
+                        fe.onInstruction(op);
+                        consumed = pos + 1;
+                    });
+                fe.skipNonBranches(trace.size() - consumed);
+            });
+        if (!sameStats(ref, via_batch) || !sameStats(ref, via_index)) {
+            std::fprintf(stderr,
+                         "FATAL: replay lanes disagree on %s\n",
+                         names[w].c_str());
+            return 1;
+        }
+
+        // --- Timed: the replay machinery itself.
+        uint64_t legacy_sum = 0;
+        const double legacy_mops = measure(ops, reps, legacy_sum, [&] {
+            auto src = trace.open();
+            MicroOp op;
+            uint64_t acc = 0;
+            while (src->next(op))
+                acc = mix(acc, op);
+            return acc;
+        });
+
+        uint64_t compact_sum = 0;
+        uint64_t branch_ref_sum = 0;  // branch-only reference checksum
+        const double compact_mops =
+            measure(ops, reps, compact_sum, [&] {
+                uint64_t acc = 0;
+                trace.forEachOp(
+                    [&acc](const MicroOp &op) { acc = mix(acc, op); });
+                return acc;
+            });
+        {
+            size_t at = 0;
+            trace.forEachOp([&](const MicroOp &op) {
+                if (op.isBranch())
+                    branch_ref_sum = mix(branch_ref_sum, op) + at;
+                ++at;
+            });
+        }
+
+        uint64_t indexed_sum = 0;
+        const double indexed_mops =
+            measure(ops, reps, indexed_sum, [&] {
+                uint64_t acc = 0;
+                trace.compact().forEachBranch(
+                    [&](const MicroOp &op, size_t pos) {
+                        acc = mix(acc, op) + pos;
+                    });
+                return acc;
+            });
+
+        if (legacy_sum != compact_sum ||
+            indexed_sum != branch_ref_sum) {
+            std::fprintf(stderr,
+                         "FATAL: replay checksums disagree on %s\n",
+                         names[w].c_str());
+            return 1;
+        }
+
+        const double speedup =
+            legacy_mops > 0.0 ? indexed_mops / legacy_mops : 0.0;
+        if (speedup >= 2.0)
+            ++ge2x;
+        const double bytes_per_op =
+            static_cast<double>(trace.compact().residentBytes()) /
+            static_cast<double>(std::max<size_t>(trace.size(), 1));
+        const double compression =
+            static_cast<double>(
+                CompactTrace::legacyBytes(trace.size())) /
+            static_cast<double>(trace.compact().residentBytes());
+
+        char buf[64];
+        std::vector<std::string> row = {names[w]};
+        std::snprintf(buf, sizeof(buf), "%.1f", legacy_mops);
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%.1f", compact_mops);
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%.1f", indexed_mops);
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%.2fx", speedup);
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%.1f", bytes_per_op);
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%.1fx", compression);
+        row.push_back(buf);
+        table.addRow(row);
+
+        std::snprintf(buf, sizeof(buf), "%.2f", legacy_mops);
+        json += "    \"" + names[w] + "\": {\"legacy_mops\": " + buf;
+        std::snprintf(buf, sizeof(buf), "%.2f", compact_mops);
+        json += std::string(", \"compact_mops\": ") + buf;
+        std::snprintf(buf, sizeof(buf), "%.2f", indexed_mops);
+        json += std::string(", \"indexed_mops\": ") + buf;
+        std::snprintf(buf, sizeof(buf), "%.2f", speedup);
+        json += std::string(", \"speedup\": ") + buf;
+        std::snprintf(buf, sizeof(buf), "%.2f", compression);
+        json += std::string(", \"compression\": ") + buf + "}";
+        json += (w + 1 < names.size()) ? ",\n" : "\n";
+    }
+    json += "  }\n}\n";
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("speedup = branch-indexed replay vs legacy virtual "
+                "pull, equal op budgets; >=2x on %zu of %zu "
+                "workloads\n",
+                ge2x, names.size());
+
+    const char *out_path = std::getenv("TPRED_BENCH_OUT");
+    if (!out_path)
+        out_path = "BENCH_replay.json";
+    if (std::FILE *f = std::fopen(out_path, "w")) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        std::printf("wrote %s\n", out_path);
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", out_path);
+        return 1;
+    }
+    return 0;
+}

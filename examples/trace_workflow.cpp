@@ -22,7 +22,7 @@ main(int argc, char **argv)
 
     // 1. Record the workload once and persist it.
     SharedTrace recorded = recordWorkload("gcc", ops);
-    saveTraceFile(path, recorded.ops(), recorded.name());
+    saveTraceFile(path, recorded.decodeOps(), recorded.name());
     std::printf("recorded %s instructions of '%s' to %s\n",
                 formatCount(recorded.size()).c_str(),
                 recorded.name().c_str(), path.c_str());

@@ -29,8 +29,8 @@ main(int argc, char **argv)
 
     // Polymorphism profile of the call sites.
     TargetProfiler profiler;
-    for (const auto &op : trace.ops())
-        profiler.observe(op);
+    trace.forEachOp(
+        [&profiler](const MicroOp &op) { profiler.observe(op); });
     Histogram hist = profiler.buildHistogram();
     std::printf("%s\n",
                 hist.render("dynamic dispatches by distinct targets "

@@ -60,6 +60,9 @@ std::optional<BtbPrediction>
 Btb::lookup(uint64_t pc)
 {
     Entry *entry = findEntry(pc);
+    memoPc_ = pc;
+    memoEntry_ = entry;
+    memoValid_ = true;
     if (!entry)
         return std::nullopt;
     entry->lastUsed = ++useClock_;
@@ -70,7 +73,9 @@ void
 Btb::update(const MicroOp &op)
 {
     assert(op.isBranch());
-    Entry *entry = findEntry(op.pc);
+    Entry *entry = memoValid_ && memoPc_ == op.pc ? memoEntry_
+                                                  : findEntry(op.pc);
+    memoValid_ = false;
     if (!entry) {
         Entry &victim = victimEntry(setIndex(op.pc));
         victim.valid = true;

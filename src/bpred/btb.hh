@@ -105,6 +105,15 @@ class Btb
     unsigned setBits_;
     std::vector<Entry> entries_;  ///< sets x ways, row-major
     uint64_t useClock_ = 0;
+
+    // The front end always probes lookup(pc) then trains update(op)
+    // with the same pc and nothing in between; memoizing the probed
+    // entry spares the update a second set walk.  lookup() never
+    // alters the pc->entry mapping and update() consumes (and any
+    // update invalidates) the memo, so behaviour is identical.
+    uint64_t memoPc_ = 0;
+    Entry *memoEntry_ = nullptr;
+    bool memoValid_ = false;
 };
 
 } // namespace tpred

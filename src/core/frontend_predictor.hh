@@ -101,6 +101,15 @@ class FrontendPredictor
     /** Predicts, scores and trains on one instruction. */
     PredictionOutcome onInstruction(const MicroOp &op);
 
+    /**
+     * Accounts @p count non-control instructions without replaying
+     * them.  Exactly equivalent to @p count onInstruction() calls on
+     * ops with BranchKind::None, which touch nothing but the
+     * instruction counter — the contract behind the branch-index
+     * fast path (CompactTrace::forEachBranch).
+     */
+    void skipNonBranches(uint64_t count) { stats_.instructions += count; }
+
     const FrontendStats &stats() const { return stats_; }
     void resetStats() { stats_ = FrontendStats{}; }
 

@@ -1,6 +1,9 @@
 #include "harness/experiment.hh"
 
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "core/oracle.hh"
 #include "workloads/workload.hh"
@@ -11,31 +14,29 @@ namespace tpred
 namespace
 {
 
-/** Replays a SharedTrace's op vector without copying it. */
+/**
+ * Virtual-TraceSource compatibility shim over the columnar storage:
+ * keeps a shared reference to the trace and pulls ops through a
+ * CompactReplay block decoder.
+ */
 class ReplaySource : public TraceSource
 {
   public:
-    ReplaySource(std::shared_ptr<const std::vector<MicroOp>> ops,
+    ReplaySource(std::shared_ptr<const CompactTrace> trace,
                  std::string name)
-        : ops_(std::move(ops)), name_(std::move(name))
+        : trace_(std::move(trace)), replay_(*trace_),
+          name_(std::move(name))
     {
     }
 
-    bool
-    next(MicroOp &op) override
-    {
-        if (pos_ >= ops_->size())
-            return false;
-        op = (*ops_)[pos_++];
-        return true;
-    }
+    bool next(MicroOp &op) override { return replay_.next(op); }
 
     std::string name() const override { return name_; }
 
   private:
-    std::shared_ptr<const std::vector<MicroOp>> ops_;
+    std::shared_ptr<const CompactTrace> trace_;
+    CompactReplay replay_;
     std::string name_;
-    size_t pos_ = 0;
 };
 
 } // namespace
@@ -95,22 +96,28 @@ buildStack(const IndirectConfig &config)
 }
 
 SharedTrace::SharedTrace()
-    : ops_(std::make_shared<const std::vector<MicroOp>>())
+    : trace_(std::make_shared<const CompactTrace>())
 {
 }
 
 SharedTrace::SharedTrace(TraceSource &source, size_t max_ops)
-    : name_(source.name())
+    : trace_(std::make_shared<const CompactTrace>(
+          CompactTrace::encode(drainTrace(source, max_ops)))),
+      name_(source.name())
 {
-    auto ops = std::make_shared<std::vector<MicroOp>>();
-    *ops = drainTrace(source, max_ops);
-    ops_ = std::move(ops);
+}
+
+SharedTrace::SharedTrace(std::vector<MicroOp> ops, std::string name)
+    : trace_(std::make_shared<const CompactTrace>(
+          CompactTrace::encode(ops))),
+      name_(std::move(name))
+{
 }
 
 std::unique_ptr<TraceSource>
 SharedTrace::open() const
 {
-    return std::make_unique<ReplaySource>(ops_, name_);
+    return std::make_unique<ReplaySource>(trace_, name_);
 }
 
 SharedTrace
@@ -127,10 +134,16 @@ runAccuracy(const SharedTrace &trace, const IndirectConfig &config,
     PredictorStack stack = buildStack(config);
     FrontendPredictor frontend(fe, stack.predictor.get(),
                                stack.tracker.get());
-    auto source = trace.open();
-    MicroOp op;
-    while (source->next(op))
+    // Branch-index fast path: only control transfers touch predictor
+    // state, and a skipped op contributes exactly one instruction to
+    // the stats, so the gaps are accounted for arithmetically.
+    size_t consumed = 0;
+    trace.compact().forEachBranch([&](const MicroOp &op, size_t pos) {
+        frontend.skipNonBranches(pos - consumed);
         frontend.onInstruction(op);
+        consumed = pos + 1;
+    });
+    frontend.skipNonBranches(trace.size() - consumed);
     return frontend.stats();
 }
 
@@ -142,22 +155,46 @@ runTiming(const SharedTrace &trace, const IndirectConfig &config,
     FrontendPredictor frontend(fe, stack.predictor.get(),
                                stack.tracker.get());
     CoreModel core(params);
-    auto source = trace.open();
-    return core.run(*source, frontend, trace.size());
+    CompactReplay source = trace.replay();
+    return core.run(source, frontend, trace.size());
+}
+
+size_t
+parseOps(std::string_view text, const char *what)
+{
+    if (text.empty())
+        throw std::invalid_argument(
+            std::string(what) + ": empty instruction count");
+    size_t value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            throw std::invalid_argument(
+                std::string(what) + ": malformed instruction count '" +
+                std::string(text) + "' (expect a positive integer)");
+        const size_t digit = static_cast<size_t>(c - '0');
+        if (value > (SIZE_MAX - digit) / 10)
+            throw std::out_of_range(
+                std::string(what) + ": instruction count '" +
+                std::string(text) + "' overflows size_t");
+        value = value * 10 + digit;
+    }
+    if (value == 0)
+        throw std::invalid_argument(
+            std::string(what) + ": instruction count must be positive");
+    return value;
 }
 
 size_t
 resolveOps(int argc, char **argv, size_t fallback)
 {
-    if (argc > 1) {
-        const long long v = std::atoll(argv[1]);
-        if (v > 0)
-            return static_cast<size_t>(v);
-    }
-    if (const char *env = std::getenv("TPRED_OPS")) {
-        const long long v = std::atoll(env);
-        if (v > 0)
-            return static_cast<size_t>(v);
+    try {
+        if (argc > 1)
+            return parseOps(argv[1], "argv[1]");
+        if (const char *env = std::getenv("TPRED_OPS"))
+            return parseOps(env, "TPRED_OPS");
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(2);
     }
     return fallback;
 }

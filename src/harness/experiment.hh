@@ -11,6 +11,8 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "bpred/history.hh"
@@ -19,6 +21,7 @@
 #include "core/frontend_predictor.hh"
 #include "core/tagged_target_cache.hh"
 #include "core/tagless_target_cache.hh"
+#include "trace/compact_trace.hh"
 #include "trace/trace_source.hh"
 #include "uarch/core_model.hh"
 
@@ -61,7 +64,13 @@ PredictorStack buildStack(const IndirectConfig &config);
 
 /**
  * Immutable, shareable recorded trace.  Generate a workload once, then
- * open any number of cheap replay sources over it.
+ * replay it any number of times.
+ *
+ * The canonical in-memory form is the columnar CompactTrace
+ * (trace/compact_trace.hh) — ~8x smaller than the former
+ * std::vector<MicroOp> storage.  Hot paths replay it through the
+ * non-virtual batch API (forEachOp / forEachBranch / replay()); the
+ * virtual TraceSource shim from open() remains for compatibility.
  */
 class SharedTrace
 {
@@ -72,15 +81,37 @@ class SharedTrace
     /** Records @p max_ops instructions of @p source. */
     SharedTrace(TraceSource &source, size_t max_ops);
 
-    /** Opens a replay source positioned at the beginning. */
+    /** Adopts an already-recorded op vector. */
+    SharedTrace(std::vector<MicroOp> ops, std::string name);
+
+    /**
+     * Opens a virtual replay source positioned at the beginning
+     * (compatibility shim; prefer replay()/forEachOp on hot paths).
+     */
     std::unique_ptr<TraceSource> open() const;
 
+    /** Opens a devirtualized block-replay source. */
+    CompactReplay replay() const { return CompactReplay(*trace_); }
+
     const std::string &name() const { return name_; }
-    size_t size() const { return ops_->size(); }
-    const std::vector<MicroOp> &ops() const { return *ops_; }
+    size_t size() const { return trace_->size(); }
+
+    /** The columnar storage itself (branch index, size accounting). */
+    const CompactTrace &compact() const { return *trace_; }
+
+    /** Batch replay: fn(const MicroOp &) for every op, in order. */
+    template <typename Fn>
+    void
+    forEachOp(Fn &&fn) const
+    {
+        trace_->forEachOp(std::forward<Fn>(fn));
+    }
+
+    /** Decodes the whole trace into a fresh vector (tooling only). */
+    std::vector<MicroOp> decodeOps() const { return trace_->decodeAll(); }
 
   private:
-    std::shared_ptr<const std::vector<MicroOp>> ops_;
+    std::shared_ptr<const CompactTrace> trace_;
     std::string name_;
 };
 
@@ -112,8 +143,22 @@ CoreResult runTiming(const SharedTrace &trace,
 constexpr size_t kDefaultAccuracyOps = 2'000'000;
 constexpr size_t kDefaultTimingOps = 1'000'000;
 
-/** Resolves the run length: argv[1] if given, else $TPRED_OPS, else
- *  @p fallback. */
+/**
+ * Strictly parses an instruction count: the whole of @p text must be
+ * a positive decimal integer — no sign, suffix, blank or trailing
+ * junk ("2m", "-3", "1e6" and "20 " all fail).
+ * @param what Label used in the error message (e.g. "argv[1]").
+ * @throws std::invalid_argument on malformed or zero input.
+ * @throws std::out_of_range when the value exceeds size_t.
+ */
+size_t parseOps(std::string_view text, const char *what);
+
+/**
+ * Resolves the run length: argv[1] if given, else $TPRED_OPS, else
+ * @p fallback.  A malformed override is a hard error: the message is
+ * printed to stderr and the process exits with status 2 — never a
+ * silent partial parse or fallback.
+ */
 size_t resolveOps(int argc, char **argv, size_t fallback);
 
 } // namespace tpred

@@ -289,8 +289,8 @@ renderTable1(const TableOptions &opt)
     const auto rows = mapJobs<std::vector<std::string>>(
         opt, names.size(), [&](size_t i) {
             TraceCounts counts;
-            for (const auto &op : traces[i].ops())
-                counts.observe(op);
+            traces[i].forEachOp(
+                [&counts](const MicroOp &op) { counts.observe(op); });
             const FrontendStats stats =
                 runAccuracy(traces[i], baselineConfig());
             return std::vector<std::string>{

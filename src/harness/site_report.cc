@@ -26,12 +26,15 @@ analyzeSites(const SharedTrace &trace, const IndirectConfig &config,
     std::unordered_map<uint64_t, Accum> sites;
 
     SiteReport report;
-    auto source = trace.open();
-    MicroOp op;
-    while (source->next(op)) {
+    // Branch-index fast path: non-branch ops only bump the frontend's
+    // instruction counter and never appear in the report.
+    size_t consumed = 0;
+    trace.compact().forEachBranch([&](const MicroOp &op, size_t pos) {
+        frontend.skipNonBranches(pos - consumed);
+        consumed = pos + 1;
         PredictionOutcome outcome = frontend.onInstruction(op);
         if (!isIndirectNonReturn(op.branch))
-            continue;
+            return;
         Accum &accum = sites[op.pc];
         ++accum.executions;
         accum.targets.insert(op.nextPc);
@@ -40,7 +43,8 @@ analyzeSites(const SharedTrace &trace, const IndirectConfig &config,
             ++accum.misses;
             ++report.totalMisses;
         }
-    }
+    });
+    frontend.skipNonBranches(trace.size() - consumed);
 
     report.sites.reserve(sites.size());
     for (const auto &[pc, accum] : sites) {

@@ -3,34 +3,59 @@
 namespace tpred
 {
 
-SharedTrace
-TraceCache::get(const std::string &workload, size_t ops, uint64_t seed)
+size_t
+TraceCache::hashKey(std::string_view workload, uint64_t seed,
+                    size_t ops)
 {
-    const Key key{workload, seed, ops};
+    // FNV-1a over the name, then splitmix-style mixing of the
+    // numeric fields — cheap, and computed exactly once per get().
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : workload) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    for (uint64_t v : {seed, static_cast<uint64_t>(ops)}) {
+        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        h *= 0xff51afd7ed558ccdull;
+        h ^= h >> 33;
+    }
+    return static_cast<size_t>(h);
+}
+
+SharedTrace
+TraceCache::get(std::string_view workload, size_t ops, uint64_t seed)
+{
+    const KeyRef ref{workload, seed, ops,
+                     hashKey(workload, seed, ops)};
     std::promise<SharedTrace> promise;
     std::shared_future<SharedTrace> future;
     bool recorder = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        auto it = memo_.find(key);
+        auto it = memo_.find(ref);
         if (it != memo_.end()) {
             future = it->second;
         } else {
             future = promise.get_future().share();
-            memo_.emplace(key, future);
+            memo_.emplace(Key{std::string(workload), seed, ops,
+                              ref.hash},
+                          future);
             recorder = true;
         }
     }
     if (recorder) {
         recordings_.fetch_add(1);
         try {
-            promise.set_value(recordWorkload(workload, ops, seed));
+            promise.set_value(
+                recordWorkload(std::string(workload), ops, seed));
         } catch (...) {
             // Un-memoize so a later retry isn't poisoned, then let the
             // waiters (and this caller, via get()) see the exception.
             {
                 std::lock_guard<std::mutex> lock(mutex_);
-                memo_.erase(key);
+                auto it = memo_.find(ref);
+                if (it != memo_.end())
+                    memo_.erase(it);
             }
             promise.set_exception(std::current_exception());
         }
@@ -60,7 +85,7 @@ globalTraceCache()
 }
 
 SharedTrace
-cachedTrace(const std::string &workload, size_t ops, uint64_t seed)
+cachedTrace(std::string_view workload, size_t ops, uint64_t seed)
 {
     return globalTraceCache().get(workload, ops, seed);
 }

@@ -3,9 +3,10 @@
  * Shared immutable trace cache: memoizes recordWorkload() so each
  * (workload, seed, ops) trace is generated exactly once per process,
  * even under concurrent access, and every consumer shares the same
- * underlying op storage.  This is what makes the parallel experiment
- * engine cheap — a table sweeping 25 configs over one trace records
- * that trace once, not 25 times.  See docs/parallelism.md.
+ * underlying columnar storage.  This is what makes the parallel
+ * experiment engine cheap — a table sweeping 25 configs over one
+ * trace records that trace once, not 25 times.  See
+ * docs/parallelism.md.
  */
 
 #ifndef TPRED_HARNESS_TRACE_CACHE_HH
@@ -15,10 +16,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <future>
-#include <map>
 #include <mutex>
 #include <string>
-#include <tuple>
+#include <string_view>
+#include <unordered_map>
 
 #include "harness/experiment.hh"
 
@@ -29,18 +30,23 @@ namespace tpred
  * Mutex-guarded memo from (workload, seed, ops) to a recorded
  * SharedTrace.
  *
+ * The memo is an unordered_map whose key carries its hash,
+ * precomputed once per get() from a string_view — a lookup for an
+ * already-cached trace allocates nothing and compares strings at most
+ * once per probed bucket entry.
+ *
  * Thread safety: get() may be called concurrently from any number of
  * threads.  The first caller for a key claims it under the mutex and
  * records the trace outside it; later callers for the same key block
  * on a shared future instead of re-recording.  Cached traces stay
  * alive until clear(); SharedTrace handles already handed out remain
- * valid past clear() because the op storage is reference-counted.
+ * valid past clear() because the storage is reference-counted.
  */
 class TraceCache
 {
   public:
     /** Returns the memoized trace, recording it on first request. */
-    SharedTrace get(const std::string &workload, size_t ops,
+    SharedTrace get(std::string_view workload, size_t ops,
                     uint64_t seed = 1);
 
     /** Number of traces actually recorded (i.e. cache misses). */
@@ -53,10 +59,68 @@ class TraceCache
     void clear();
 
   private:
-    using Key = std::tuple<std::string, uint64_t, size_t>;
+    struct Key
+    {
+        std::string workload;
+        uint64_t seed;
+        size_t ops;
+        size_t hash;  ///< precomputed over the three fields above
+    };
+
+    /** Borrowed-string probe key; same hash, no allocation. */
+    struct KeyRef
+    {
+        std::string_view workload;
+        uint64_t seed;
+        size_t ops;
+        size_t hash;
+    };
+
+    static size_t hashKey(std::string_view workload, uint64_t seed,
+                          size_t ops);
+
+    struct KeyHash
+    {
+        using is_transparent = void;
+        size_t operator()(const Key &k) const { return k.hash; }
+        size_t operator()(const KeyRef &k) const { return k.hash; }
+    };
+
+    struct KeyEqual
+    {
+        using is_transparent = void;
+
+        static bool
+        eq(std::string_view wa, uint64_t sa, size_t oa,
+           std::string_view wb, uint64_t sb, size_t ob)
+        {
+            return sa == sb && oa == ob && wa == wb;
+        }
+
+        bool
+        operator()(const Key &a, const Key &b) const
+        {
+            return eq(a.workload, a.seed, a.ops, b.workload, b.seed,
+                      b.ops);
+        }
+        bool
+        operator()(const KeyRef &a, const Key &b) const
+        {
+            return eq(a.workload, a.seed, a.ops, b.workload, b.seed,
+                      b.ops);
+        }
+        bool
+        operator()(const Key &a, const KeyRef &b) const
+        {
+            return eq(a.workload, a.seed, a.ops, b.workload, b.seed,
+                      b.ops);
+        }
+    };
 
     mutable std::mutex mutex_;
-    std::map<Key, std::shared_future<SharedTrace>> memo_;
+    std::unordered_map<Key, std::shared_future<SharedTrace>, KeyHash,
+                       KeyEqual>
+        memo_;
     std::atomic<size_t> recordings_{0};
 };
 
@@ -64,7 +128,7 @@ class TraceCache
 TraceCache &globalTraceCache();
 
 /** Shorthand for globalTraceCache().get(...). */
-SharedTrace cachedTrace(const std::string &workload, size_t ops,
+SharedTrace cachedTrace(std::string_view workload, size_t ops,
                         uint64_t seed = 1);
 
 } // namespace tpred

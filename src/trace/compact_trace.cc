@@ -1,0 +1,341 @@
+#include "trace/compact_trace.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <type_traits>
+
+namespace tpred
+{
+
+namespace
+{
+
+/** Zigzag-maps a signed 64-bit delta to an unsigned varint payload. */
+inline uint64_t
+zigzagEncode(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1) ^
+           static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t
+zigzagDecode(uint64_t v)
+{
+    return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/** LEB128 append. */
+inline void
+putVarint(std::vector<uint8_t> &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+/** LEB128 read; advances @p at. */
+inline uint64_t
+getVarint(const std::vector<uint8_t> &in, size_t &at)
+{
+    uint64_t v = 0;
+    unsigned shift = 0;
+    for (;;) {
+        const uint8_t byte = in[at++];
+        v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+        if (!(byte & 0x80))
+            return v;
+        shift += 7;
+    }
+}
+
+/** Wrapping pc delta: decode must invert encode even across 2^64. */
+inline uint64_t
+wrapDelta(uint64_t value, uint64_t base)
+{
+    return value - base;  // mod 2^64
+}
+
+} // namespace
+
+CompactTrace
+CompactTrace::encode(const std::vector<MicroOp> &ops)
+{
+    if (ops.size() >= UINT32_MAX)
+        throw std::length_error("CompactTrace: trace too long");
+
+    CompactTrace t;
+    t.count_ = ops.size();
+    t.flags_.reserve(ops.size());
+    t.regBytes_.reserve(ops.size() * 3);
+
+    uint64_t expected_pc = 0;
+    uint64_t prev_mem = 0;
+    // forEachBranch O(branches) preconditions, disproven as we go.
+    bool redirect_off_branch = false;
+    bool mem_at_branch = false;
+    auto reg_byte = [&t](RegIndex reg) -> uint8_t {
+        const int32_t biased = static_cast<int32_t>(reg) + 1;
+        if (biased >= 0 && biased < kRegEscape)
+            return static_cast<uint8_t>(biased);
+        t.regEscapes_.push_back(reg);
+        return kRegEscape;
+    };
+
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const MicroOp &op = ops[i];
+        const uint32_t pos = static_cast<uint32_t>(i);
+
+        uint8_t flags =
+            static_cast<uint8_t>(
+                (static_cast<uint8_t>(op.cls) << kClsShift)) |
+            static_cast<uint8_t>(
+                (static_cast<uint8_t>(op.branch) << kBranchShift));
+        if (op.taken)
+            flags |= kTakenBit;
+
+        if (op.pc != expected_pc) {
+            t.discontPos_.push_back(pos);
+            t.discontPc_.push_back(op.pc);
+        }
+        const uint64_t fall = op.pc + 4;
+        if (op.nextPc != fall) {
+            flags |= kRedirectBit;
+            putVarint(t.targetDeltas_,
+                      zigzagEncode(static_cast<int64_t>(
+                          wrapDelta(op.nextPc, fall))));
+            if (op.branch == BranchKind::None)
+                redirect_off_branch = true;
+        }
+        if (op.fallthrough != fall) {
+            t.fallPos_.push_back(pos);
+            t.fallVals_.push_back(op.fallthrough);
+        }
+        if (op.memAddr != 0) {
+            t.memPos_.push_back(pos);
+            putVarint(t.memDeltas_,
+                      zigzagEncode(static_cast<int64_t>(
+                          wrapDelta(op.memAddr, prev_mem))));
+            prev_mem = op.memAddr;
+            if (op.branch != BranchKind::None)
+                mem_at_branch = true;
+        }
+        if (op.selector != 0) {
+            t.selPos_.push_back(pos);
+            putVarint(t.selVals_, op.selector);
+        }
+        if (op.branch != BranchKind::None)
+            t.branchPos_.push_back(pos);
+
+        t.flags_.push_back(flags);
+        t.regBytes_.push_back(reg_byte(op.dstReg));
+        t.regBytes_.push_back(reg_byte(op.srcRegs[0]));
+        t.regBytes_.push_back(reg_byte(op.srcRegs[1]));
+
+        expected_pc = op.nextPc;
+    }
+
+    t.flags_.shrink_to_fit();
+    t.regBytes_.shrink_to_fit();
+    t.regEscapes_.shrink_to_fit();
+    t.targetDeltas_.shrink_to_fit();
+    t.memDeltas_.shrink_to_fit();
+    t.selVals_.shrink_to_fit();
+    t.branchPos_.shrink_to_fit();
+    t.fastBranchScan_ = !redirect_off_branch && !mem_at_branch &&
+                        t.regEscapes_.empty() && t.fallPos_.empty();
+    return t;
+}
+
+void
+CompactTrace::forEachBranchImpl(BranchFn fn, void *ctx) const
+{
+    if (!fastBranchScan_) {
+        // General path: block-decode every op and pick the branches.
+        MicroOp buf[kReplayBlock];
+        Cursor cur = cursor();
+        size_t branch_idx = 0;
+        size_t base = 0;
+        size_t n;
+        while ((n = cur.fill(buf, kReplayBlock)) != 0) {
+            const size_t end = base + n;
+            while (branch_idx < branchPos_.size() &&
+                   branchPos_[branch_idx] < end) {
+                const size_t pos = branchPos_[branch_idx];
+                fn(ctx, buf[pos - base], pos);
+                ++branch_idx;
+            }
+            base = end;
+        }
+        return;
+    }
+
+    // O(branches) scan.  Invariants established by encode(): every
+    // redirect sits at a branch position, so a gap of g ops between
+    // branches advances the pc chain by exactly 4g (reset by the
+    // sparse discontinuity column); no branch carries a memAddr, so
+    // the memory-delta stream is never consumed; there are no
+    // register escapes or fallthrough overrides, so flags_ and
+    // regBytes_ are pure position-indexed lookups.
+    const size_t num_discont = discontPos_.size();
+    const size_t num_sel = selPos_.size();
+    uint64_t chain_pc = 0;  ///< pc of op `chain_at` if no discont since
+    size_t chain_at = 0;
+    size_t target_byte = 0;
+    size_t discont_idx = 0;
+    size_t sel_idx = 0;
+    size_t sel_byte = 0;
+    MicroOp op;
+
+    for (const uint32_t pos : branchPos_) {
+        while (discont_idx < num_discont &&
+               discontPos_[discont_idx] <= pos) {
+            chain_pc = discontPc_[discont_idx];
+            chain_at = discontPos_[discont_idx];
+            ++discont_idx;
+        }
+        const uint64_t pc = chain_pc + 4 * (uint64_t{pos} - chain_at);
+        const uint64_t fall = pc + 4;
+        const uint8_t flags = flags_[pos];
+
+        uint64_t next_pc = fall;
+        if (flags & kRedirectBit) {
+            next_pc = fall + static_cast<uint64_t>(zigzagDecode(
+                                 getVarint(targetDeltas_, target_byte)));
+        }
+
+        // Selector entries between branches (possible only for
+        // hand-built coherent traces) are skipped byte-wise; the
+        // values are absolute, so nothing needs decoding.
+        while (sel_idx < num_sel && selPos_[sel_idx] < pos) {
+            while (selVals_[sel_byte] & 0x80)
+                ++sel_byte;
+            ++sel_byte;
+            ++sel_idx;
+        }
+        op.selector = 0;
+        if (sel_idx < num_sel && selPos_[sel_idx] == pos) {
+            op.selector = getVarint(selVals_, sel_byte);
+            ++sel_idx;
+        }
+
+        op.pc = pc;
+        op.nextPc = next_pc;
+        op.fallthrough = fall;
+        op.memAddr = 0;
+        op.cls = static_cast<InstClass>((flags >> kClsShift) & 0x7);
+        op.branch =
+            static_cast<BranchKind>((flags >> kBranchShift) & 0x7);
+        op.taken = (flags & kTakenBit) != 0;
+        const uint8_t *regs = &regBytes_[size_t{pos} * 3];
+        op.dstReg =
+            static_cast<RegIndex>(static_cast<int32_t>(regs[0]) - 1);
+        op.srcRegs[0] =
+            static_cast<RegIndex>(static_cast<int32_t>(regs[1]) - 1);
+        op.srcRegs[1] =
+            static_cast<RegIndex>(static_cast<int32_t>(regs[2]) - 1);
+
+        fn(ctx, op, pos);
+
+        chain_pc = next_pc;
+        chain_at = size_t{pos} + 1;
+    }
+}
+
+size_t
+CompactTrace::Cursor::fill(MicroOp *buf, size_t cap)
+{
+    const CompactTrace &t = *trace_;
+    const size_t end = std::min(t.count_, pos_ + cap);
+    size_t produced = 0;
+
+    for (; pos_ < end; ++pos_, ++produced) {
+        const uint8_t flags = t.flags_[pos_];
+        MicroOp &op = buf[produced];
+
+        uint64_t pc = expectedPc_;
+        if (discontIdx_ < t.discontPos_.size() &&
+            t.discontPos_[discontIdx_] == pos_) {
+            pc = t.discontPc_[discontIdx_++];
+        }
+        const uint64_t fall = pc + 4;
+
+        uint64_t next_pc = fall;
+        if (flags & kRedirectBit) {
+            next_pc = fall + static_cast<uint64_t>(zigzagDecode(
+                                 getVarint(t.targetDeltas_,
+                                           targetByte_)));
+        }
+
+        op.pc = pc;
+        op.nextPc = next_pc;
+        op.fallthrough = fall;
+        if (fallIdx_ < t.fallPos_.size() &&
+            t.fallPos_[fallIdx_] == pos_) {
+            op.fallthrough = t.fallVals_[fallIdx_++];
+        }
+
+        op.memAddr = 0;
+        if (memIdx_ < t.memPos_.size() && t.memPos_[memIdx_] == pos_) {
+            prevMemAddr_ += static_cast<uint64_t>(
+                zigzagDecode(getVarint(t.memDeltas_, memByte_)));
+            op.memAddr = prevMemAddr_;
+            ++memIdx_;
+        }
+
+        op.selector = 0;
+        if (selIdx_ < t.selPos_.size() && t.selPos_[selIdx_] == pos_) {
+            op.selector = getVarint(t.selVals_, selByte_);
+            ++selIdx_;
+        }
+
+        op.cls = static_cast<InstClass>((flags >> kClsShift) & 0x7);
+        op.branch =
+            static_cast<BranchKind>((flags >> kBranchShift) & 0x7);
+        op.taken = (flags & kTakenBit) != 0;
+
+        const uint8_t *regs = &t.regBytes_[pos_ * 3];
+        auto decode_reg = [&](uint8_t byte) -> RegIndex {
+            if (byte == kRegEscape)
+                return t.regEscapes_[escIdx_++];
+            return static_cast<RegIndex>(static_cast<int32_t>(byte) - 1);
+        };
+        op.dstReg = decode_reg(regs[0]);
+        op.srcRegs[0] = decode_reg(regs[1]);
+        op.srcRegs[1] = decode_reg(regs[2]);
+
+        expectedPc_ = next_pc;
+    }
+    return produced;
+}
+
+std::vector<MicroOp>
+CompactTrace::decodeAll() const
+{
+    std::vector<MicroOp> ops(count_);
+    Cursor cur = cursor();
+    size_t at = 0;
+    size_t n;
+    while (at < count_ &&
+           (n = cur.fill(ops.data() + at, count_ - at)) != 0) {
+        at += n;
+    }
+    return ops;
+}
+
+size_t
+CompactTrace::residentBytes() const
+{
+    auto bytes = [](const auto &v) {
+        return v.capacity() *
+               sizeof(typename std::decay_t<decltype(v)>::value_type);
+    };
+    return sizeof(*this) + bytes(flags_) + bytes(regBytes_) +
+           bytes(regEscapes_) + bytes(targetDeltas_) +
+           bytes(discontPos_) + bytes(discontPc_) + bytes(memPos_) +
+           bytes(memDeltas_) + bytes(selPos_) + bytes(selVals_) +
+           bytes(fallPos_) + bytes(fallVals_) + bytes(branchPos_);
+}
+
+} // namespace tpred

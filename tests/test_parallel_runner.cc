@@ -163,13 +163,13 @@ TEST(TraceCache, RecordsEachKeyExactlyOnceUnderConcurrentAccess)
 {
     TraceCache cache;
     constexpr unsigned kThreads = 8;
-    std::vector<const std::vector<MicroOp> *> storage(kThreads);
+    std::vector<const CompactTrace *> storage(kThreads);
     std::vector<std::thread> threads;
     threads.reserve(kThreads);
     for (unsigned t = 0; t < kThreads; ++t) {
         threads.emplace_back([&cache, &storage, t] {
             const SharedTrace trace = cache.get("gcc", 20000, 7);
-            storage[t] = &trace.ops();
+            storage[t] = &trace.compact();
         });
     }
     for (auto &thread : threads)
@@ -179,7 +179,7 @@ TEST(TraceCache, RecordsEachKeyExactlyOnceUnderConcurrentAccess)
     EXPECT_EQ(cache.size(), 1u);
     for (unsigned t = 1; t < kThreads; ++t)
         EXPECT_EQ(storage[t], storage[0])
-            << "consumers must share one op vector";
+            << "consumers must share one columnar trace";
 }
 
 TEST(TraceCache, DistinctKeysRecordSeparately)
@@ -223,9 +223,11 @@ TEST(TraceCache, MatchesDirectRecording)
     const SharedTrace direct = recordWorkload("perl", 15000, 3);
     ASSERT_EQ(cached.size(), direct.size());
     EXPECT_EQ(cached.name(), direct.name());
+    const std::vector<MicroOp> cached_ops = cached.decodeOps();
+    const std::vector<MicroOp> direct_ops = direct.decodeOps();
     for (size_t i = 0; i < cached.size(); ++i) {
-        ASSERT_EQ(cached.ops()[i].pc, direct.ops()[i].pc);
-        ASSERT_EQ(cached.ops()[i].nextPc, direct.ops()[i].nextPc);
+        ASSERT_EQ(cached_ops[i].pc, direct_ops[i].pc);
+        ASSERT_EQ(cached_ops[i].nextPc, direct_ops[i].nextPc);
     }
 }
 

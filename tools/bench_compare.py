@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_replay.json files and flag throughput regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json [--threshold PCT]
+
+Each file is the output of bench/replay_throughput (the `ops` budget
+and a per-workload map of legacy/compact/indexed Mops/s).  For every
+workload present in both files, every *_mops lane in the candidate is
+compared against the baseline; a drop of more than --threshold percent
+(default 10) is a regression.  Workloads or lanes missing from the
+candidate are also regressions — a bench that silently stopped
+covering a workload must not pass.
+
+Exit status: 0 when clean, 1 on any regression, 2 on unusable input.
+Only the standard library is used so the script runs anywhere.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err}")
+    workloads = data.get("workloads")
+    if not isinstance(workloads, dict) or not workloads:
+        sys.exit(f"bench_compare: {path} has no 'workloads' map")
+    return data
+
+
+def lanes(entry):
+    """The throughput lanes of one workload entry, name -> Mops/s."""
+    return {
+        key: value
+        for key, value in entry.items()
+        if key.endswith("_mops") and isinstance(value, (int, float))
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two replay_throughput JSON reports.")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--threshold", type=float, default=10.0, metavar="PCT",
+        help="regression tolerance in percent (default: %(default)s)")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+    if base.get("ops") != cand.get("ops"):
+        print(f"note: op budgets differ (baseline {base.get('ops')}, "
+              f"candidate {cand.get('ops')}); Mops/s still comparable")
+
+    regressions = []
+    rows = []
+    for name, base_entry in sorted(base["workloads"].items()):
+        cand_entry = cand["workloads"].get(name)
+        if cand_entry is None:
+            regressions.append(f"{name}: missing from candidate")
+            continue
+        for lane, base_mops in sorted(lanes(base_entry).items()):
+            cand_mops = lanes(cand_entry).get(lane)
+            if cand_mops is None:
+                regressions.append(f"{name}/{lane}: missing lane")
+                continue
+            if base_mops <= 0:
+                continue  # nothing meaningful to compare against
+            delta = 100.0 * (cand_mops - base_mops) / base_mops
+            flag = ""
+            if delta < -args.threshold:
+                flag = "  REGRESSION"
+                regressions.append(
+                    f"{name}/{lane}: {base_mops:.1f} -> "
+                    f"{cand_mops:.1f} Mops/s ({delta:+.1f}%)")
+            rows.append((name, lane, base_mops, cand_mops, delta, flag))
+
+    width = max((len(f"{n}/{l}") for n, l, *_ in rows), default=10)
+    print(f"{'workload/lane':<{width}}  {'baseline':>9}  "
+          f"{'candidate':>9}  {'delta':>8}")
+    for name, lane, base_mops, cand_mops, delta, flag in rows:
+        print(f"{name + '/' + lane:<{width}}  {base_mops:>9.1f}  "
+              f"{cand_mops:>9.1f}  {delta:>+7.1f}%{flag}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0f}%:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nno lane regressed more than {args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -91,7 +91,7 @@ parse(int argc, char **argv)
         if (arg == "--workload")
             opt.workload = need(i);
         else if (arg == "--ops")
-            opt.ops = static_cast<size_t>(std::atoll(need(i)));
+            opt.ops = parseOps(need(i), "--ops");
         else if (arg == "--seed")
             opt.seed = static_cast<uint64_t>(std::atoll(need(i)));
         else if (arg == "--predictor")
@@ -200,7 +200,8 @@ main(int argc, char **argv)
                     formatCount(trace.size()).c_str());
 
         if (!opt.saveTrace.empty()) {
-            saveTraceFile(opt.saveTrace, trace.ops(), trace.name());
+            saveTraceFile(opt.saveTrace, trace.decodeOps(),
+                          trace.name());
             std::printf("saved trace to %s\n", opt.saveTrace.c_str());
         }
 
