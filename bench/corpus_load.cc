@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Corpus-load microbenchmark: what does the persistent trace corpus
+ * buy over regenerating a workload?  Three acquisition lanes per
+ * SPECint95-analogue workload:
+ *
+ *   regen — run the synthetic workload generator and columnar-encode
+ *           the stream (what every process pays without a corpus);
+ *   cold  — map the corpus container after advising its pages out of
+ *           the page cache (POSIX_FADV_DONTNEED), then validate all
+ *           section CRCs — an approximation of first touch after
+ *           reboot;
+ *   warm  — map and validate with the page cache hot, the steady
+ *           state for every corpus consumer after the first.
+ *
+ * The timed region is full trace acquisition: open, structural
+ * validation, CRC32C over every payload byte (which also faults every
+ * page in, so the cold lane honestly pays its I/O).  An untimed
+ * self-check first replays the regenerated and the mmap-loaded trace
+ * through identical predictor stacks and requires bit-identical
+ * FrontendStats — the speedup is only reported for a load path proven
+ * semantically equivalent to regeneration.  Results go to stdout and
+ * BENCH_corpus.json (override with TPRED_BENCH_OUT) for
+ * tools/bench_compare.py.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/frontend_predictor.hh"
+#include "corpus/corpus.hh"
+#include "corpus/mapped_file.hh"
+#include "trace/compact_io.hh"
+
+using namespace tpred;
+
+namespace
+{
+
+/** Best-of-reps acquisition throughput in Mops/s. */
+template <typename Lane>
+double
+measure(size_t ops, unsigned reps, Lane &&lane)
+{
+    double best = 0.0;
+    for (unsigned r = 0; r < reps; ++r) {
+        const bench::Stopwatch timer;
+        lane();
+        const double secs = timer.seconds();
+        if (secs > 0.0)
+            best = std::max(best,
+                            static_cast<double>(ops) / secs / 1e6);
+    }
+    return best;
+}
+
+FrontendStats
+statsOf(const CompactTrace &trace)
+{
+    const IndirectConfig config = taglessGshare();
+    PredictorStack stack = buildStack(config);
+    FrontendPredictor frontend(FrontendConfig{}, stack.predictor.get(),
+                               stack.tracker.get());
+    trace.forEachOp(
+        [&frontend](const MicroOp &op) { frontend.onInstruction(op); });
+    return frontend.stats();
+}
+
+bool
+sameStats(const FrontendStats &a, const FrontendStats &b)
+{
+    auto ratio_eq = [](const RatioStat &x, const RatioStat &y) {
+        return x.hits() == y.hits() && x.total() == y.total();
+    };
+    return a.instructions == b.instructions &&
+           ratio_eq(a.allBranches, b.allBranches) &&
+           ratio_eq(a.condDirection, b.condDirection) &&
+           ratio_eq(a.condBranches, b.condBranches) &&
+           ratio_eq(a.uncondDirect, b.uncondDirect) &&
+           ratio_eq(a.indirectJumps, b.indirectJumps) &&
+           ratio_eq(a.returns, b.returns) &&
+           ratio_eq(a.btbHits, b.btbHits);
+}
+
+/** One timed mmap acquisition (cold or warm); returns op count. */
+size_t
+mapOnce(const std::string &path, bool drop_cache)
+{
+    const auto mapping = MappedFile::open(path, drop_cache);
+    std::string name;
+    const CompactTrace trace =
+        openCompactContainer(mapping->bytes(), mapping, name, path);
+    return trace.size();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const size_t ops = resolveOps(argc, argv, kDefaultAccuracyOps);
+    const uint64_t seed = 1;
+    const unsigned reps = 5;
+    bench::heading(
+        "Corpus acquisition: workload regeneration vs checksummed "
+        "zero-copy mmap load",
+        ops);
+
+    const char *dir = std::getenv("TPRED_CORPUS_DIR");
+    const std::string corpus_dir =
+        dir != nullptr && *dir != '\0' ? dir : "bench_corpus";
+    CorpusManager corpus(corpus_dir);
+
+    const auto &names = spec95Names();
+    Table table;
+    table.setHeader({"Benchmark", "regen Mops/s", "cold Mops/s",
+                     "warm Mops/s", "warm speedup", "file bytes"});
+
+    std::string json = "{\n  \"ops\": " + std::to_string(ops) +
+                       ",\n  \"workloads\": {\n";
+    size_t ge5x = 0;
+    for (size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        const CorpusKey key{name, seed, ops};
+
+        // --- Populate (untimed) and self-check: the mmap-loaded
+        // trace must drive a predictor to the regenerated trace's
+        // exact statistics before its load speed means anything.
+        const SharedTrace generated = recordWorkload(name, ops, seed);
+        corpus.store(key, generated.compact(), generated.name());
+        const auto loaded = corpus.load(key);
+        if (!loaded) {
+            std::fprintf(stderr,
+                         "FATAL: stored corpus entry for %s failed "
+                         "to load\n",
+                         name.c_str());
+            return 1;
+        }
+        if (!sameStats(statsOf(generated.compact()),
+                       statsOf(*loaded))) {
+            std::fprintf(stderr,
+                         "FATAL: corpus load disagrees with "
+                         "regeneration on %s\n",
+                         name.c_str());
+            return 1;
+        }
+
+        const std::string path = corpus.pathFor(key);
+        const size_t trace_ops = generated.size();
+
+        const double regen_mops = measure(trace_ops, 2, [&] {
+            recordWorkload(name, ops, seed);
+        });
+        const double cold_mops = measure(trace_ops, reps, [&] {
+            mapOnce(path, /*drop_cache=*/true);
+        });
+        const double warm_mops = measure(trace_ops, reps, [&] {
+            mapOnce(path, /*drop_cache=*/false);
+        });
+
+        const double speedup =
+            regen_mops > 0.0 ? warm_mops / regen_mops : 0.0;
+        if (speedup >= 5.0)
+            ++ge5x;
+
+        uint64_t file_bytes = 0;
+        for (const CorpusEntry &e : corpus.list(false))
+            if (e.file == CorpusManager::fileName(key))
+                file_bytes = e.fileBytes;
+
+        char buf[64];
+        std::vector<std::string> row = {name};
+        std::snprintf(buf, sizeof(buf), "%.1f", regen_mops);
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%.1f", cold_mops);
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%.1f", warm_mops);
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%.1fx", speedup);
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(file_bytes));
+        row.push_back(buf);
+        table.addRow(row);
+
+        std::snprintf(buf, sizeof(buf), "%.2f", regen_mops);
+        json += "    \"" + name + "\": {\"regen_mops\": " + buf;
+        std::snprintf(buf, sizeof(buf), "%.2f", cold_mops);
+        json += std::string(", \"cold_mops\": ") + buf;
+        std::snprintf(buf, sizeof(buf), "%.2f", warm_mops);
+        json += std::string(", \"warm_mops\": ") + buf;
+        std::snprintf(buf, sizeof(buf), "%.2f", speedup);
+        json += std::string(", \"warm_speedup\": ") + buf;
+        json += ", \"file_bytes\": " + std::to_string(file_bytes) +
+                "}";
+        json += (w + 1 < names.size()) ? ",\n" : "\n";
+    }
+    json += "  }\n}\n";
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("warm speedup = checksummed mmap load vs workload "
+                "regeneration, equal op budgets; >=5x on %zu of %zu "
+                "workloads\n",
+                ge5x, names.size());
+
+    const char *out_path = std::getenv("TPRED_BENCH_OUT");
+    if (!out_path)
+        out_path = "BENCH_corpus.json";
+    if (std::FILE *f = std::fopen(out_path, "w")) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        std::printf("wrote %s\n", out_path);
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", out_path);
+        return 1;
+    }
+    return 0;
+}

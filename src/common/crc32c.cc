@@ -1,0 +1,77 @@
+#include "common/crc32c.hh"
+
+#include <array>
+#include <cstring>
+
+namespace tpred
+{
+
+namespace
+{
+
+/** Reflected CRC32C polynomial. */
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+/** 8 slice tables, built once at first use. */
+struct Tables
+{
+    uint32_t t[8][256];
+
+    Tables()
+    {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t crc = i;
+            for (int bit = 0; bit < 8; ++bit)
+                crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+            t[0][i] = crc;
+        }
+        for (uint32_t i = 0; i < 256; ++i)
+            for (int slice = 1; slice < 8; ++slice)
+                t[slice][i] =
+                    (t[slice - 1][i] >> 8) ^ t[0][t[slice - 1][i] & 0xFF];
+    }
+};
+
+const Tables &
+tables()
+{
+    static const Tables instance;
+    return instance;
+}
+
+} // namespace
+
+uint32_t
+crc32cUpdate(uint32_t crc, const void *data, size_t bytes)
+{
+    const Tables &tab = tables();
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    crc = ~crc;
+
+    // Byte-wise to 8-byte alignment, then slice-by-8, then the tail.
+    while (bytes > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+        crc = (crc >> 8) ^ tab.t[0][(crc ^ *p++) & 0xFF];
+        --bytes;
+    }
+    while (bytes >= 8) {
+        uint64_t word;
+        std::memcpy(&word, p, 8);  // little-endian hosts only
+        word ^= crc;
+        crc = tab.t[7][word & 0xFF] ^
+              tab.t[6][(word >> 8) & 0xFF] ^
+              tab.t[5][(word >> 16) & 0xFF] ^
+              tab.t[4][(word >> 24) & 0xFF] ^
+              tab.t[3][(word >> 32) & 0xFF] ^
+              tab.t[2][(word >> 40) & 0xFF] ^
+              tab.t[1][(word >> 48) & 0xFF] ^
+              tab.t[0][(word >> 56) & 0xFF];
+        p += 8;
+        bytes -= 8;
+    }
+    while (bytes-- > 0)
+        crc = (crc >> 8) ^ tab.t[0][(crc ^ *p++) & 0xFF];
+
+    return ~crc;
+}
+
+} // namespace tpred

@@ -1,0 +1,423 @@
+#include "corpus/corpus.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "corpus/mapped_file.hh"
+#include "trace/compact_io.hh"
+
+namespace fs = std::filesystem;
+
+namespace tpred
+{
+
+namespace
+{
+
+constexpr const char *kEntrySuffix = ".tpct";
+constexpr const char *kQuarantineSuffix = ".quarantined";
+constexpr const char *kTempMarker = ".tmp";
+
+/** Minimal JSON string escaping (names are workload identifiers). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Current UTC time as ISO 8601 (manifest provenance only). */
+std::string
+isoNow()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+/**
+ * Inverts CorpusManager::fileName().  Workload names may contain
+ * '-', so the numeric fields are parsed from the right.
+ * @return true when @p file has the expected shape.
+ */
+bool
+parseFileName(const std::string &file, CorpusKey &key)
+{
+    if (!file.ends_with(kEntrySuffix))
+        return false;
+    const std::string stem =
+        file.substr(0, file.size() - std::strlen(kEntrySuffix));
+    const size_t c_at = stem.rfind("-c");
+    if (c_at == std::string::npos)
+        return false;
+    const size_t o_at = stem.rfind("-o", c_at - 1);
+    if (o_at == std::string::npos)
+        return false;
+    const size_t s_at = stem.rfind("-s", o_at - 1);
+    if (s_at == std::string::npos || s_at == 0)
+        return false;
+    try {
+        key.workload = stem.substr(0, s_at);
+        key.seed = std::stoull(stem.substr(s_at + 2, o_at - s_at - 2));
+        key.ops = std::stoull(stem.substr(o_at + 2, c_at - o_at - 2));
+    } catch (const std::exception &) {
+        return false;
+    }
+    return true;
+}
+
+/** Writes @p data to @p path via temp file + fsync + atomic rename. */
+void
+atomicWrite(const std::string &path, const void *data, size_t bytes)
+{
+    const std::string tmp =
+        path + kTempMarker + std::to_string(::getpid());
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        throw std::runtime_error("cannot create " + tmp + ": " +
+                                 std::strerror(errno));
+    const char *p = static_cast<const char *>(data);
+    size_t left = bytes;
+    while (left > 0) {
+        const ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const int saved = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            throw std::runtime_error("write to " + tmp + " failed: " +
+                                     std::strerror(saved));
+        }
+        p += n;
+        left -= static_cast<size_t>(n);
+    }
+    // The rename is only atomic-durable if the data reached the disk
+    // first.
+    if (::fsync(fd) != 0 || ::close(fd) != 0) {
+        ::unlink(tmp.c_str());
+        throw std::runtime_error("fsync of " + tmp + " failed: " +
+                                 std::strerror(errno));
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int saved = errno;
+        ::unlink(tmp.c_str());
+        throw std::runtime_error("rename to " + path + " failed: " +
+                                 std::strerror(saved));
+    }
+}
+
+} // namespace
+
+CorpusManager::CorpusManager(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec || !fs::is_directory(dir_))
+        throw std::runtime_error("cannot create corpus directory " +
+                                 dir_ + ": " + ec.message());
+}
+
+std::string
+CorpusManager::fileName(const CorpusKey &key)
+{
+    return key.workload + "-s" + std::to_string(key.seed) + "-o" +
+           std::to_string(key.ops) + "-c" +
+           std::to_string(kCompactVersion) + kEntrySuffix;
+}
+
+std::string
+CorpusManager::pathFor(const CorpusKey &key) const
+{
+    return (fs::path(dir_) / fileName(key)).string();
+}
+
+void
+CorpusManager::quarantine(const std::string &path,
+                          const std::string &why)
+{
+    const std::string target = path + kQuarantineSuffix;
+    std::error_code ec;
+    fs::remove(target, ec);  // a previous quarantine of the same name
+    fs::rename(path, target, ec);
+    quarantined_.fetch_add(1);
+    std::fprintf(stderr,
+                 "tpred-corpus: quarantined %s (%s)%s\n", path.c_str(),
+                 why.c_str(),
+                 ec ? " [rename failed; file left in place]" : "");
+}
+
+std::shared_ptr<const CompactTrace>
+CorpusManager::load(const CorpusKey &key, std::string *name_out)
+{
+    const std::string path = pathFor(key);
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+        misses_.fetch_add(1);
+        return nullptr;
+    }
+    try {
+        std::shared_ptr<MappedFile> mapping = MappedFile::open(path);
+        const uint64_t bytes = mapping->size();
+        std::string name;
+        CompactTrace trace = openCompactContainer(
+            mapping->bytes(), mapping, name, path);
+        if (name_out != nullptr)
+            *name_out = name;
+        hits_.fetch_add(1);
+        bytesLoaded_.fetch_add(bytes);
+        return std::make_shared<const CompactTrace>(std::move(trace));
+    } catch (const std::exception &e) {
+        // Never trust a damaged file: set it aside and regenerate.
+        quarantine(path, e.what());
+        misses_.fetch_add(1);
+        return nullptr;
+    }
+}
+
+void
+CorpusManager::store(const CorpusKey &key, const CompactTrace &trace,
+                     const std::string &name)
+{
+    const std::vector<uint8_t> image =
+        serializeCompactTrace(trace, name);
+    atomicWrite(pathFor(key), image.data(), image.size());
+    stores_.fetch_add(1);
+    bytesStored_.fetch_add(image.size());
+    refreshManifest();
+}
+
+CorpusStats
+CorpusManager::stats() const
+{
+    CorpusStats s;
+    s.hits = hits_.load();
+    s.misses = misses_.load();
+    s.stores = stores_.load();
+    s.quarantined = quarantined_.load();
+    s.bytesLoaded = bytesLoaded_.load();
+    s.bytesStored = bytesStored_.load();
+    return s;
+}
+
+std::vector<CorpusEntry>
+CorpusManager::list(bool verify) const
+{
+    std::vector<CorpusEntry> entries;
+    for (const auto &de : fs::directory_iterator(dir_)) {
+        if (!de.is_regular_file())
+            continue;
+        const std::string file = de.path().filename().string();
+        if (!file.ends_with(kEntrySuffix))
+            continue;
+        CorpusEntry entry;
+        entry.file = file;
+        parseFileName(file, entry.key);
+        try {
+            const auto mapping = MappedFile::open(de.path().string());
+            entry.fileBytes = mapping->size();
+            if (verify) {
+                std::string name;
+                const CompactTrace trace = openCompactContainer(
+                    mapping->bytes(), mapping, name,
+                    de.path().string());
+                entry.name = name;
+                entry.opCount = trace.size();
+                entry.branchCount = trace.branchPositions().size();
+            } else {
+                const CompactContainerInfo info = peekCompactContainer(
+                    mapping->bytes(), de.path().string());
+                entry.name = info.name;
+                entry.opCount = info.opCount;
+                entry.branchCount = info.branchCount;
+            }
+            entry.ok = true;
+        } catch (const std::exception &e) {
+            entry.ok = false;
+            entry.error = e.what();
+        }
+        entries.push_back(std::move(entry));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const CorpusEntry &a, const CorpusEntry &b) {
+                  return a.file < b.file;
+              });
+    return entries;
+}
+
+size_t
+CorpusManager::gc(uint64_t max_bytes)
+{
+    size_t removed = 0;
+    struct Live
+    {
+        fs::path path;
+        uint64_t bytes;
+        fs::file_time_type mtime;
+    };
+    std::vector<Live> live;
+    uint64_t total = 0;
+
+    for (const auto &de : fs::directory_iterator(dir_)) {
+        if (!de.is_regular_file())
+            continue;
+        const std::string file = de.path().filename().string();
+        const bool stale =
+            file.ends_with(kQuarantineSuffix) ||
+            file.find(kTempMarker) != std::string::npos;
+        if (stale) {
+            std::error_code ec;
+            if (fs::remove(de.path(), ec))
+                ++removed;
+            continue;
+        }
+        if (!file.ends_with(kEntrySuffix))
+            continue;
+        try {
+            const auto mapping = MappedFile::open(de.path().string());
+            std::string name;
+            openCompactContainer(mapping->bytes(), mapping, name,
+                                 de.path().string());
+            live.push_back({de.path(), mapping->size(),
+                            fs::last_write_time(de.path())});
+            total += mapping->size();
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "tpred-corpus: gc removing %s (%s)\n",
+                         de.path().c_str(), e.what());
+            std::error_code ec;
+            if (fs::remove(de.path(), ec))
+                ++removed;
+        }
+    }
+
+    if (max_bytes > 0 && total > max_bytes) {
+        std::sort(live.begin(), live.end(),
+                  [](const Live &a, const Live &b) {
+                      return a.mtime < b.mtime;
+                  });
+        for (const Live &entry : live) {
+            if (total <= max_bytes)
+                break;
+            std::error_code ec;
+            if (fs::remove(entry.path, ec)) {
+                total -= entry.bytes;
+                ++removed;
+            }
+        }
+    }
+
+    refreshManifest();
+    return removed;
+}
+
+std::string
+CorpusManager::manifestPath() const
+{
+    return (fs::path(dir_) / "manifest.json").string();
+}
+
+void
+CorpusManager::refreshManifest() const
+{
+    std::lock_guard<std::mutex> lock(manifestMutex_);
+
+    // The manifest is derived state: rebuilt from the authoritative
+    // file headers, so deleting it (or racing writers across
+    // processes — last rename wins) loses nothing.
+    std::string json = "{\n";
+    json += "  \"format\": \"tpred-corpus-manifest\",\n";
+    json += "  \"version\": 1,\n";
+    json += "  \"generator\": \"" +
+            jsonEscape(kGeneratorVersion) + "\",\n";
+    json += "  \"container_version\": " +
+            std::to_string(kCompactVersion) + ",\n";
+    json += "  \"updated\": \"" + isoNow() + "\",\n";
+    json += "  \"entries\": [";
+
+    bool first = true;
+    for (const auto &de : fs::directory_iterator(dir_)) {
+        if (!de.is_regular_file())
+            continue;
+        const std::string file = de.path().filename().string();
+        if (!file.ends_with(kEntrySuffix))
+            continue;
+        std::string entry = "\n    {\"file\": \"" + jsonEscape(file) +
+                            "\"";
+        CorpusKey key;
+        if (parseFileName(file, key)) {
+            entry += ", \"workload\": \"" + jsonEscape(key.workload) +
+                     "\", \"seed\": " + std::to_string(key.seed) +
+                     ", \"ops\": " + std::to_string(key.ops);
+        }
+        try {
+            const auto mapping = MappedFile::open(de.path().string());
+            const CompactContainerInfo info = peekCompactContainer(
+                mapping->bytes(), de.path().string());
+            entry += ", \"name\": \"" + jsonEscape(info.name) +
+                     "\", \"op_count\": " +
+                     std::to_string(info.opCount) +
+                     ", \"branch_count\": " +
+                     std::to_string(info.branchCount) +
+                     ", \"bytes\": " +
+                     std::to_string(info.fileBytes) +
+                     ", \"crc32c\": " +
+                     std::to_string(info.totalCrc) +
+                     ", \"fast_branch_scan\": " +
+                     (info.fastBranchScan ? "true" : "false");
+        } catch (const std::exception &e) {
+            entry += ", \"error\": \"" + jsonEscape(e.what()) + "\"";
+        }
+        entry += "}";
+        json += (first ? "" : ",") + entry;
+        first = false;
+    }
+    json += "\n  ]\n}\n";
+
+    try {
+        atomicWrite(manifestPath(), json.data(), json.size());
+    } catch (const std::exception &e) {
+        // Advisory metadata only — never fail an experiment over it.
+        std::fprintf(stderr,
+                     "tpred-corpus: manifest refresh failed: %s\n",
+                     e.what());
+    }
+}
+
+} // namespace tpred

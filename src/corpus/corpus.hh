@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Persistent trace corpus: an on-disk store of CompactTrace
+ * containers, shared by every process that replays traces.
+ *
+ * The paper's methodology is trace-driven — SPECint95 streams were
+ * captured once and replayed across every predictor configuration.
+ * The in-process TraceCache gives one process that amortization;
+ * CorpusManager extends it across processes and runs: traces are
+ * written once (temp file + atomic rename, CRC32C-checked sections),
+ * then every later tpredsim/bench/test invocation maps them back
+ * zero-copy instead of regenerating the workload.
+ *
+ * Robust degradation is a design rule: a truncated, bit-flipped or
+ * version-skewed file is never trusted — load() quarantines it
+ * (renames to *.quarantined, warns on stderr) and reports a miss so
+ * the caller regenerates.  A corpus can therefore never poison an
+ * experiment; at worst it stops helping.
+ *
+ * A human-auditable manifest.json records provenance (generator
+ * version, per-file checksums, encoding stats); it is regenerated
+ * from the authoritative file headers on every mutation, so it can
+ * be deleted at any time.  tools/tpredcorpus wraps this class in a
+ * build/verify/ls/gc CLI.
+ */
+
+#ifndef TPRED_CORPUS_CORPUS_HH
+#define TPRED_CORPUS_CORPUS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "trace/compact_trace.hh"
+
+namespace tpred
+{
+
+/** Identity of one corpus entry: what would have been generated. */
+struct CorpusKey
+{
+    std::string workload;
+    uint64_t seed = 1;
+    size_t ops = 0;
+};
+
+/** Cumulative effectiveness counters (monotonic, thread-safe). */
+struct CorpusStats
+{
+    size_t hits = 0;         ///< load() served from disk
+    size_t misses = 0;       ///< no usable file (incl. quarantined)
+    size_t stores = 0;       ///< files written
+    size_t quarantined = 0;  ///< corrupt files set aside
+    uint64_t bytesLoaded = 0;   ///< container bytes mapped on hits
+    uint64_t bytesStored = 0;   ///< container bytes written
+};
+
+/** One corpus file as seen by ls/verify tooling. */
+struct CorpusEntry
+{
+    std::string file;      ///< basename within the corpus dir
+    std::string name;      ///< recorded stream name ("" if unreadable)
+    CorpusKey key;         ///< parsed from the filename
+    uint64_t opCount = 0;
+    uint64_t branchCount = 0;
+    uint64_t fileBytes = 0;
+    bool ok = false;
+    std::string error;     ///< why !ok
+};
+
+/**
+ * Manages one corpus directory.  All methods are safe to call from
+ * multiple threads; distinct processes coordinate through atomic
+ * renames only (no lock files), which POSIX makes safe for the
+ * write-once content involved.
+ */
+class CorpusManager
+{
+  public:
+    /** Recorded in the manifest as the writing software version. */
+    static constexpr const char *kGeneratorVersion = "tpred-corpus/1";
+
+    /**
+     * Opens (creating if needed) the corpus at @p dir.
+     * @throws std::runtime_error when the directory cannot be created.
+     */
+    explicit CorpusManager(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /** Basename a key stores under (embeds the container version). */
+    static std::string fileName(const CorpusKey &key);
+
+    /** Absolute path for @p key inside this corpus. */
+    std::string pathFor(const CorpusKey &key) const;
+
+    /**
+     * Maps and validates the entry for @p key.
+     * @param name_out Optional; receives the recorded stream name.
+     * @return The zero-copy trace (holding its mapping), or nullptr
+     *         when absent or quarantined — the caller regenerates.
+     */
+    std::shared_ptr<const CompactTrace> load(const CorpusKey &key,
+                                             std::string *name_out =
+                                                 nullptr);
+
+    /**
+     * Persists @p trace for @p key: serialize, write a temp file,
+     * fsync, atomically rename into place, refresh the manifest.
+     * @throws std::runtime_error on I/O failure (nothing partial is
+     *         ever visible under the final name).
+     */
+    void store(const CorpusKey &key, const CompactTrace &trace,
+               const std::string &name);
+
+    CorpusStats stats() const;
+
+    /**
+     * Scans the corpus directory.
+     * @param verify Full checksum verification per file (true) or
+     *        structural header validation only (false).
+     */
+    std::vector<CorpusEntry> list(bool verify) const;
+
+    /**
+     * Deletes quarantined files, stale temp files and entries that
+     * fail full verification; then, if @p max_bytes > 0, evicts the
+     * oldest entries (by modification time) until the corpus fits.
+     * @return Number of files removed.
+     */
+    size_t gc(uint64_t max_bytes = 0);
+
+    std::string manifestPath() const;
+
+    /** Regenerates manifest.json from the file headers on disk. */
+    void refreshManifest() const;
+
+  private:
+    void quarantine(const std::string &path,
+                    const std::string &why);
+
+    std::string dir_;
+    mutable std::mutex manifestMutex_;
+    std::atomic<size_t> hits_{0};
+    std::atomic<size_t> misses_{0};
+    std::atomic<size_t> stores_{0};
+    std::atomic<size_t> quarantined_{0};
+    std::atomic<uint64_t> bytesLoaded_{0};
+    std::atomic<uint64_t> bytesStored_{0};
+};
+
+} // namespace tpred
+
+#endif // TPRED_CORPUS_CORPUS_HH

@@ -1,0 +1,72 @@
+#include "corpus/mapped_file.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace tpred
+{
+
+namespace
+{
+
+[[noreturn]] void
+fail(const std::string &path, const char *what)
+{
+    throw std::runtime_error("cannot map " + path + ": " +
+                             std::string(what) + ": " +
+                             std::strerror(errno));
+}
+
+} // namespace
+
+std::shared_ptr<MappedFile>
+MappedFile::open(const std::string &path, bool drop_cache)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        fail(path, "open");
+
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        fail(path, "fstat");
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+
+    if (drop_cache) {
+        // Best effort: evicts clean pages so the subsequent reads
+        // fault in from storage (cold-start measurement).
+        ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+    }
+
+    void *base = nullptr;
+    if (size > 0) {
+        base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (base == MAP_FAILED) {
+            const int saved = errno;
+            ::close(fd);
+            errno = saved;
+            fail(path, "mmap");
+        }
+    }
+    ::close(fd);
+
+    return std::shared_ptr<MappedFile>(
+        new MappedFile(base, size, path));
+}
+
+MappedFile::~MappedFile()
+{
+    if (base_ != nullptr)
+        ::munmap(base_, size_);
+}
+
+} // namespace tpred

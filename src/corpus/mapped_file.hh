@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Read-only memory-mapped file, the zero-copy substrate of the
+ * persistent trace corpus: a corpus container is mapped once and the
+ * CompactTrace column spans point straight into the mapping, so
+ * replay decodes out of the page cache with no deserialization pass
+ * and no heap copy of the trace data.
+ */
+
+#ifndef TPRED_CORPUS_MAPPED_FILE_HH
+#define TPRED_CORPUS_MAPPED_FILE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace tpred
+{
+
+/**
+ * RAII read-only mapping of a whole file.  Created via open() as a
+ * shared_ptr so a CompactTrace can hold it as its backing handle;
+ * the mapping lives exactly as long as the last view of it.
+ */
+class MappedFile
+{
+  public:
+    /**
+     * Maps @p path read-only.
+     * @param drop_cache Advise the kernel to evict the file's page
+     *        cache first (POSIX_FADV_DONTNEED) — used by the
+     *        corpus_load bench to approximate a cold start.
+     * @throws std::runtime_error (message names the path) on any
+     *         open/stat/mmap failure.
+     */
+    static std::shared_ptr<MappedFile> open(const std::string &path,
+                                            bool drop_cache = false);
+
+    ~MappedFile();
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    /** The mapped bytes (empty span for a zero-length file). */
+    std::span<const uint8_t> bytes() const
+    {
+        return {static_cast<const uint8_t *>(base_), size_};
+    }
+
+    size_t size() const { return size_; }
+    const std::string &path() const { return path_; }
+
+  private:
+    MappedFile(void *base, size_t size, std::string path)
+        : base_(base), size_(size), path_(std::move(path))
+    {
+    }
+
+    void *base_ = nullptr;
+    size_t size_ = 0;
+    std::string path_;
+};
+
+} // namespace tpred
+
+#endif // TPRED_CORPUS_MAPPED_FILE_HH

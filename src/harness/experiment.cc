@@ -114,6 +114,12 @@ SharedTrace::SharedTrace(std::vector<MicroOp> ops, std::string name)
 {
 }
 
+SharedTrace::SharedTrace(std::shared_ptr<const CompactTrace> trace,
+                         std::string name)
+    : trace_(std::move(trace)), name_(std::move(name))
+{
+}
+
 std::unique_ptr<TraceSource>
 SharedTrace::open() const
 {

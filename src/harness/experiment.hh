@@ -85,6 +85,14 @@ class SharedTrace
     SharedTrace(std::vector<MicroOp> ops, std::string name);
 
     /**
+     * Adopts already-columnar storage without copying — the handle a
+     * corpus load or trace-file read produces (possibly zero-copy
+     * views into an mmap the CompactTrace keeps alive).
+     */
+    SharedTrace(std::shared_ptr<const CompactTrace> trace,
+                std::string name);
+
+    /**
      * Opens a virtual replay source positioned at the beginning
      * (compatibility shim; prefer replay()/forEachOp on hot paths).
      */

@@ -1,7 +1,38 @@
 #include "harness/trace_cache.hh"
 
+#include <cstdio>
+#include <cstdlib>
+
+#include "corpus/corpus.hh"
+
 namespace tpred
 {
+
+namespace
+{
+
+/** $TPRED_VERBOSE gates the cache-traffic log lines (stderr). */
+bool
+verboseEnabled()
+{
+    static const bool enabled = [] {
+        const char *v = std::getenv("TPRED_VERBOSE");
+        return v != nullptr && *v != '\0' && *v != '0';
+    }();
+    return enabled;
+}
+
+void
+logTraffic(const char *event, const std::string &workload, size_t ops,
+           uint64_t seed)
+{
+    if (verboseEnabled())
+        std::fprintf(stderr, "tpred-cache: %s %s ops=%zu seed=%llu\n",
+                     event, workload.c_str(), ops,
+                     static_cast<unsigned long long>(seed));
+}
+
+} // namespace
 
 size_t
 TraceCache::hashKey(std::string_view workload, uint64_t seed,
@@ -20,6 +51,43 @@ TraceCache::hashKey(std::string_view workload, uint64_t seed,
         h ^= h >> 33;
     }
     return static_cast<size_t>(h);
+}
+
+SharedTrace
+TraceCache::acquire(const std::string &workload, size_t ops,
+                    uint64_t seed)
+{
+    std::shared_ptr<CorpusManager> corpus = this->corpus();
+    if (corpus) {
+        const CorpusKey key{workload, seed, ops};
+        std::string name;
+        if (auto trace = corpus->load(key, &name)) {
+            corpusHits_.fetch_add(1);
+            bytesInserted_.fetch_add(trace->residentBytes());
+            logTraffic("corpus-hit", workload, ops, seed);
+            return SharedTrace(std::move(trace),
+                               name.empty() ? workload : name);
+        }
+    }
+
+    recordings_.fetch_add(1);
+    logTraffic("generate", workload, ops, seed);
+    SharedTrace trace = recordWorkload(workload, ops, seed);
+    bytesInserted_.fetch_add(trace.compact().residentBytes());
+
+    if (corpus) {
+        // Best effort: a full disk must not fail the experiment.
+        try {
+            corpus->store(CorpusKey{workload, seed, ops},
+                          trace.compact(), trace.name());
+            logTraffic("corpus-store", workload, ops, seed);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr,
+                         "tpred-cache: corpus store failed: %s\n",
+                         e.what());
+        }
+    }
+    return trace;
 }
 
 SharedTrace
@@ -44,10 +112,10 @@ TraceCache::get(std::string_view workload, size_t ops, uint64_t seed)
         }
     }
     if (recorder) {
-        recordings_.fetch_add(1);
+        misses_.fetch_add(1);
         try {
             promise.set_value(
-                recordWorkload(std::string(workload), ops, seed));
+                acquire(std::string(workload), ops, seed));
         } catch (...) {
             // Un-memoize so a later retry isn't poisoned, then let the
             // waiters (and this caller, via get()) see the exception.
@@ -59,8 +127,37 @@ TraceCache::get(std::string_view workload, size_t ops, uint64_t seed)
             }
             promise.set_exception(std::current_exception());
         }
+    } else {
+        hits_.fetch_add(1);
+        logTraffic("memo-hit", std::string(workload), ops, seed);
     }
     return future.get();
+}
+
+void
+TraceCache::attachCorpus(std::shared_ptr<CorpusManager> corpus)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    corpus_ = std::move(corpus);
+}
+
+std::shared_ptr<CorpusManager>
+TraceCache::corpus() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return corpus_;
+}
+
+TraceCacheStats
+TraceCache::stats() const
+{
+    TraceCacheStats s;
+    s.hits = hits_.load();
+    s.misses = misses_.load();
+    s.corpusHits = corpusHits_.load();
+    s.recordings = recordings_.load();
+    s.bytesInserted = bytesInserted_.load();
+    return s;
 }
 
 size_t
@@ -81,6 +178,22 @@ TraceCache &
 globalTraceCache()
 {
     static TraceCache cache;
+    static const bool attached = [] {
+        const char *dir = std::getenv("TPRED_CORPUS_DIR");
+        if (dir == nullptr || *dir == '\0')
+            return false;
+        try {
+            cache.attachCorpus(std::make_shared<CorpusManager>(dir));
+        } catch (const std::exception &e) {
+            std::fprintf(stderr,
+                         "tpred-cache: ignoring TPRED_CORPUS_DIR: "
+                         "%s\n",
+                         e.what());
+            return false;
+        }
+        return true;
+    }();
+    (void)attached;
     return cache;
 }
 

@@ -26,6 +26,18 @@
 namespace tpred
 {
 
+class CorpusManager;
+
+/** Cumulative TraceCache effectiveness counters (see stats()). */
+struct TraceCacheStats
+{
+    size_t hits = 0;        ///< get() served from the in-process memo
+    size_t misses = 0;      ///< memo misses (corpus hit or generation)
+    size_t corpusHits = 0;  ///< memo misses served from the disk corpus
+    size_t recordings = 0;  ///< traces actually generated
+    uint64_t bytesInserted = 0;  ///< resident bytes of inserted traces
+};
+
 /**
  * Mutex-guarded memo from (workload, seed, ops) to a recorded
  * SharedTrace.
@@ -41,6 +53,12 @@ namespace tpred
  * on a shared future instead of re-recording.  Cached traces stay
  * alive until clear(); SharedTrace handles already handed out remain
  * valid past clear() because the storage is reference-counted.
+ *
+ * Second-level cache: when a CorpusManager is attached (explicitly or
+ * via $TPRED_CORPUS_DIR for the global cache), a memo miss first
+ * tries the on-disk corpus — a validated hit is adopted zero-copy
+ * without running the workload generator, and a freshly generated
+ * trace is persisted back (best effort) for future processes.
  */
 class TraceCache
 {
@@ -49,7 +67,19 @@ class TraceCache
     SharedTrace get(std::string_view workload, size_t ops,
                     uint64_t seed = 1);
 
-    /** Number of traces actually recorded (i.e. cache misses). */
+    /**
+     * Attaches (or detaches, with nullptr) the second-level disk
+     * corpus consulted on memo misses.
+     */
+    void attachCorpus(std::shared_ptr<CorpusManager> corpus);
+
+    /** The attached corpus, or nullptr. */
+    std::shared_ptr<CorpusManager> corpus() const;
+
+    /** Snapshot of the cumulative counters. */
+    TraceCacheStats stats() const;
+
+    /** Number of traces actually generated (not served from disk). */
     size_t recordings() const { return recordings_.load(); }
 
     /** Number of traces currently memoized. */
@@ -117,14 +147,28 @@ class TraceCache
         }
     };
 
+    /** Memo-miss path: corpus load, else generate (and persist). */
+    SharedTrace acquire(const std::string &workload, size_t ops,
+                        uint64_t seed);
+
     mutable std::mutex mutex_;
     std::unordered_map<Key, std::shared_future<SharedTrace>, KeyHash,
                        KeyEqual>
         memo_;
+    std::shared_ptr<CorpusManager> corpus_;
     std::atomic<size_t> recordings_{0};
+    std::atomic<size_t> hits_{0};
+    std::atomic<size_t> misses_{0};
+    std::atomic<size_t> corpusHits_{0};
+    std::atomic<uint64_t> bytesInserted_{0};
 };
 
-/** Process-wide cache shared by the harness and bench drivers. */
+/**
+ * Process-wide cache shared by the harness and bench drivers.  On
+ * first use, if $TPRED_CORPUS_DIR names a directory, a CorpusManager
+ * over it is attached as the second-level cache; set $TPRED_VERBOSE
+ * to log hit/miss/store traffic on stderr.
+ */
 TraceCache &globalTraceCache();
 
 /** Shorthand for globalTraceCache().get(...). */

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Serialized container for CompactTrace — the byte layout shared by
+ * trace_io v2 files and the persistent corpus (src/corpus/).
+ *
+ * The container preserves the columnar encoding verbatim: a fixed
+ * header (magic, version, op count, stream name), a section table
+ * with one CRC32C-checked record per column, the 8-byte-aligned
+ * column payloads, and a footer carrying the file length and a total
+ * CRC32C.  Because the payload *is* the in-memory column layout,
+ * loading is zero-copy: openCompactContainer() validates the
+ * structure and returns a CompactTrace whose column spans point
+ * straight into the provided bytes (an mmap'd file, a read buffer),
+ * with no per-op deserialization pass.  See docs/trace_format.md for
+ * the byte-level layout.
+ *
+ * Every structural defect — wrong magic, version skew, truncation,
+ * checksum mismatch, inconsistent section table — throws a
+ * CompactFormatError naming the offending input, so callers can
+ * quarantine bad files instead of trusting them.
+ */
+
+#ifndef TPRED_TRACE_COMPACT_IO_HH
+#define TPRED_TRACE_COMPACT_IO_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/compact_trace.hh"
+
+namespace tpred
+{
+
+/** Container magic "TPCC" and footer magic "TPCF" (little-endian). */
+constexpr uint32_t kCompactMagic = 0x43435054;
+constexpr uint32_t kCompactFooterMagic = 0x46435054;
+
+/** Bump on any incompatible layout change. */
+constexpr uint32_t kCompactVersion = 1;
+
+/** A malformed, truncated or corrupt container. */
+class CompactFormatError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Serializes @p trace (with its stream @p name) into a self-contained
+ * container image.  Deterministic: the same trace and name always
+ * produce the same bytes.
+ */
+std::vector<uint8_t> serializeCompactTrace(const CompactTrace &trace,
+                                           std::string_view name);
+
+struct CompactOpenOptions
+{
+    /**
+     * Verify the per-section and whole-file CRC32C checksums (one
+     * sequential pass over the bytes).  Structural validation —
+     * magic, version, bounds, footer length — always happens.
+     */
+    bool verifyChecksums = true;
+};
+
+/**
+ * Opens a container image in place.
+ *
+ * @param bytes   The complete container.
+ * @param backing Keep-alive handle for the memory behind @p bytes
+ *                (MappedFile, shared buffer, ...); held by the
+ *                returned trace.
+ * @param name_out Receives the recorded stream name.
+ * @param whence  Human-readable origin (file path) for error messages.
+ * @return A CompactTrace viewing @p bytes — zero-copy.
+ * @throws CompactFormatError on any structural or checksum defect.
+ */
+CompactTrace openCompactContainer(std::span<const uint8_t> bytes,
+                                  std::shared_ptr<const void> backing,
+                                  std::string &name_out,
+                                  const std::string &whence,
+                                  const CompactOpenOptions &opts = {});
+
+/** Cheap header/footer summary of a container (corpus `ls`). */
+struct CompactContainerInfo
+{
+    std::string name;        ///< recorded stream name
+    uint64_t opCount = 0;
+    uint64_t branchCount = 0;
+    uint32_t version = 0;
+    uint32_t totalCrc = 0;   ///< footer CRC32C of the whole image
+    uint64_t fileBytes = 0;
+    bool fastBranchScan = false;
+};
+
+/**
+ * Structurally validates @p bytes and reports the header summary
+ * WITHOUT verifying payload checksums (that is what `tpredcorpus
+ * verify` / openCompactContainer are for).
+ * @throws CompactFormatError when the structure is unusable.
+ */
+CompactContainerInfo peekCompactContainer(std::span<const uint8_t> bytes,
+                                          const std::string &whence);
+
+} // namespace tpred
+
+#endif // TPRED_TRACE_COMPACT_IO_HH

@@ -37,7 +37,7 @@ putVarint(std::vector<uint8_t> &out, uint64_t v)
 
 /** LEB128 read; advances @p at. */
 inline uint64_t
-getVarint(const std::vector<uint8_t> &in, size_t &at)
+getVarint(std::span<const uint8_t> in, size_t &at)
 {
     uint64_t v = 0;
     unsigned shift = 0;
@@ -59,6 +59,71 @@ wrapDelta(uint64_t value, uint64_t base)
 
 } // namespace
 
+void
+CompactTrace::bindOwned()
+{
+    const OwnedColumns &o = *owned_;
+    flags_ = o.flags;
+    regBytes_ = o.regBytes;
+    regEscapes_ = o.regEscapes;
+    targetDeltas_ = o.targetDeltas;
+    discontPos_ = o.discontPos;
+    discontPc_ = o.discontPc;
+    memPos_ = o.memPos;
+    memDeltas_ = o.memDeltas;
+    selPos_ = o.selPos;
+    selVals_ = o.selVals;
+    fallPos_ = o.fallPos;
+    fallVals_ = o.fallVals;
+    branchPos_ = o.branchPos;
+}
+
+CompactTrace
+CompactTrace::fromColumns(const CompactColumns &cols,
+                          std::shared_ptr<const void> backing)
+{
+    CompactTrace t;
+    t.count_ = cols.count;
+    t.fastBranchScan_ = cols.fastBranchScan;
+    t.flags_ = cols.flags;
+    t.regBytes_ = cols.regBytes;
+    t.regEscapes_ = cols.regEscapes;
+    t.targetDeltas_ = cols.targetDeltas;
+    t.discontPos_ = cols.discontPos;
+    t.discontPc_ = cols.discontPc;
+    t.memPos_ = cols.memPos;
+    t.memDeltas_ = cols.memDeltas;
+    t.selPos_ = cols.selPos;
+    t.selVals_ = cols.selVals;
+    t.fallPos_ = cols.fallPos;
+    t.fallVals_ = cols.fallVals;
+    t.branchPos_ = cols.branchPos;
+    t.backing_ = std::move(backing);
+    return t;
+}
+
+CompactColumns
+CompactTrace::columns() const
+{
+    CompactColumns cols;
+    cols.count = count_;
+    cols.fastBranchScan = fastBranchScan_;
+    cols.flags = flags_;
+    cols.regBytes = regBytes_;
+    cols.regEscapes = regEscapes_;
+    cols.targetDeltas = targetDeltas_;
+    cols.discontPos = discontPos_;
+    cols.discontPc = discontPc_;
+    cols.memPos = memPos_;
+    cols.memDeltas = memDeltas_;
+    cols.selPos = selPos_;
+    cols.selVals = selVals_;
+    cols.fallPos = fallPos_;
+    cols.fallVals = fallVals_;
+    cols.branchPos = branchPos_;
+    return cols;
+}
+
 CompactTrace
 CompactTrace::encode(const std::vector<MicroOp> &ops)
 {
@@ -67,19 +132,21 @@ CompactTrace::encode(const std::vector<MicroOp> &ops)
 
     CompactTrace t;
     t.count_ = ops.size();
-    t.flags_.reserve(ops.size());
-    t.regBytes_.reserve(ops.size() * 3);
+    t.owned_ = std::make_unique<OwnedColumns>();
+    OwnedColumns &o = *t.owned_;
+    o.flags.reserve(ops.size());
+    o.regBytes.reserve(ops.size() * 3);
 
     uint64_t expected_pc = 0;
     uint64_t prev_mem = 0;
     // forEachBranch O(branches) preconditions, disproven as we go.
     bool redirect_off_branch = false;
     bool mem_at_branch = false;
-    auto reg_byte = [&t](RegIndex reg) -> uint8_t {
+    auto reg_byte = [&o](RegIndex reg) -> uint8_t {
         const int32_t biased = static_cast<int32_t>(reg) + 1;
         if (biased >= 0 && biased < kRegEscape)
             return static_cast<uint8_t>(biased);
-        t.regEscapes_.push_back(reg);
+        o.regEscapes.push_back(reg);
         return kRegEscape;
     };
 
@@ -96,25 +163,25 @@ CompactTrace::encode(const std::vector<MicroOp> &ops)
             flags |= kTakenBit;
 
         if (op.pc != expected_pc) {
-            t.discontPos_.push_back(pos);
-            t.discontPc_.push_back(op.pc);
+            o.discontPos.push_back(pos);
+            o.discontPc.push_back(op.pc);
         }
         const uint64_t fall = op.pc + 4;
         if (op.nextPc != fall) {
             flags |= kRedirectBit;
-            putVarint(t.targetDeltas_,
+            putVarint(o.targetDeltas,
                       zigzagEncode(static_cast<int64_t>(
                           wrapDelta(op.nextPc, fall))));
             if (op.branch == BranchKind::None)
                 redirect_off_branch = true;
         }
         if (op.fallthrough != fall) {
-            t.fallPos_.push_back(pos);
-            t.fallVals_.push_back(op.fallthrough);
+            o.fallPos.push_back(pos);
+            o.fallVals.push_back(op.fallthrough);
         }
         if (op.memAddr != 0) {
-            t.memPos_.push_back(pos);
-            putVarint(t.memDeltas_,
+            o.memPos.push_back(pos);
+            putVarint(o.memDeltas,
                       zigzagEncode(static_cast<int64_t>(
                           wrapDelta(op.memAddr, prev_mem))));
             prev_mem = op.memAddr;
@@ -122,29 +189,30 @@ CompactTrace::encode(const std::vector<MicroOp> &ops)
                 mem_at_branch = true;
         }
         if (op.selector != 0) {
-            t.selPos_.push_back(pos);
-            putVarint(t.selVals_, op.selector);
+            o.selPos.push_back(pos);
+            putVarint(o.selVals, op.selector);
         }
         if (op.branch != BranchKind::None)
-            t.branchPos_.push_back(pos);
+            o.branchPos.push_back(pos);
 
-        t.flags_.push_back(flags);
-        t.regBytes_.push_back(reg_byte(op.dstReg));
-        t.regBytes_.push_back(reg_byte(op.srcRegs[0]));
-        t.regBytes_.push_back(reg_byte(op.srcRegs[1]));
+        o.flags.push_back(flags);
+        o.regBytes.push_back(reg_byte(op.dstReg));
+        o.regBytes.push_back(reg_byte(op.srcRegs[0]));
+        o.regBytes.push_back(reg_byte(op.srcRegs[1]));
 
         expected_pc = op.nextPc;
     }
 
-    t.flags_.shrink_to_fit();
-    t.regBytes_.shrink_to_fit();
-    t.regEscapes_.shrink_to_fit();
-    t.targetDeltas_.shrink_to_fit();
-    t.memDeltas_.shrink_to_fit();
-    t.selVals_.shrink_to_fit();
-    t.branchPos_.shrink_to_fit();
+    o.flags.shrink_to_fit();
+    o.regBytes.shrink_to_fit();
+    o.regEscapes.shrink_to_fit();
+    o.targetDeltas.shrink_to_fit();
+    o.memDeltas.shrink_to_fit();
+    o.selVals.shrink_to_fit();
+    o.branchPos.shrink_to_fit();
     t.fastBranchScan_ = !redirect_off_branch && !mem_at_branch &&
-                        t.regEscapes_.empty() && t.fallPos_.empty();
+                        o.regEscapes.empty() && o.fallPos.empty();
+    t.bindOwned();
     return t;
 }
 
@@ -327,10 +395,7 @@ CompactTrace::decodeAll() const
 size_t
 CompactTrace::residentBytes() const
 {
-    auto bytes = [](const auto &v) {
-        return v.capacity() *
-               sizeof(typename std::decay_t<decltype(v)>::value_type);
-    };
+    auto bytes = [](const auto &v) { return v.size_bytes(); };
     return sizeof(*this) + bytes(flags_) + bytes(regBytes_) +
            bytes(regEscapes_) + bytes(targetDeltas_) +
            bytes(discontPos_) + bytes(discontPc_) + bytes(memPos_) +

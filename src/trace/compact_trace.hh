@@ -35,6 +35,16 @@
  * decode *only* the branches and account for the ops in between
  * arithmetically (see forEachBranch and docs/trace_format.md).
  *
+ * Storage is accessed through read-only spans, so a trace can be
+ * backed two ways with one decoder:
+ *
+ *  - **owned** — encode() materializes heap vectors (behind a stable
+ *    unique_ptr, so moves never invalidate the spans);
+ *  - **borrowed** — fromColumns() views caller-provided memory, e.g.
+ *    an mmap'd corpus file (src/corpus/), kept alive by an opaque
+ *    shared backing handle.  Decode then runs zero-copy straight out
+ *    of the page cache with no deserialization pass.
+ *
  * The encoding is lossless for arbitrary MicroOp sequences; for
  * coherent generated workloads it is ~8-10x smaller than the vector.
  */
@@ -45,6 +55,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -57,20 +68,69 @@ namespace tpred
 /** Ops materialized per refill on the batch replay path. */
 constexpr size_t kReplayBlock = 256;
 
+/**
+ * Read-only views of every column of a CompactTrace, in one flat
+ * struct — the exchange format between the trace and its serialized
+ * container (trace/compact_io.hh): writers iterate the spans,
+ * loaders fill them in from mapped or buffered file sections.
+ */
+struct CompactColumns
+{
+    size_t count = 0;            ///< number of encoded ops
+    bool fastBranchScan = false; ///< O(branches) scan applicable
+
+    std::span<const uint8_t> flags;         ///< 1 byte per op
+    std::span<const uint8_t> regBytes;      ///< 3 bytes per op
+    std::span<const int16_t> regEscapes;    ///< out-of-range regs
+    std::span<const uint8_t> targetDeltas;  ///< varint redirect deltas
+    std::span<const uint32_t> discontPos;   ///< pc-chain breaks
+    std::span<const uint64_t> discontPc;
+    std::span<const uint32_t> memPos;       ///< ops with memAddr != 0
+    std::span<const uint8_t> memDeltas;     ///< varint mem deltas
+    std::span<const uint32_t> selPos;       ///< ops with selector != 0
+    std::span<const uint8_t> selVals;       ///< varint selectors
+    std::span<const uint32_t> fallPos;      ///< fallthrough overrides
+    std::span<const uint64_t> fallVals;
+    std::span<const uint32_t> branchPos;    ///< control-transfer index
+};
+
 class CompactTrace
 {
   public:
     /** Empty trace. */
     CompactTrace() = default;
 
+    CompactTrace(CompactTrace &&) = default;
+    CompactTrace &operator=(CompactTrace &&) = default;
+
     /** Losslessly encodes @p ops (any sequence, coherent or not). */
     static CompactTrace encode(const std::vector<MicroOp> &ops);
+
+    /**
+     * Adopts already-encoded columns without copying them.  The spans
+     * in @p cols must stay valid for the lifetime of @p backing (an
+     * opaque keep-alive handle: a MappedFile, a file buffer, ...),
+     * which the trace holds until destroyed.  This is the zero-copy
+     * load path: decode cursors read straight from the viewed memory.
+     *
+     * The caller is responsible for the columns being internally
+     * consistent (compact_io validates files before handing them
+     * here); no re-validation is performed.
+     */
+    static CompactTrace fromColumns(const CompactColumns &cols,
+                                    std::shared_ptr<const void> backing);
+
+    /** The column views (serialization, diagnostics). */
+    CompactColumns columns() const;
 
     /** Number of encoded ops. */
     size_t size() const { return count_; }
 
+    /** True when forEachBranch may take the O(branches) scan. */
+    bool fastBranchScan() const { return fastBranchScan_; }
+
     /** Positions of control-transfer ops, ascending (branch index). */
-    const std::vector<uint32_t> &branchPositions() const
+    std::span<const uint32_t> branchPositions() const
     {
         return branchPos_;
     }
@@ -178,6 +238,31 @@ class CompactTrace
     // Register byte: kNoReg..253 biased by +1; 0xFF = escape column.
     static constexpr uint8_t kRegEscape = 0xFF;
 
+    /**
+     * Heap storage for encode()-built traces.  Held behind a
+     * unique_ptr so the column spans stay valid across moves of the
+     * owning CompactTrace; absent entirely for view-backed traces.
+     */
+    struct OwnedColumns
+    {
+        std::vector<uint8_t> flags;
+        std::vector<uint8_t> regBytes;
+        std::vector<int16_t> regEscapes;
+        std::vector<uint8_t> targetDeltas;
+        std::vector<uint32_t> discontPos;
+        std::vector<uint64_t> discontPc;
+        std::vector<uint32_t> memPos;
+        std::vector<uint8_t> memDeltas;
+        std::vector<uint32_t> selPos;
+        std::vector<uint8_t> selVals;
+        std::vector<uint32_t> fallPos;
+        std::vector<uint64_t> fallVals;
+        std::vector<uint32_t> branchPos;
+    };
+
+    /** Points the column spans at the owned vectors. */
+    void bindOwned();
+
     /** Type-erased callback behind the forEachBranch template. */
     using BranchFn = void (*)(void *ctx, const MicroOp &op, size_t pos);
     void forEachBranchImpl(BranchFn fn, void *ctx) const;
@@ -185,19 +270,25 @@ class CompactTrace
     size_t count_ = 0;
     /// encode() verdict: true when the O(branches) scan is applicable.
     bool fastBranchScan_ = false;
-    std::vector<uint8_t> flags_;        ///< 1 byte per op
-    std::vector<uint8_t> regBytes_;     ///< 3 bytes per op (dst, s0, s1)
-    std::vector<int16_t> regEscapes_;   ///< out-of-range regs, in order
-    std::vector<uint8_t> targetDeltas_; ///< varint zigzag(nextPc-(pc+4))
-    std::vector<uint32_t> discontPos_;  ///< ops where pc != chained pc
-    std::vector<uint64_t> discontPc_;
-    std::vector<uint32_t> memPos_;      ///< ops with memAddr != 0
-    std::vector<uint8_t> memDeltas_;    ///< varint zigzag vs. previous
-    std::vector<uint32_t> selPos_;      ///< ops with selector != 0
-    std::vector<uint8_t> selVals_;      ///< varint selector values
-    std::vector<uint32_t> fallPos_;     ///< ops w/ fallthrough != pc+4
-    std::vector<uint64_t> fallVals_;
-    std::vector<uint32_t> branchPos_;   ///< control-transfer index
+
+    // Decode always reads through these spans, whether the bytes live
+    // in owned_ or in the memory backing_ keeps alive.
+    std::span<const uint8_t> flags_;        ///< 1 byte per op
+    std::span<const uint8_t> regBytes_;     ///< 3 bytes per op (dst, s0, s1)
+    std::span<const int16_t> regEscapes_;   ///< out-of-range regs, in order
+    std::span<const uint8_t> targetDeltas_; ///< varint zigzag(nextPc-(pc+4))
+    std::span<const uint32_t> discontPos_;  ///< ops where pc != chained pc
+    std::span<const uint64_t> discontPc_;
+    std::span<const uint32_t> memPos_;      ///< ops with memAddr != 0
+    std::span<const uint8_t> memDeltas_;    ///< varint zigzag vs. previous
+    std::span<const uint32_t> selPos_;      ///< ops with selector != 0
+    std::span<const uint8_t> selVals_;      ///< varint selector values
+    std::span<const uint32_t> fallPos_;     ///< ops w/ fallthrough != pc+4
+    std::span<const uint64_t> fallVals_;
+    std::span<const uint32_t> branchPos_;   ///< control-transfer index
+
+    std::unique_ptr<OwnedColumns> owned_;   ///< encode()-built storage
+    std::shared_ptr<const void> backing_;   ///< borrowed-view keep-alive
 };
 
 /**

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
 #include <sstream>
 
 #include "harness/paper_tables.hh"
@@ -149,7 +151,10 @@ TEST(CompactTrace, BranchIndexMatchesOps)
     for (size_t i = 0; i < ops.size(); ++i)
         if (ops[i].isBranch())
             expected.push_back(static_cast<uint32_t>(i));
-    EXPECT_EQ(trace.compact().branchPositions(), expected);
+    const std::span<const uint32_t> positions =
+        trace.compact().branchPositions();
+    EXPECT_TRUE(std::equal(positions.begin(), positions.end(),
+                           expected.begin(), expected.end()));
 }
 
 TEST(CompactTrace, ForEachBranchVisitsExactlyTheBranches)

@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Persistent corpus tests: container round-trips, zero-copy mmap
+ * equality, cache layering (a warm corpus means zero trace
+ * generation), and the corruption suite — bit flips, truncation and
+ * header skew must quarantine the file and regenerate bit-identical
+ * results, never crash or silently serve damaged data.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <unistd.h>
+
+#include "corpus/corpus.hh"
+#include "corpus/mapped_file.hh"
+#include "harness/paper_tables.hh"
+#include "harness/trace_cache.hh"
+#include "test_util.hh"
+#include "trace/compact_io.hh"
+#include "workloads/workload.hh"
+
+namespace fs = std::filesystem;
+
+namespace tpred
+{
+namespace
+{
+
+/** Fresh empty directory under the system temp dir. */
+std::string
+makeTempDir(const std::string &tag)
+{
+    static int counter = 0;
+    const fs::path dir = fs::temp_directory_path() /
+                         ("tpred_corpus_" + tag + "_" +
+                          std::to_string(::getpid()) + "_" +
+                          std::to_string(counter++));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+struct TempDir
+{
+    explicit TempDir(const std::string &tag) : path(makeTempDir(tag)) {}
+    ~TempDir() { fs::remove_all(path); }
+    std::string path;
+};
+
+CompactTrace
+sampleTrace(size_t ops = 5000)
+{
+    auto workload = makeWorkload("perl", 7);
+    return CompactTrace::encode(drainTrace(*workload, ops));
+}
+
+bool
+sameOp(const MicroOp &a, const MicroOp &b)
+{
+    return a.pc == b.pc && a.nextPc == b.nextPc &&
+           a.memAddr == b.memAddr && a.selector == b.selector &&
+           a.fallthrough == b.fallthrough && a.cls == b.cls &&
+           a.branch == b.branch && a.taken == b.taken &&
+           a.dstReg == b.dstReg && a.srcRegs == b.srcRegs;
+}
+
+bool
+sameOps(const CompactTrace &a, const CompactTrace &b)
+{
+    const std::vector<MicroOp> da = a.decodeAll();
+    const std::vector<MicroOp> db = b.decodeAll();
+    if (da.size() != db.size())
+        return false;
+    for (size_t i = 0; i < da.size(); ++i)
+        if (!sameOp(da[i], db[i]))
+            return false;
+    return true;
+}
+
+bool
+sameStats(const FrontendStats &a, const FrontendStats &b)
+{
+    auto ratio_eq = [](const RatioStat &x, const RatioStat &y) {
+        return x.hits() == y.hits() && x.total() == y.total();
+    };
+    return a.instructions == b.instructions &&
+           ratio_eq(a.allBranches, b.allBranches) &&
+           ratio_eq(a.condDirection, b.condDirection) &&
+           ratio_eq(a.indirectJumps, b.indirectJumps) &&
+           ratio_eq(a.returns, b.returns) &&
+           ratio_eq(a.btbHits, b.btbHits);
+}
+
+// ---------------------------------------------------------------
+// Container codec
+// ---------------------------------------------------------------
+
+TEST(CompactContainer, RoundTripIsLossless)
+{
+    const CompactTrace trace = sampleTrace();
+    const std::vector<uint8_t> image =
+        serializeCompactTrace(trace, "perl");
+
+    std::string name;
+    const CompactTrace back =
+        openCompactContainer(image, nullptr, name, "image");
+    EXPECT_EQ(name, "perl");
+    EXPECT_EQ(back.size(), trace.size());
+    EXPECT_EQ(back.fastBranchScan(), trace.fastBranchScan());
+    EXPECT_TRUE(sameOps(trace, back));
+}
+
+TEST(CompactContainer, SerializationIsDeterministic)
+{
+    const CompactTrace trace = sampleTrace();
+    EXPECT_EQ(serializeCompactTrace(trace, "perl"),
+              serializeCompactTrace(trace, "perl"));
+}
+
+TEST(CompactContainer, EmptyTraceRoundTrips)
+{
+    const CompactTrace trace = CompactTrace::encode({});
+    const std::vector<uint8_t> image =
+        serializeCompactTrace(trace, "");
+    std::string name;
+    const CompactTrace back =
+        openCompactContainer(image, nullptr, name, "image");
+    EXPECT_EQ(back.size(), 0u);
+    EXPECT_TRUE(name.empty());
+}
+
+TEST(CompactContainer, PeekReportsCountsWithoutFullVerify)
+{
+    const CompactTrace trace = sampleTrace();
+    const std::vector<uint8_t> image =
+        serializeCompactTrace(trace, "perl");
+    const CompactContainerInfo info =
+        peekCompactContainer(image, "image");
+    EXPECT_EQ(info.name, "perl");
+    EXPECT_EQ(info.opCount, trace.size());
+    EXPECT_EQ(info.branchCount, trace.branchPositions().size());
+    EXPECT_EQ(info.version, kCompactVersion);
+    EXPECT_EQ(info.fileBytes, image.size());
+}
+
+TEST(CompactContainer, ErrorsNameTheSource)
+{
+    const std::vector<uint8_t> junk(64, 0xAB);
+    std::string name;
+    try {
+        openCompactContainer(junk, nullptr, name, "/some/file.tpct");
+        FAIL() << "expected CompactFormatError";
+    } catch (const CompactFormatError &e) {
+        EXPECT_NE(std::string(e.what()).find("/some/file.tpct"),
+                  std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------
+// CorpusManager basics
+// ---------------------------------------------------------------
+
+TEST(Corpus, StoreThenLoadIsIdenticalAndZeroCopy)
+{
+    const TempDir dir("roundtrip");
+    CorpusManager corpus(dir.path);
+    const CompactTrace trace = sampleTrace();
+    const CorpusKey key{"perl", 7, 5000};
+
+    corpus.store(key, trace, "perl");
+    std::string name;
+    const auto loaded = corpus.load(key, &name);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(name, "perl");
+    EXPECT_TRUE(sameOps(trace, *loaded));
+
+    const CorpusStats stats = corpus.stats();
+    EXPECT_EQ(stats.stores, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 0u);
+    EXPECT_GT(stats.bytesStored, 0u);
+    EXPECT_EQ(stats.bytesLoaded, stats.bytesStored);
+}
+
+TEST(Corpus, MissingEntryIsAMiss)
+{
+    const TempDir dir("miss");
+    CorpusManager corpus(dir.path);
+    EXPECT_EQ(corpus.load(CorpusKey{"perl", 1, 1000}), nullptr);
+    EXPECT_EQ(corpus.stats().misses, 1u);
+}
+
+TEST(Corpus, KeysWithDashesInWorkloadNamesAreDistinct)
+{
+    const TempDir dir("dashes");
+    CorpusManager corpus(dir.path);
+    const CompactTrace trace = sampleTrace(500);
+    corpus.store(CorpusKey{"cpp-virtual", 1, 500}, trace, "cpp-virtual");
+    corpus.store(CorpusKey{"cpp-virtual", 2, 500}, trace, "cpp-virtual");
+
+    const auto entries = corpus.list(true);
+    ASSERT_EQ(entries.size(), 2u);
+    for (const CorpusEntry &e : entries) {
+        EXPECT_TRUE(e.ok) << e.error;
+        EXPECT_EQ(e.key.workload, "cpp-virtual");
+        EXPECT_EQ(e.key.ops, 500u);
+    }
+    EXPECT_EQ(entries[0].key.seed + entries[1].key.seed, 3u);
+}
+
+TEST(Corpus, ManifestIsRegeneratedFromHeaders)
+{
+    const TempDir dir("manifest");
+    CorpusManager corpus(dir.path);
+    corpus.store(CorpusKey{"perl", 7, 5000}, sampleTrace(), "perl");
+
+    std::ifstream in(corpus.manifestPath());
+    ASSERT_TRUE(in.good());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("\"tpred-corpus-manifest\""), std::string::npos);
+    EXPECT_NE(text.find("\"workload\": \"perl\""), std::string::npos);
+    EXPECT_NE(text.find("\"crc32c\": "), std::string::npos);
+    EXPECT_NE(text.find(CorpusManager::kGeneratorVersion),
+              std::string::npos);
+}
+
+TEST(Corpus, GcRemovesQuarantinedAndTempFiles)
+{
+    const TempDir dir("gc");
+    CorpusManager corpus(dir.path);
+    corpus.store(CorpusKey{"perl", 7, 5000}, sampleTrace(), "perl");
+
+    std::ofstream(fs::path(dir.path) / "stale.tpct.quarantined")
+        << "junk";
+    std::ofstream(fs::path(dir.path) / "x.tpct.tmp123") << "junk";
+    EXPECT_EQ(corpus.gc(), 2u);
+    ASSERT_EQ(corpus.list(true).size(), 1u);
+    EXPECT_TRUE(corpus.list(true)[0].ok);
+}
+
+// ---------------------------------------------------------------
+// Cache layering: warm corpus => zero trace generation
+// ---------------------------------------------------------------
+
+TEST(Corpus, TraceCacheUsesCorpusSecondLevel)
+{
+    const TempDir dir("cache");
+    const std::string workload = "xlisp";
+    const size_t ops = 20000;
+
+    // First process (simulated): cold corpus — the trace is
+    // generated once and persisted.
+    FrontendStats first_stats;
+    {
+        TraceCache cache;
+        cache.attachCorpus(std::make_shared<CorpusManager>(dir.path));
+        const SharedTrace trace = cache.get(workload, ops);
+        first_stats = runAccuracy(trace, taglessGshare());
+        EXPECT_EQ(cache.recordings(), 1u);
+        EXPECT_EQ(cache.stats().corpusHits, 0u);
+        EXPECT_EQ(cache.corpus()->stats().stores, 1u);
+    }
+
+    // Second process (simulated): warm corpus — zero generation,
+    // served entirely from disk, identical results.
+    {
+        TraceCache cache;
+        cache.attachCorpus(std::make_shared<CorpusManager>(dir.path));
+        const SharedTrace trace = cache.get(workload, ops);
+        EXPECT_EQ(cache.recordings(), 0u) <<
+            "warm corpus must not regenerate the trace";
+        EXPECT_EQ(cache.stats().corpusHits, 1u);
+        EXPECT_EQ(cache.stats().misses, 1u);
+        EXPECT_EQ(cache.corpus()->stats().hits, 1u);
+
+        // Memo hit on re-request: no second corpus load either.
+        cache.get(workload, ops);
+        EXPECT_EQ(cache.stats().hits, 1u);
+        EXPECT_EQ(cache.corpus()->stats().hits, 1u);
+
+        EXPECT_TRUE(sameStats(first_stats,
+                              runAccuracy(trace, taglessGshare())));
+    }
+}
+
+TEST(Corpus, CacheWithoutCorpusStillWorks)
+{
+    TraceCache cache;
+    const SharedTrace trace = cache.get("compress", 5000);
+    EXPECT_EQ(trace.size(), 5000u);
+    EXPECT_EQ(cache.recordings(), 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+// ---------------------------------------------------------------
+// Corruption suite
+// ---------------------------------------------------------------
+
+/** Damages one stored corpus file in place via @p mutate. */
+template <typename Mutate>
+void
+corruptionCase(const char *tag, Mutate &&mutate)
+{
+    const TempDir dir(tag);
+    const std::string workload = "m88ksim";
+    const size_t ops = 20000;
+
+    FrontendStats clean_stats;
+    {
+        TraceCache cache;
+        cache.attachCorpus(std::make_shared<CorpusManager>(dir.path));
+        clean_stats =
+            runAccuracy(cache.get(workload, ops), taglessGshare());
+    }
+
+    // Damage the file the store produced.
+    const CorpusKey key{workload, 1, ops};
+    const fs::path path =
+        fs::path(dir.path) / CorpusManager::fileName(key);
+    ASSERT_TRUE(fs::exists(path));
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        ASSERT_TRUE(f.good());
+        std::vector<char> bytes(
+            (std::istreambuf_iterator<char>(f)),
+            std::istreambuf_iterator<char>());
+        mutate(bytes);
+        f.close();
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    // The damaged file must be quarantined — never trusted — and the
+    // regenerated trace must reproduce the clean statistics exactly.
+    TraceCache cache;
+    cache.attachCorpus(std::make_shared<CorpusManager>(dir.path));
+    const SharedTrace trace = cache.get(workload, ops);
+    EXPECT_EQ(cache.recordings(), 1u)
+        << "damaged corpus entry must force regeneration";
+    EXPECT_EQ(cache.corpus()->stats().quarantined, 1u);
+    EXPECT_TRUE(fs::exists(path.string() + ".quarantined"))
+        << "damaged file must be moved aside";
+    // The entry now back under the original name is the freshly
+    // regenerated store, not the damaged bytes: it must fully verify.
+    {
+        bool verified = false;
+        for (const CorpusEntry &e : cache.corpus()->list(true))
+            if (e.file == CorpusManager::fileName(key))
+                verified = e.ok;
+        EXPECT_TRUE(verified);
+    }
+    EXPECT_TRUE(sameStats(clean_stats,
+                          runAccuracy(trace, taglessGshare())));
+
+    // The regeneration re-stored a good file: next cache is warm.
+    TraceCache warm;
+    warm.attachCorpus(std::make_shared<CorpusManager>(dir.path));
+    warm.get(workload, ops);
+    EXPECT_EQ(warm.recordings(), 0u);
+}
+
+TEST(CorpusCorruption, PayloadBitFlipIsQuarantined)
+{
+    corruptionCase("bitflip", [](std::vector<char> &bytes) {
+        ASSERT_GT(bytes.size(), 300u);
+        bytes[bytes.size() / 2] ^= 0x10;  // flip one payload bit
+    });
+}
+
+TEST(CorpusCorruption, TruncationIsQuarantined)
+{
+    corruptionCase("truncate", [](std::vector<char> &bytes) {
+        ASSERT_GT(bytes.size(), 100u);
+        bytes.resize(bytes.size() / 2);
+    });
+}
+
+TEST(CorpusCorruption, HeaderVersionSkewIsQuarantined)
+{
+    corruptionCase("skew", [](std::vector<char> &bytes) {
+        ASSERT_GT(bytes.size(), 8u);
+        bytes[4] = 99;  // FileHeader.version (header CRC now stale
+                        // too; either check may fire — both reject)
+    });
+}
+
+TEST(CorpusCorruption, ZeroLengthFileIsQuarantined)
+{
+    corruptionCase("empty", [](std::vector<char> &bytes) {
+        bytes.clear();
+    });
+}
+
+// ---------------------------------------------------------------
+// MappedFile
+// ---------------------------------------------------------------
+
+TEST(MappedFile, MissingFileErrorNamesThePath)
+{
+    try {
+        MappedFile::open("/nonexistent/dir/corpus.tpct");
+        FAIL() << "expected runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("/nonexistent/dir"),
+                  std::string::npos);
+    }
+}
+
+TEST(MappedFile, MapsWrittenBytesBack)
+{
+    const TempDir dir("map");
+    const fs::path path = fs::path(dir.path) / "blob";
+    const std::string payload = "forty-two bytes of corpus payload";
+    std::ofstream(path, std::ios::binary) << payload;
+
+    const auto mapping = MappedFile::open(path.string());
+    ASSERT_EQ(mapping->size(), payload.size());
+    EXPECT_EQ(std::string(reinterpret_cast<const char *>(
+                              mapping->bytes().data()),
+                          mapping->size()),
+              payload);
+}
+
+} // namespace
+} // namespace tpred

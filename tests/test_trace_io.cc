@@ -1,10 +1,12 @@
 /** @file Unit tests for binary trace serialization. */
 
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "test_util.hh"
+#include "trace/compact_io.hh"
 #include "trace/trace_io.hh"
 #include "workloads/workload.hh"
 
@@ -67,7 +69,7 @@ TEST(TraceIo, RoundTripRegisters)
 TEST(TraceIo, EmptyTrace)
 {
     std::stringstream buffer;
-    writeTrace(buffer, {}, "");
+    writeTrace(buffer, std::vector<MicroOp>{}, "");
     std::string name;
     auto ops = readTrace(buffer, name);
     EXPECT_TRUE(ops.empty());
@@ -94,7 +96,7 @@ TEST(TraceIo, RejectsTruncation)
 TEST(TraceIo, RejectsWrongVersion)
 {
     std::stringstream buffer;
-    writeTrace(buffer, {}, "v");
+    writeTrace(buffer, std::vector<MicroOp>{}, "v");
     std::string data = buffer.str();
     data[4] = 99;  // clobber the version field
     std::stringstream bad(data);
@@ -127,6 +129,78 @@ TEST(TraceIo, MissingFileThrows)
     std::string name;
     EXPECT_THROW(loadTraceFile("/nonexistent/path.tpr", name),
                  std::runtime_error);
+}
+
+TEST(TraceIo, LegacyV1FilesStayReadable)
+{
+    const auto ops = sampleOps();
+    std::stringstream buffer;
+    writeTraceV1(buffer, ops, "old");
+
+    std::string name;
+    const auto back = readTrace(buffer, name);
+    EXPECT_EQ(name, "old");
+    ASSERT_EQ(back.size(), ops.size());
+    EXPECT_EQ(back[1].branch, BranchKind::IndirectJump);
+    EXPECT_EQ(back[1].nextPc, 0x4000u);
+}
+
+TEST(TraceIo, CompactRoundTripSkipsTheMicroOpDetour)
+{
+    auto workload = makeWorkload("vortex", 5);
+    const CompactTrace trace =
+        CompactTrace::encode(drainTrace(*workload, 5000));
+    const std::string path = "/tmp/tpred_test_trace_v2.tpr";
+    saveTraceFile(path, trace, "vortex");
+
+    std::string name;
+    const CompactTrace back = loadCompactTraceFile(path, name);
+    EXPECT_EQ(name, "vortex");
+    ASSERT_EQ(back.size(), trace.size());
+
+    // The v2 payload is the container image: re-serializing the
+    // loaded trace must reproduce it byte for byte.
+    EXPECT_EQ(serializeCompactTrace(back, name),
+              serializeCompactTrace(trace, "vortex"));
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, FileErrorsNameThePath)
+{
+    const std::string path = "/tmp/tpred_test_not_a_trace.tpr";
+    std::ofstream(path, std::ios::binary)
+        << "certainly not a trace file";
+    std::string name;
+    try {
+        loadTraceFile(path, name);
+        FAIL() << "expected runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find(path),
+                  std::string::npos);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, TruncatedV2FileErrorNamesThePath)
+{
+    const std::string path = "/tmp/tpred_test_truncated.tpr";
+    {
+        std::stringstream buffer;
+        writeTrace(buffer, sampleOps(), "t");
+        const std::string data = buffer.str();
+        std::ofstream out(path, std::ios::binary);
+        out.write(data.data(),
+                  static_cast<std::streamsize>(data.size() - 9));
+    }
+    std::string name;
+    try {
+        loadTraceFile(path, name);
+        FAIL() << "expected runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find(path),
+                  std::string::npos);
+    }
+    std::remove(path.c_str());
 }
 
 } // namespace

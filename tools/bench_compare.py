@@ -1,16 +1,25 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_replay.json files and flag throughput regressions.
+"""Compare two bench JSON reports and flag throughput regressions.
 
 Usage:
     bench_compare.py BASELINE.json CANDIDATE.json [--threshold PCT]
 
-Each file is the output of bench/replay_throughput (the `ops` budget
-and a per-workload map of legacy/compact/indexed Mops/s).  For every
-workload present in both files, every *_mops lane in the candidate is
-compared against the baseline; a drop of more than --threshold percent
-(default 10) is a regression.  Workloads or lanes missing from the
-candidate are also regressions — a bench that silently stopped
-covering a workload must not pass.
+Accepts the output of any bench that emits an `ops` budget and a
+per-workload map of *_mops lanes:
+
+    bench/replay_throughput -> BENCH_replay.json
+        (legacy/compact/indexed replay Mops/s)
+    bench/corpus_load       -> BENCH_corpus.json
+        (regen/cold/warm trace-acquisition Mops/s; a warm-load drop
+        beyond the threshold fails the corpus perf gate)
+
+For every workload present in both files, every *_mops lane in the
+candidate is compared against the baseline; a drop of more than
+--threshold percent (default 10) is a regression.  Workloads or lanes
+missing from the candidate are also regressions — a bench that
+silently stopped covering a workload must not pass.  Compare like
+with like: a replay baseline against a replay candidate, a corpus
+baseline against a corpus candidate.
 
 Exit status: 0 when clean, 1 on any regression, 2 on unusable input.
 Only the standard library is used so the script runs anywhere.

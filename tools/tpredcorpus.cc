@@ -1,0 +1,179 @@
+/**
+ * @file
+ * tpredcorpus — manages a persistent on-disk trace corpus.
+ *
+ *   tpredcorpus build  --dir corpus [--ops N] [--seed N] [WORKLOAD...]
+ *   tpredcorpus ls     --dir corpus
+ *   tpredcorpus verify --dir corpus
+ *   tpredcorpus gc     --dir corpus [--max-bytes N]
+ *
+ * `build` records the named workloads (default: every workload) and
+ * stores each as a checksummed CompactTrace container; existing
+ * up-to-date entries are kept.  `verify` re-reads every container
+ * with full CRC checking and exits non-zero if any fail.  `ls`
+ * prints a table from the headers only.  `gc` deletes quarantined,
+ * temporary and corrupt files, then evicts oldest-first down to
+ * --max-bytes if given.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "corpus/corpus.hh"
+#include "harness/experiment.hh"
+#include "workloads/workload.hh"
+
+using namespace tpred;
+
+namespace
+{
+
+struct Options
+{
+    std::string command;
+    std::string dir;
+    std::vector<std::string> workloads;
+    size_t ops = kDefaultAccuracyOps;
+    uint64_t seed = 1;
+    uint64_t maxBytes = 0;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fputs(
+        "tpredcorpus — persistent trace corpus manager\n"
+        "\n"
+        "  tpredcorpus build  --dir DIR [--ops N] [--seed N] "
+        "[WORKLOAD...]\n"
+        "  tpredcorpus ls     --dir DIR\n"
+        "  tpredcorpus verify --dir DIR\n"
+        "  tpredcorpus gc     --dir DIR [--max-bytes N]\n"
+        "\n"
+        "build records the listed workloads (default: all) into DIR;\n"
+        "entries that already verify are kept.  verify exits 1 if any\n"
+        "container fails its checksums.\n",
+        stderr);
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    Options opt;
+    opt.command = argv[1];
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--dir")
+            opt.dir = need(i);
+        else if (arg == "--ops")
+            opt.ops = parseOps(need(i), "--ops");
+        else if (arg == "--seed")
+            opt.seed = static_cast<uint64_t>(std::atoll(need(i)));
+        else if (arg == "--max-bytes")
+            opt.maxBytes =
+                static_cast<uint64_t>(std::atoll(need(i)));
+        else if (arg.starts_with("--"))
+            usage();
+        else
+            opt.workloads.push_back(arg);
+    }
+    if (opt.dir.empty())
+        usage();
+    return opt;
+}
+
+int
+cmdBuild(CorpusManager &corpus, const Options &opt)
+{
+    const std::vector<std::string> &names =
+        opt.workloads.empty() ? allWorkloadNames() : opt.workloads;
+    for (const std::string &name : names) {
+        const CorpusKey key{name, opt.seed, opt.ops};
+        if (auto existing = corpus.load(key)) {
+            std::printf("%-12s up to date (%zu ops)\n", name.c_str(),
+                        existing->size());
+            continue;
+        }
+        const SharedTrace trace = recordWorkload(name, opt.ops,
+                                                 opt.seed);
+        corpus.store(key, trace.compact(), trace.name());
+        std::printf("%-12s recorded %s ops -> %s\n", name.c_str(),
+                    formatCount(trace.size()).c_str(),
+                    corpus.fileName(key).c_str());
+    }
+    return 0;
+}
+
+int
+cmdList(const CorpusManager &corpus, bool verify)
+{
+    const std::vector<CorpusEntry> entries = corpus.list(verify);
+    if (entries.empty()) {
+        std::printf("corpus %s is empty\n", corpus.dir().c_str());
+        return 0;
+    }
+    int bad = 0;
+    std::printf("%-44s %10s %10s %12s  %s\n", "file", "ops",
+                "branches", "bytes", verify ? "verified" : "status");
+    for (const CorpusEntry &e : entries) {
+        if (e.ok) {
+            std::printf("%-44s %10llu %10llu %12llu  ok\n",
+                        e.file.c_str(),
+                        static_cast<unsigned long long>(e.opCount),
+                        static_cast<unsigned long long>(e.branchCount),
+                        static_cast<unsigned long long>(e.fileBytes));
+        } else {
+            ++bad;
+            std::printf("%-44s %10s %10s %12s  BAD: %s\n",
+                        e.file.c_str(), "-", "-", "-",
+                        e.error.c_str());
+        }
+    }
+    if (bad > 0)
+        std::fprintf(stderr, "tpredcorpus: %d corrupt file(s)\n", bad);
+    return bad > 0 ? 1 : 0;
+}
+
+int
+cmdGc(CorpusManager &corpus, const Options &opt)
+{
+    const size_t removed = corpus.gc(opt.maxBytes);
+    std::printf("removed %zu file(s)\n", removed);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const Options opt = parse(argc, argv);
+        CorpusManager corpus(opt.dir);
+        if (opt.command == "build")
+            return cmdBuild(corpus, opt);
+        if (opt.command == "ls")
+            return cmdList(corpus, false);
+        if (opt.command == "verify")
+            return cmdList(corpus, true);
+        if (opt.command == "gc")
+            return cmdGc(corpus, opt);
+        usage();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "tpredcorpus: %s\n", e.what());
+        return 1;
+    }
+}

@@ -18,9 +18,11 @@
 #include <string>
 
 #include "common/stats.hh"
+#include "corpus/corpus.hh"
 #include "harness/paper_tables.hh"
 #include "harness/parallel_runner.hh"
 #include "harness/site_report.hh"
+#include "harness/trace_cache.hh"
 #include "trace/trace_io.hh"
 #include "workloads/workload.hh"
 
@@ -37,6 +39,7 @@ struct Options
     std::string scheme = "xor";
     std::string saveTrace;
     std::string loadTrace;
+    std::string corpusDir;
     size_t ops = 1'000'000;
     unsigned ways = 4;
     unsigned histBits = 9;
@@ -73,7 +76,9 @@ usage()
         "                      [hardware concurrency]\n"
         "  --sites N           print the top-N misbehaving sites\n"
         "  --save-trace FILE   record the workload to a trace file\n"
-        "  --load-trace FILE   replay a recorded trace file\n");
+        "  --load-trace FILE   replay a recorded trace file\n"
+        "  --corpus DIR        persistent trace corpus directory\n"
+        "                      (also honoured as $TPRED_CORPUS_DIR)\n");
     std::exit(2);
 }
 
@@ -119,6 +124,8 @@ parse(int argc, char **argv)
             opt.saveTrace = need(i);
         else if (arg == "--load-trace")
             opt.loadTrace = need(i);
+        else if (arg == "--corpus")
+            opt.corpusDir = need(i);
         else
             usage();
     }
@@ -185,22 +192,35 @@ main(int argc, char **argv)
     try {
         const Options opt = parse(argc, argv);
         setDefaultJobs(opt.jobs);
+        if (!opt.corpusDir.empty())
+            globalTraceCache().attachCorpus(
+                std::make_shared<CorpusManager>(opt.corpusDir));
 
         SharedTrace trace = [&] {
             if (!opt.loadTrace.empty()) {
                 std::string name;
-                VectorTraceSource source(
-                    loadTraceFile(opt.loadTrace, name), name);
-                return SharedTrace(source, opt.ops);
+                CompactTrace loaded =
+                    loadCompactTraceFile(opt.loadTrace, name);
+                if (loaded.size() > opt.ops) {
+                    // Honour --ops as a cap on replayed trace files.
+                    std::vector<MicroOp> ops = loaded.decodeAll();
+                    ops.resize(opt.ops);
+                    return SharedTrace(std::move(ops), name);
+                }
+                return SharedTrace(
+                    std::make_shared<const CompactTrace>(
+                        std::move(loaded)),
+                    name);
             }
-            auto workload = makeWorkload(opt.workload, opt.seed);
-            return SharedTrace(*workload, opt.ops);
+            // Routed through the cache so an attached corpus (via
+            // --corpus or $TPRED_CORPUS_DIR) is consulted/populated.
+            return cachedTrace(opt.workload, opt.ops, opt.seed);
         }();
         std::printf("trace: %s, %s instructions\n", trace.name().c_str(),
                     formatCount(trace.size()).c_str());
 
         if (!opt.saveTrace.empty()) {
-            saveTraceFile(opt.saveTrace, trace.decodeOps(),
+            saveTraceFile(opt.saveTrace, trace.compact(),
                           trace.name());
             std::printf("saved trace to %s\n", opt.saveTrace.c_str());
         }
