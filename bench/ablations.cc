@@ -24,7 +24,8 @@ using namespace tpred;
 int
 main(int argc, char **argv)
 {
-    const size_t ops = resolveOps(argc, argv, kDefaultAccuracyOps);
+    const size_t ops =
+        bench::setup(argc, argv, kDefaultAccuracyOps).ops;
     bench::heading("Ablations (indirect-jump misprediction rate)", ops);
 
     const ParallelRunner runner;

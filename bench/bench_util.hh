@@ -3,20 +3,89 @@
 #ifndef TPRED_BENCH_BENCH_UTIL_HH
 #define TPRED_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "core/frontend_predictor.hh"
 #include "harness/paper_tables.hh"
 #include "harness/parallel_runner.hh"
+#include "harness/run_options.hh"
 #include "harness/trace_cache.hh"
+#include "obs/run_report.hh"
 #include "workloads/workload.hh"
 
 namespace tpred::bench
 {
+
+namespace detail
+{
+/** State for the at-exit report writer wired up by setup(). */
+struct PendingReport
+{
+    std::string tool;
+    std::string path;
+    size_t ops = 0;
+};
+
+inline PendingReport &
+pendingReport()
+{
+    static PendingReport pending;
+    return pending;
+}
+} // namespace detail
+
+/**
+ * One-call bench setup: parses the shared option vocabulary (env +
+ * argv, fail-loud) and applies the process-wide effects (job count,
+ * verbosity, corpus attachment).  Recognized flags and the positional
+ * instruction count are consumed from argv.
+ *
+ * When a report path is set (`--report` / `TPRED_REPORT`), a
+ * tpred-run-report/1 document with the run's config and process
+ * metrics is written there at exit — every bench gets the report
+ * surface without per-main plumbing.  Benches with richer lane data
+ * additionally emit their own report via LaneReport (below).
+ */
+inline RunOptions
+setup(int &argc, char **argv, size_t fallback_ops)
+{
+    RunOptions opts =
+        RunOptions::fromEnvAndArgv(argc, argv, fallback_ops);
+    opts.apply();
+    if (!opts.reportPath.empty()) {
+        detail::PendingReport &pending = detail::pendingReport();
+        std::string tool = argv[0] != nullptr ? argv[0] : "bench";
+        const size_t slash = tool.find_last_of('/');
+        if (slash != std::string::npos)
+            tool = tool.substr(slash + 1);
+        pending.tool = tool;
+        pending.path = opts.reportPath;
+        pending.ops = opts.ops;
+        // Construct the global registry *before* registering the
+        // handler so it is destroyed after the handler runs.
+        (void)obs::globalMetrics();
+        std::atexit(+[] {
+            const detail::PendingReport &p = detail::pendingReport();
+            obs::RunReport report(p.tool);
+            report.setConfig("ops", static_cast<uint64_t>(p.ops));
+            try {
+                report.captureProcess();
+                report.write(p.path);
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "%s\n", e.what());
+            }
+        });
+    }
+    return opts;
+}
 
 /**
  * Records one trace per named workload at the requested length,
@@ -75,6 +144,131 @@ class Stopwatch
 
   private:
     std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Best-of-reps wall-clock throughput in Mops/s; @p lane returns a
+ * checksum (stored into @p checksum) so the timed work cannot be
+ * optimized away.
+ */
+template <typename Lane>
+double
+measureMops(size_t ops, unsigned reps, uint64_t &checksum, Lane &&lane)
+{
+    double best = 0.0;
+    for (unsigned r = 0; r < reps; ++r) {
+        const Stopwatch timer;
+        checksum = lane();
+        const double secs = timer.seconds();
+        if (secs > 0.0)
+            best = std::max(best,
+                            static_cast<double>(ops) / secs / 1e6);
+    }
+    return best;
+}
+
+/** measureMops() for lanes whose side effects are their own sink. */
+template <typename Lane>
+double
+measureMops(size_t ops, unsigned reps, Lane &&lane)
+{
+    uint64_t ignored = 0;
+    return measureMops(ops, reps, ignored, [&lane] {
+        lane();
+        return uint64_t{0};
+    });
+}
+
+/** Field-by-field equality of two frontend statistic sets. */
+inline bool
+sameFrontendStats(const FrontendStats &a, const FrontendStats &b)
+{
+    auto ratio_eq = [](const RatioStat &x, const RatioStat &y) {
+        return x.hits() == y.hits() && x.total() == y.total();
+    };
+    return a.instructions == b.instructions &&
+           ratio_eq(a.allBranches, b.allBranches) &&
+           ratio_eq(a.condDirection, b.condDirection) &&
+           ratio_eq(a.condBranches, b.condBranches) &&
+           ratio_eq(a.uncondDirect, b.uncondDirect) &&
+           ratio_eq(a.indirectJumps, b.indirectJumps) &&
+           ratio_eq(a.returns, b.returns) &&
+           ratio_eq(a.btbHits, b.btbHits);
+}
+
+/**
+ * Self-check gate for timed lanes: exits 1 unless @p got matches
+ * @p want exactly — a bench must never report a speedup for a path
+ * that computes different statistics.
+ */
+inline void
+requireSameStats(const FrontendStats &want, const FrontendStats &got,
+                 const char *what, const std::string &workload)
+{
+    if (sameFrontendStats(want, got))
+        return;
+    std::fprintf(stderr, "FATAL: %s disagrees with reference on %s\n",
+                 what, workload.c_str());
+    std::exit(1);
+}
+
+/**
+ * Per-workload lane results plus the run-report plumbing every bench
+ * repeated by hand before: collects lane values, and write() emits a
+ * tpred-run-report/1 JSON file to $TPRED_BENCH_OUT (or the bench's
+ * default path) with the process metrics captured.
+ */
+class LaneReport
+{
+  public:
+    /** @param default_out Path written when $TPRED_BENCH_OUT is unset. */
+    LaneReport(const char *tool, size_t ops, std::string default_out)
+        : report_(tool), defaultOut_(std::move(default_out))
+    {
+        report_.setConfig("ops", static_cast<uint64_t>(ops));
+    }
+
+    /** Underlying report, for extra config entries or tables. */
+    obs::RunReport &report() { return report_; }
+
+    void
+    value(const std::string &workload, const std::string &key,
+          double v, int precision = 2)
+    {
+        report_.addWorkloadValue(workload, key, v, precision);
+    }
+
+    void
+    value(const std::string &workload, const std::string &key,
+          uint64_t v)
+    {
+        report_.addWorkloadValue(workload, key, v);
+    }
+
+    /**
+     * Captures process metrics and writes the report; returns main()'s
+     * exit code (1 with a message on I/O failure).
+     */
+    int
+    write()
+    {
+        const char *env = std::getenv("TPRED_BENCH_OUT");
+        const std::string path =
+            env != nullptr && *env != '\0' ? env : defaultOut_;
+        try {
+            report_.captureProcess();
+            report_.write(path);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+        std::printf("wrote %s\n", path.c_str());
+        return 0;
+    }
+
+  private:
+    obs::RunReport report_;
+    std::string defaultOut_;
 };
 
 } // namespace tpred::bench

@@ -57,8 +57,11 @@ taggedAt(const Point &point)
 int
 main(int argc, char **argv)
 {
-    const size_t ops = resolveOps(argc, argv, kDefaultAccuracyOps);
-    const bool csv = argc > 2 && std::strcmp(argv[2], "csv") == 0;
+    const size_t ops =
+        bench::setup(argc, argv, kDefaultAccuracyOps).ops;
+    // bench::setup() consumed the leading instruction count, so the
+    // optional output selector is now argv[1].
+    const bool csv = argc > 1 && std::strcmp(argv[1], "csv") == 0;
     if (!csv)
         bench::heading("Budget sweep: misprediction rate vs predictor "
                        "storage (tagless vs tagged 4-way)",

@@ -20,18 +20,15 @@
  * through identical predictor stacks and requires bit-identical
  * FrontendStats — the speedup is only reported for a load path proven
  * semantically equivalent to regeneration.  Results go to stdout and
- * BENCH_corpus.json (override with TPRED_BENCH_OUT) for
- * tools/bench_compare.py.
+ * BENCH_corpus.json (override with TPRED_BENCH_OUT) as a
+ * tpred-run-report/1 document for tools/bench_compare.py.
  */
 
-#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench_util.hh"
-#include "core/frontend_predictor.hh"
 #include "corpus/corpus.hh"
 #include "corpus/mapped_file.hh"
 #include "trace/compact_io.hh"
@@ -40,23 +37,6 @@ using namespace tpred;
 
 namespace
 {
-
-/** Best-of-reps acquisition throughput in Mops/s. */
-template <typename Lane>
-double
-measure(size_t ops, unsigned reps, Lane &&lane)
-{
-    double best = 0.0;
-    for (unsigned r = 0; r < reps; ++r) {
-        const bench::Stopwatch timer;
-        lane();
-        const double secs = timer.seconds();
-        if (secs > 0.0)
-            best = std::max(best,
-                            static_cast<double>(ops) / secs / 1e6);
-    }
-    return best;
-}
 
 FrontendStats
 statsOf(const CompactTrace &trace)
@@ -68,22 +48,6 @@ statsOf(const CompactTrace &trace)
     trace.forEachOp(
         [&frontend](const MicroOp &op) { frontend.onInstruction(op); });
     return frontend.stats();
-}
-
-bool
-sameStats(const FrontendStats &a, const FrontendStats &b)
-{
-    auto ratio_eq = [](const RatioStat &x, const RatioStat &y) {
-        return x.hits() == y.hits() && x.total() == y.total();
-    };
-    return a.instructions == b.instructions &&
-           ratio_eq(a.allBranches, b.allBranches) &&
-           ratio_eq(a.condDirection, b.condDirection) &&
-           ratio_eq(a.condBranches, b.condBranches) &&
-           ratio_eq(a.uncondDirect, b.uncondDirect) &&
-           ratio_eq(a.indirectJumps, b.indirectJumps) &&
-           ratio_eq(a.returns, b.returns) &&
-           ratio_eq(a.btbHits, b.btbHits);
 }
 
 /** One timed mmap acquisition (cold or warm); returns op count. */
@@ -102,7 +66,9 @@ mapOnce(const std::string &path, bool drop_cache)
 int
 main(int argc, char **argv)
 {
-    const size_t ops = resolveOps(argc, argv, kDefaultAccuracyOps);
+    const RunOptions opts =
+        bench::setup(argc, argv, kDefaultAccuracyOps);
+    const size_t ops = opts.ops;
     const uint64_t seed = 1;
     const unsigned reps = 5;
     bench::heading(
@@ -110,9 +76,8 @@ main(int argc, char **argv)
         "zero-copy mmap load",
         ops);
 
-    const char *dir = std::getenv("TPRED_CORPUS_DIR");
     const std::string corpus_dir =
-        dir != nullptr && *dir != '\0' ? dir : "bench_corpus";
+        !opts.corpusDir.empty() ? opts.corpusDir : "bench_corpus";
     CorpusManager corpus(corpus_dir);
 
     const auto &names = spec95Names();
@@ -120,8 +85,7 @@ main(int argc, char **argv)
     table.setHeader({"Benchmark", "regen Mops/s", "cold Mops/s",
                      "warm Mops/s", "warm speedup", "file bytes"});
 
-    std::string json = "{\n  \"ops\": " + std::to_string(ops) +
-                       ",\n  \"workloads\": {\n";
+    bench::LaneReport out("corpus_load", ops, "BENCH_corpus.json");
     size_t ge5x = 0;
     for (size_t w = 0; w < names.size(); ++w) {
         const std::string &name = names[w];
@@ -140,27 +104,24 @@ main(int argc, char **argv)
                          name.c_str());
             return 1;
         }
-        if (!sameStats(statsOf(generated.compact()),
-                       statsOf(*loaded))) {
-            std::fprintf(stderr,
-                         "FATAL: corpus load disagrees with "
-                         "regeneration on %s\n",
-                         name.c_str());
-            return 1;
-        }
+        bench::requireSameStats(statsOf(generated.compact()),
+                                statsOf(*loaded), "corpus load",
+                                name);
 
         const std::string path = corpus.pathFor(key);
         const size_t trace_ops = generated.size();
 
-        const double regen_mops = measure(trace_ops, 2, [&] {
+        const double regen_mops = bench::measureMops(trace_ops, 2, [&] {
             recordWorkload(name, ops, seed);
         });
-        const double cold_mops = measure(trace_ops, reps, [&] {
-            mapOnce(path, /*drop_cache=*/true);
-        });
-        const double warm_mops = measure(trace_ops, reps, [&] {
-            mapOnce(path, /*drop_cache=*/false);
-        });
+        const double cold_mops =
+            bench::measureMops(trace_ops, reps, [&] {
+                mapOnce(path, /*drop_cache=*/true);
+            });
+        const double warm_mops =
+            bench::measureMops(trace_ops, reps, [&] {
+                mapOnce(path, /*drop_cache=*/false);
+            });
 
         const double speedup =
             regen_mops > 0.0 ? warm_mops / regen_mops : 0.0;
@@ -187,19 +148,12 @@ main(int argc, char **argv)
         row.push_back(buf);
         table.addRow(row);
 
-        std::snprintf(buf, sizeof(buf), "%.2f", regen_mops);
-        json += "    \"" + name + "\": {\"regen_mops\": " + buf;
-        std::snprintf(buf, sizeof(buf), "%.2f", cold_mops);
-        json += std::string(", \"cold_mops\": ") + buf;
-        std::snprintf(buf, sizeof(buf), "%.2f", warm_mops);
-        json += std::string(", \"warm_mops\": ") + buf;
-        std::snprintf(buf, sizeof(buf), "%.2f", speedup);
-        json += std::string(", \"warm_speedup\": ") + buf;
-        json += ", \"file_bytes\": " + std::to_string(file_bytes) +
-                "}";
-        json += (w + 1 < names.size()) ? ",\n" : "\n";
+        out.value(name, "regen_mops", regen_mops);
+        out.value(name, "cold_mops", cold_mops);
+        out.value(name, "warm_mops", warm_mops);
+        out.value(name, "warm_speedup", speedup);
+        out.value(name, "file_bytes", file_bytes);
     }
-    json += "  }\n}\n";
 
     std::printf("%s\n", table.render().c_str());
     std::printf("warm speedup = checksummed mmap load vs workload "
@@ -207,16 +161,5 @@ main(int argc, char **argv)
                 "workloads\n",
                 ge5x, names.size());
 
-    const char *out_path = std::getenv("TPRED_BENCH_OUT");
-    if (!out_path)
-        out_path = "BENCH_corpus.json";
-    if (std::FILE *f = std::fopen(out_path, "w")) {
-        std::fputs(json.c_str(), f);
-        std::fclose(f);
-        std::printf("wrote %s\n", out_path);
-    } else {
-        std::fprintf(stderr, "cannot write %s\n", out_path);
-        return 1;
-    }
-    return 0;
+    return out.write();
 }

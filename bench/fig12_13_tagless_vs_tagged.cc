@@ -20,7 +20,8 @@ using namespace tpred;
 int
 main(int argc, char **argv)
 {
-    const size_t ops = resolveOps(argc, argv, kDefaultTimingOps);
+    const size_t ops =
+        bench::setup(argc, argv, kDefaultTimingOps).ops;
     bench::heading("Figures 12-13: tagged (256-entry) vs tagless "
                    "(512-entry) target cache (reduction in execution "
                    "time vs set-associativity)",

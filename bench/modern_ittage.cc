@@ -18,7 +18,8 @@ using namespace tpred;
 int
 main(int argc, char **argv)
 {
-    const size_t ops = resolveOps(argc, argv, kDefaultAccuracyOps);
+    const size_t ops =
+        bench::setup(argc, argv, kDefaultAccuracyOps).ops;
     bench::heading("Lineage: target cache (1997) to ITTAGE "
                    "(indirect-jump misprediction rate)",
                    ops);

@@ -28,7 +28,8 @@ pct(uint64_t part, uint64_t whole)
 int
 main(int argc, char **argv)
 {
-    const size_t ops = resolveOps(argc, argv, kDefaultTimingOps);
+    const size_t ops =
+        bench::setup(argc, argv, kDefaultTimingOps).ops;
     bench::heading("Misprediction-penalty breakdown (fetch-stall "
                    "cycles as % of total cycles)",
                    ops);

@@ -55,7 +55,8 @@ runCbt(const SharedTrace &trace)
 int
 main(int argc, char **argv)
 {
-    const size_t ops = resolveOps(argc, argv, kDefaultAccuracyOps);
+    const size_t ops =
+        bench::setup(argc, argv, kDefaultAccuracyOps).ops;
     bench::heading("Related work: case block table vs target cache "
                    "(indirect-jump misprediction rate)",
                    ops);

@@ -19,40 +19,21 @@
  * through an identical predictor stack and requires bit-identical
  * FrontendStats, so the speedups are only reported for paths proven
  * semantically equivalent.  Results go to stdout and to
- * BENCH_replay.json (override the path with TPRED_BENCH_OUT) for
- * tools/bench_compare.py to diff across commits.
+ * BENCH_replay.json (override the path with TPRED_BENCH_OUT) as a
+ * tpred-run-report/1 document for tools/bench_compare.py to diff
+ * across commits.
  */
 
-#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench_util.hh"
-#include "core/frontend_predictor.hh"
 
 using namespace tpred;
 
 namespace
 {
-
-/** Best-of-reps wall-clock Mops/s; returns the lane's checksum. */
-template <typename Lane>
-double
-measure(size_t ops, unsigned reps, uint64_t &checksum, Lane &&lane)
-{
-    double best = 0.0;
-    for (unsigned r = 0; r < reps; ++r) {
-        const bench::Stopwatch timer;
-        checksum = lane();
-        const double secs = timer.seconds();
-        if (secs > 0.0)
-            best = std::max(best,
-                            static_cast<double>(ops) / secs / 1e6);
-    }
-    return best;
-}
 
 /** Full predictor replay for the untimed lane-equivalence check. */
 template <typename Replay>
@@ -66,22 +47,6 @@ statsOf(const IndirectConfig &config, Replay &&replay)
     return frontend.stats();
 }
 
-bool
-sameStats(const FrontendStats &a, const FrontendStats &b)
-{
-    auto ratio_eq = [](const RatioStat &x, const RatioStat &y) {
-        return x.hits() == y.hits() && x.total() == y.total();
-    };
-    return a.instructions == b.instructions &&
-           ratio_eq(a.allBranches, b.allBranches) &&
-           ratio_eq(a.condDirection, b.condDirection) &&
-           ratio_eq(a.condBranches, b.condBranches) &&
-           ratio_eq(a.uncondDirect, b.uncondDirect) &&
-           ratio_eq(a.indirectJumps, b.indirectJumps) &&
-           ratio_eq(a.returns, b.returns) &&
-           ratio_eq(a.btbHits, b.btbHits);
-}
-
 inline uint64_t
 mix(uint64_t acc, const MicroOp &op)
 {
@@ -93,7 +58,9 @@ mix(uint64_t acc, const MicroOp &op)
 int
 main(int argc, char **argv)
 {
-    const size_t ops = resolveOps(argc, argv, kDefaultAccuracyOps);
+    const RunOptions opts =
+        bench::setup(argc, argv, kDefaultAccuracyOps);
+    const size_t ops = opts.ops;
     const unsigned reps = 3;
     bench::heading("Replay-kernel throughput: legacy virtual pull vs "
                    "columnar batch replay",
@@ -108,8 +75,8 @@ main(int argc, char **argv)
                      "indexed Mops/s", "speedup", "bytes/op",
                      "compression"});
 
-    std::string json = "{\n  \"ops\": " + std::to_string(ops) +
-                       ",\n  \"workloads\": {\n";
+    bench::LaneReport out("replay_throughput", ops,
+                          "BENCH_replay.json");
     size_t ge2x = 0;
     for (size_t w = 0; w < names.size(); ++w) {
         const SharedTrace &trace = traces[w];
@@ -139,16 +106,15 @@ main(int argc, char **argv)
                     });
                 fe.skipNonBranches(trace.size() - consumed);
             });
-        if (!sameStats(ref, via_batch) || !sameStats(ref, via_index)) {
-            std::fprintf(stderr,
-                         "FATAL: replay lanes disagree on %s\n",
-                         names[w].c_str());
-            return 1;
-        }
+        bench::requireSameStats(ref, via_batch, "batch replay",
+                                names[w]);
+        bench::requireSameStats(ref, via_index, "indexed replay",
+                                names[w]);
 
         // --- Timed: the replay machinery itself.
         uint64_t legacy_sum = 0;
-        const double legacy_mops = measure(ops, reps, legacy_sum, [&] {
+        const double legacy_mops =
+            bench::measureMops(ops, reps, legacy_sum, [&] {
             auto src = trace.open();
             MicroOp op;
             uint64_t acc = 0;
@@ -160,7 +126,7 @@ main(int argc, char **argv)
         uint64_t compact_sum = 0;
         uint64_t branch_ref_sum = 0;  // branch-only reference checksum
         const double compact_mops =
-            measure(ops, reps, compact_sum, [&] {
+            bench::measureMops(ops, reps, compact_sum, [&] {
                 uint64_t acc = 0;
                 trace.forEachOp(
                     [&acc](const MicroOp &op) { acc = mix(acc, op); });
@@ -177,7 +143,7 @@ main(int argc, char **argv)
 
         uint64_t indexed_sum = 0;
         const double indexed_mops =
-            measure(ops, reps, indexed_sum, [&] {
+            bench::measureMops(ops, reps, indexed_sum, [&] {
                 uint64_t acc = 0;
                 trace.compact().forEachBranch(
                     [&](const MicroOp &op, size_t pos) {
@@ -222,19 +188,12 @@ main(int argc, char **argv)
         row.push_back(buf);
         table.addRow(row);
 
-        std::snprintf(buf, sizeof(buf), "%.2f", legacy_mops);
-        json += "    \"" + names[w] + "\": {\"legacy_mops\": " + buf;
-        std::snprintf(buf, sizeof(buf), "%.2f", compact_mops);
-        json += std::string(", \"compact_mops\": ") + buf;
-        std::snprintf(buf, sizeof(buf), "%.2f", indexed_mops);
-        json += std::string(", \"indexed_mops\": ") + buf;
-        std::snprintf(buf, sizeof(buf), "%.2f", speedup);
-        json += std::string(", \"speedup\": ") + buf;
-        std::snprintf(buf, sizeof(buf), "%.2f", compression);
-        json += std::string(", \"compression\": ") + buf + "}";
-        json += (w + 1 < names.size()) ? ",\n" : "\n";
+        out.value(names[w], "legacy_mops", legacy_mops);
+        out.value(names[w], "compact_mops", compact_mops);
+        out.value(names[w], "indexed_mops", indexed_mops);
+        out.value(names[w], "speedup", speedup);
+        out.value(names[w], "compression", compression);
     }
-    json += "  }\n}\n";
 
     std::printf("%s\n", table.render().c_str());
     std::printf("speedup = branch-indexed replay vs legacy virtual "
@@ -242,16 +201,5 @@ main(int argc, char **argv)
                 "workloads\n",
                 ge2x, names.size());
 
-    const char *out_path = std::getenv("TPRED_BENCH_OUT");
-    if (!out_path)
-        out_path = "BENCH_replay.json";
-    if (std::FILE *f = std::fopen(out_path, "w")) {
-        std::fputs(json.c_str(), f);
-        std::fclose(f);
-        std::printf("wrote %s\n", out_path);
-    } else {
-        std::fprintf(stderr, "cannot write %s\n", out_path);
-        return 1;
-    }
-    return 0;
+    return out.write();
 }

@@ -15,7 +15,8 @@ using namespace tpred;
 int
 main(int argc, char **argv)
 {
-    const size_t ops = resolveOps(argc, argv, kDefaultAccuracyOps);
+    const size_t ops =
+        bench::setup(argc, argv, kDefaultAccuracyOps).ops;
     bench::heading("Table 1: benchmark profile and BTB indirect-jump "
                    "misprediction rate",
                    ops);

@@ -15,7 +15,8 @@ using namespace tpred;
 int
 main(int argc, char **argv)
 {
-    const size_t ops = resolveOps(argc, argv, kDefaultAccuracyOps);
+    const size_t ops =
+        bench::setup(argc, argv, kDefaultAccuracyOps).ops;
     bench::heading("Table 2: default vs 2-bit BTB target-update "
                    "strategy",
                    ops);

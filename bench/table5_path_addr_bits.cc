@@ -19,7 +19,8 @@ using namespace tpred;
 int
 main(int argc, char **argv)
 {
-    const size_t ops = resolveOps(argc, argv, kDefaultTimingOps);
+    const size_t ops =
+        bench::setup(argc, argv, kDefaultTimingOps).ops;
     bench::heading("Table 5: path history address-bit selection "
                    "(reduction in execution time, 9-bit path, 1 "
                    "bit/target)",

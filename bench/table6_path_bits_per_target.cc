@@ -18,7 +18,8 @@ using namespace tpred;
 int
 main(int argc, char **argv)
 {
-    const size_t ops = resolveOps(argc, argv, kDefaultTimingOps);
+    const size_t ops =
+        bench::setup(argc, argv, kDefaultTimingOps).ops;
     bench::heading("Table 6: path history bits recorded per target "
                    "(9-bit register; reduction in execution time)",
                    ops);

@@ -21,7 +21,8 @@ using namespace tpred;
 int
 main(int argc, char **argv)
 {
-    const size_t ops = resolveOps(argc, argv, kDefaultTimingOps);
+    const size_t ops =
+        bench::setup(argc, argv, kDefaultTimingOps).ops;
     bench::heading("Table 7: tagged target cache indexing schemes "
                    "(256 entries, 9 pattern-history bits; reduction in "
                    "execution time)",

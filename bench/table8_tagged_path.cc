@@ -17,7 +17,8 @@ using namespace tpred;
 int
 main(int argc, char **argv)
 {
-    const size_t ops = resolveOps(argc, argv, kDefaultTimingOps);
+    const size_t ops =
+        bench::setup(argc, argv, kDefaultTimingOps).ops;
     bench::heading("Table 8: tagged target cache with 9-bit path "
                    "history, 1 bit/target (reduction in execution "
                    "time)",

@@ -19,7 +19,8 @@ using namespace tpred;
 int
 main(int argc, char **argv)
 {
-    const size_t ops = resolveOps(argc, argv, kDefaultTimingOps);
+    const size_t ops =
+        bench::setup(argc, argv, kDefaultTimingOps).ops;
     bench::heading("Table 9: tagged target cache, 9 vs 16 pattern "
                    "history bits (256 entries, History-XOR; reduction "
                    "in execution time)",

@@ -146,7 +146,20 @@ atomicWrite(const std::string &path, const void *data, size_t bytes)
 
 } // namespace
 
-CorpusManager::CorpusManager(std::string dir) : dir_(std::move(dir))
+CorpusManager::CorpusManager(std::string dir,
+                             obs::MetricsRegistry *metrics)
+    : dir_(std::move(dir)),
+      owned_(metrics == nullptr
+                 ? std::make_unique<obs::MetricsRegistry>()
+                 : nullptr),
+      metrics_(metrics != nullptr ? metrics : owned_.get()),
+      hits_(metrics_->counter("corpus.hits")),
+      misses_(metrics_->counter("corpus.misses")),
+      stores_(metrics_->counter("corpus.stores")),
+      quarantined_(metrics_->counter("corpus.quarantined")),
+      bytesLoaded_(metrics_->counter("corpus.bytes_loaded")),
+      bytesStored_(metrics_->counter("corpus.bytes_stored")),
+      fsyncs_(metrics_->counter("corpus.fsyncs"))
 {
     std::error_code ec;
     fs::create_directories(dir_, ec);
@@ -177,7 +190,7 @@ CorpusManager::quarantine(const std::string &path,
     std::error_code ec;
     fs::remove(target, ec);  // a previous quarantine of the same name
     fs::rename(path, target, ec);
-    quarantined_.fetch_add(1);
+    quarantined_.inc();
     std::fprintf(stderr,
                  "tpred-corpus: quarantined %s (%s)%s\n", path.c_str(),
                  why.c_str(),
@@ -190,7 +203,7 @@ CorpusManager::load(const CorpusKey &key, std::string *name_out)
     const std::string path = pathFor(key);
     std::error_code ec;
     if (!fs::exists(path, ec)) {
-        misses_.fetch_add(1);
+        misses_.inc();
         return nullptr;
     }
     try {
@@ -201,13 +214,13 @@ CorpusManager::load(const CorpusKey &key, std::string *name_out)
             mapping->bytes(), mapping, name, path);
         if (name_out != nullptr)
             *name_out = name;
-        hits_.fetch_add(1);
-        bytesLoaded_.fetch_add(bytes);
+        hits_.inc();
+        bytesLoaded_.inc(bytes);
         return std::make_shared<const CompactTrace>(std::move(trace));
     } catch (const std::exception &e) {
         // Never trust a damaged file: set it aside and regenerate.
         quarantine(path, e.what());
-        misses_.fetch_add(1);
+        misses_.inc();
         return nullptr;
     }
 }
@@ -219,21 +232,27 @@ CorpusManager::store(const CorpusKey &key, const CompactTrace &trace,
     const std::vector<uint8_t> image =
         serializeCompactTrace(trace, name);
     atomicWrite(pathFor(key), image.data(), image.size());
-    stores_.fetch_add(1);
-    bytesStored_.fetch_add(image.size());
+    fsyncs_.inc();
+    stores_.inc();
+    bytesStored_.inc(image.size());
     refreshManifest();
 }
 
 CorpusStats
 CorpusManager::stats() const
 {
+    const obs::MetricsSnapshot snap = metrics_->snapshot();
+    const auto value = [&](const char *name) -> uint64_t {
+        const auto it = snap.counters.find(name);
+        return it != snap.counters.end() ? it->second : 0;
+    };
     CorpusStats s;
-    s.hits = hits_.load();
-    s.misses = misses_.load();
-    s.stores = stores_.load();
-    s.quarantined = quarantined_.load();
-    s.bytesLoaded = bytesLoaded_.load();
-    s.bytesStored = bytesStored_.load();
+    s.hits = value("corpus.hits");
+    s.misses = value("corpus.misses");
+    s.stores = value("corpus.stores");
+    s.quarantined = value("corpus.quarantined");
+    s.bytesLoaded = value("corpus.bytes_loaded");
+    s.bytesStored = value("corpus.bytes_stored");
     return s;
 }
 
@@ -412,6 +431,7 @@ CorpusManager::refreshManifest() const
 
     try {
         atomicWrite(manifestPath(), json.data(), json.size());
+        fsyncs_.inc();
     } catch (const std::exception &e) {
         // Advisory metadata only — never fail an experiment over it.
         std::fprintf(stderr,

@@ -27,13 +27,13 @@
 #ifndef TPRED_CORPUS_CORPUS_HH
 #define TPRED_CORPUS_CORPUS_HH
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "trace/compact_trace.hh"
 
 namespace tpred
@@ -47,7 +47,14 @@ struct CorpusKey
     size_t ops = 0;
 };
 
-/** Cumulative effectiveness counters (monotonic, thread-safe). */
+/**
+ * Cumulative effectiveness counters.
+ *
+ * DEPRECATED shim: the counters now live in an obs::MetricsRegistry
+ * (names "corpus.*"; see docs/observability.md) and stats() is a
+ * snapshot view over it, kept for one PR so existing callers
+ * compile.  New code should read the registry directly.
+ */
 struct CorpusStats
 {
     size_t hits = 0;         ///< load() served from disk
@@ -85,11 +92,20 @@ class CorpusManager
 
     /**
      * Opens (creating if needed) the corpus at @p dir.
+     * @param metrics Registry the "corpus.*" counters report into;
+     *        nullptr gives this manager a private registry (so tests
+     *        see per-instance counts).  Production corpora attached
+     *        to the global trace cache use &obs::globalMetrics() so
+     *        run reports include them.
      * @throws std::runtime_error when the directory cannot be created.
      */
-    explicit CorpusManager(std::string dir);
+    explicit CorpusManager(std::string dir,
+                           obs::MetricsRegistry *metrics = nullptr);
 
     const std::string &dir() const { return dir_; }
+
+    /** Registry holding this manager's "corpus.*" counters. */
+    obs::MetricsRegistry &metricsRegistry() const { return *metrics_; }
 
     /** Basename a key stores under (embeds the container version). */
     static std::string fileName(const CorpusKey &key);
@@ -116,6 +132,7 @@ class CorpusManager
     void store(const CorpusKey &key, const CompactTrace &trace,
                const std::string &name);
 
+    /** DEPRECATED: snapshot view over the "corpus.*" registry counters. */
     CorpusStats stats() const;
 
     /**
@@ -144,12 +161,16 @@ class CorpusManager
 
     std::string dir_;
     mutable std::mutex manifestMutex_;
-    std::atomic<size_t> hits_{0};
-    std::atomic<size_t> misses_{0};
-    std::atomic<size_t> stores_{0};
-    std::atomic<size_t> quarantined_{0};
-    std::atomic<uint64_t> bytesLoaded_{0};
-    std::atomic<uint64_t> bytesStored_{0};
+
+    std::unique_ptr<obs::MetricsRegistry> owned_;  ///< when unshared
+    obs::MetricsRegistry *metrics_;
+    obs::Counter hits_;
+    obs::Counter misses_;
+    obs::Counter stores_;
+    obs::Counter quarantined_;
+    obs::Counter bytesLoaded_;
+    obs::Counter bytesStored_;
+    obs::Counter fsyncs_;
 };
 
 } // namespace tpred

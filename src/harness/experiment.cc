@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/oracle.hh"
+#include "obs/metrics.hh"
 #include "workloads/workload.hh"
 
 namespace tpred
@@ -129,6 +130,12 @@ SharedTrace::open() const
 SharedTrace
 recordWorkload(const std::string &name, size_t max_ops, uint64_t seed)
 {
+    static const obs::Counter recorded =
+        obs::globalMetrics().counter("experiment.traces_recorded");
+    static const obs::Timer phase =
+        obs::globalMetrics().timer("phase.record");
+    obs::ScopedTimer timed(phase);
+    recorded.inc();
     auto workload = makeWorkload(name, seed);
     return SharedTrace(*workload, max_ops);
 }
@@ -137,6 +144,15 @@ FrontendStats
 runAccuracy(const SharedTrace &trace, const IndirectConfig &config,
             const FrontendConfig &fe)
 {
+    static const obs::Counter runs =
+        obs::globalMetrics().counter("experiment.accuracy_runs");
+    static const obs::Counter replayed = obs::globalMetrics().counter(
+        "experiment.instructions_replayed");
+    static const obs::Timer phase =
+        obs::globalMetrics().timer("phase.accuracy");
+    obs::ScopedTimer timed(phase);
+    runs.inc();
+    replayed.inc(trace.size());
     PredictorStack stack = buildStack(config);
     FrontendPredictor frontend(fe, stack.predictor.get(),
                                stack.tracker.get());
@@ -157,6 +173,15 @@ CoreResult
 runTiming(const SharedTrace &trace, const IndirectConfig &config,
           const CoreParams &params, const FrontendConfig &fe)
 {
+    static const obs::Counter runs =
+        obs::globalMetrics().counter("experiment.timing_runs");
+    static const obs::Counter replayed = obs::globalMetrics().counter(
+        "experiment.instructions_replayed");
+    static const obs::Timer phase =
+        obs::globalMetrics().timer("phase.timing");
+    obs::ScopedTimer timed(phase);
+    runs.inc();
+    replayed.inc(trace.size());
     PredictorStack stack = buildStack(config);
     FrontendPredictor frontend(fe, stack.predictor.get(),
                                stack.tracker.get());

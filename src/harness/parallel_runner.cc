@@ -5,6 +5,8 @@
 #include <exception>
 #include <mutex>
 
+#include "harness/run_options.hh"
+
 namespace tpred
 {
 
@@ -16,11 +18,9 @@ std::atomic<unsigned> g_default_jobs{0};
 unsigned
 envJobs()
 {
-    if (const char *env = std::getenv("TPRED_JOBS")) {
-        const long value = std::atol(env);
-        if (value > 0)
-            return static_cast<unsigned>(value);
-    }
+    if (const char *env = std::getenv("TPRED_JOBS");
+        env != nullptr && *env != '\0')
+        return parseJobsValue(env, "TPRED_JOBS");
     return 0;
 }
 
@@ -57,6 +57,15 @@ void
 ParallelRunner::forEach(size_t count,
                         const std::function<void(size_t)> &job) const
 {
+    // Deterministic by construction: batch/job totals depend only on
+    // the work requested, never on how it is scheduled.
+    static const obs::Counter batches =
+        obs::globalMetrics().counter("runner.batches");
+    static const obs::Counter jobs =
+        obs::globalMetrics().counter("runner.jobs");
+    batches.inc();
+    jobs.inc(count);
+
     if (!pool_) {
         for (size_t i = 0; i < count; ++i)
             job(i);

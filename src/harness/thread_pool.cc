@@ -21,6 +21,13 @@ ThreadPool::hardwareThreads()
 }
 
 ThreadPool::ThreadPool(unsigned threads)
+    : submits_(obs::globalMetrics().counter(
+          "pool.submits", obs::MetricKind::Runtime)),
+      tasksExecuted_(obs::globalMetrics().counter(
+          "pool.tasks_executed", obs::MetricKind::Runtime)),
+      steals_(obs::globalMetrics().counter(
+          "pool.steals", obs::MetricKind::Runtime)),
+      idle_(obs::globalMetrics().timer("pool.idle"))
 {
     const unsigned count = std::max(1u, threads);
     queues_.reserve(count);
@@ -70,6 +77,7 @@ ThreadPool::submit(std::function<void()> task)
         std::lock_guard<std::mutex> lock(queue.mutex);
         queue.tasks.push_back(std::move(task));
     }
+    submits_.inc();
     cv_.notify_one();
 }
 
@@ -91,6 +99,7 @@ ThreadPool::tryTake(size_t index, std::function<void()> &task)
         if (!victim.tasks.empty()) {
             task = std::move(victim.tasks.back());
             victim.tasks.pop_back();
+            steals_.inc();
             return true;
         }
     }
@@ -105,6 +114,7 @@ ThreadPool::workerLoop(size_t index)
     for (;;) {
         std::function<void()> task;
         if (!tryTake(index, task)) {
+            obs::ScopedTimer idle(idle_);
             std::unique_lock<std::mutex> lock(mutex_);
             cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
             if (stop_ && queued_ == 0)
@@ -116,6 +126,7 @@ ThreadPool::workerLoop(size_t index)
             --queued_;
         }
         task();
+        tasksExecuted_.inc();
         {
             std::lock_guard<std::mutex> lock(done_mutex_);
             if (--unfinished_ == 0)

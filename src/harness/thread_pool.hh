@@ -21,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hh"
+
 namespace tpred
 {
 
@@ -81,6 +83,12 @@ class ThreadPool
     std::mutex done_mutex_;            ///< guards unfinished_
     std::condition_variable done_cv_;  ///< wakes wait()
     size_t unfinished_ = 0;            ///< submitted, not yet completed
+
+    // Runtime metrics (scheduling dependent — see obs/metrics.hh).
+    obs::Counter submits_;
+    obs::Counter tasksExecuted_;
+    obs::Counter steals_;
+    obs::Timer idle_;
 };
 
 } // namespace tpred

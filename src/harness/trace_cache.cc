@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "corpus/corpus.hh"
+#include "harness/run_options.hh"
 
 namespace tpred
 {
@@ -11,28 +12,30 @@ namespace tpred
 namespace
 {
 
-/** $TPRED_VERBOSE gates the cache-traffic log lines (stderr). */
-bool
-verboseEnabled()
-{
-    static const bool enabled = [] {
-        const char *v = std::getenv("TPRED_VERBOSE");
-        return v != nullptr && *v != '\0' && *v != '0';
-    }();
-    return enabled;
-}
-
 void
 logTraffic(const char *event, const std::string &workload, size_t ops,
            uint64_t seed)
 {
-    if (verboseEnabled())
+    if (verboseLogging())
         std::fprintf(stderr, "tpred-cache: %s %s ops=%zu seed=%llu\n",
                      event, workload.c_str(), ops,
                      static_cast<unsigned long long>(seed));
 }
 
 } // namespace
+
+TraceCache::TraceCache(obs::MetricsRegistry *metrics)
+    : owned_(metrics == nullptr
+                 ? std::make_unique<obs::MetricsRegistry>()
+                 : nullptr),
+      metrics_(metrics != nullptr ? metrics : owned_.get()),
+      hits_(metrics_->counter("trace_cache.hits")),
+      misses_(metrics_->counter("trace_cache.misses")),
+      corpusHits_(metrics_->counter("trace_cache.corpus_hits")),
+      recordings_(metrics_->counter("trace_cache.recordings")),
+      bytesInserted_(metrics_->counter("trace_cache.bytes_inserted"))
+{
+}
 
 size_t
 TraceCache::hashKey(std::string_view workload, uint64_t seed,
@@ -62,18 +65,18 @@ TraceCache::acquire(const std::string &workload, size_t ops,
         const CorpusKey key{workload, seed, ops};
         std::string name;
         if (auto trace = corpus->load(key, &name)) {
-            corpusHits_.fetch_add(1);
-            bytesInserted_.fetch_add(trace->residentBytes());
+            corpusHits_.inc();
+            bytesInserted_.inc(trace->residentBytes());
             logTraffic("corpus-hit", workload, ops, seed);
             return SharedTrace(std::move(trace),
                                name.empty() ? workload : name);
         }
     }
 
-    recordings_.fetch_add(1);
+    recordings_.inc();
     logTraffic("generate", workload, ops, seed);
     SharedTrace trace = recordWorkload(workload, ops, seed);
-    bytesInserted_.fetch_add(trace.compact().residentBytes());
+    bytesInserted_.inc(trace.compact().residentBytes());
 
     if (corpus) {
         // Best effort: a full disk must not fail the experiment.
@@ -112,7 +115,7 @@ TraceCache::get(std::string_view workload, size_t ops, uint64_t seed)
         }
     }
     if (recorder) {
-        misses_.fetch_add(1);
+        misses_.inc();
         try {
             promise.set_value(
                 acquire(std::string(workload), ops, seed));
@@ -128,7 +131,7 @@ TraceCache::get(std::string_view workload, size_t ops, uint64_t seed)
             promise.set_exception(std::current_exception());
         }
     } else {
-        hits_.fetch_add(1);
+        hits_.inc();
         logTraffic("memo-hit", std::string(workload), ops, seed);
     }
     return future.get();
@@ -151,13 +154,24 @@ TraceCache::corpus() const
 TraceCacheStats
 TraceCache::stats() const
 {
+    const obs::MetricsSnapshot snap = metrics_->snapshot();
+    const auto value = [&](const char *name) -> uint64_t {
+        const auto it = snap.counters.find(name);
+        return it != snap.counters.end() ? it->second : 0;
+    };
     TraceCacheStats s;
-    s.hits = hits_.load();
-    s.misses = misses_.load();
-    s.corpusHits = corpusHits_.load();
-    s.recordings = recordings_.load();
-    s.bytesInserted = bytesInserted_.load();
+    s.hits = value("trace_cache.hits");
+    s.misses = value("trace_cache.misses");
+    s.corpusHits = value("trace_cache.corpus_hits");
+    s.recordings = value("trace_cache.recordings");
+    s.bytesInserted = value("trace_cache.bytes_inserted");
     return s;
+}
+
+size_t
+TraceCache::recordings() const
+{
+    return stats().recordings;
 }
 
 size_t
@@ -177,13 +191,14 @@ TraceCache::clear()
 TraceCache &
 globalTraceCache()
 {
-    static TraceCache cache;
+    static TraceCache cache{&obs::globalMetrics()};
     static const bool attached = [] {
         const char *dir = std::getenv("TPRED_CORPUS_DIR");
         if (dir == nullptr || *dir == '\0')
             return false;
         try {
-            cache.attachCorpus(std::make_shared<CorpusManager>(dir));
+            cache.attachCorpus(std::make_shared<CorpusManager>(
+                dir, &obs::globalMetrics()));
         } catch (const std::exception &e) {
             std::fprintf(stderr,
                          "tpred-cache: ignoring TPRED_CORPUS_DIR: "

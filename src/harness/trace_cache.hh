@@ -12,7 +12,6 @@
 #ifndef TPRED_HARNESS_TRACE_CACHE_HH
 #define TPRED_HARNESS_TRACE_CACHE_HH
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <future>
@@ -22,13 +21,21 @@
 #include <unordered_map>
 
 #include "harness/experiment.hh"
+#include "obs/metrics.hh"
 
 namespace tpred
 {
 
 class CorpusManager;
 
-/** Cumulative TraceCache effectiveness counters (see stats()). */
+/**
+ * Cumulative TraceCache effectiveness counters.
+ *
+ * DEPRECATED shim: the counters now live in an obs::MetricsRegistry
+ * (names "trace_cache.*"; see docs/observability.md) and stats() is
+ * a snapshot view over it, kept for one PR so existing callers
+ * compile.  New code should read the registry directly.
+ */
 struct TraceCacheStats
 {
     size_t hits = 0;        ///< get() served from the in-process memo
@@ -63,9 +70,20 @@ struct TraceCacheStats
 class TraceCache
 {
   public:
+    /**
+     * @param metrics Registry the "trace_cache.*" counters report
+     *        into; nullptr gives this cache a private registry (so
+     *        tests see per-instance counts).  The global cache uses
+     *        obs::globalMetrics() so run reports include it.
+     */
+    explicit TraceCache(obs::MetricsRegistry *metrics = nullptr);
+
     /** Returns the memoized trace, recording it on first request. */
     SharedTrace get(std::string_view workload, size_t ops,
                     uint64_t seed = 1);
+
+    /** Registry holding this cache's "trace_cache.*" counters. */
+    obs::MetricsRegistry &metricsRegistry() const { return *metrics_; }
 
     /**
      * Attaches (or detaches, with nullptr) the second-level disk
@@ -76,11 +94,11 @@ class TraceCache
     /** The attached corpus, or nullptr. */
     std::shared_ptr<CorpusManager> corpus() const;
 
-    /** Snapshot of the cumulative counters. */
+    /** DEPRECATED: snapshot view over the registry counters. */
     TraceCacheStats stats() const;
 
     /** Number of traces actually generated (not served from disk). */
-    size_t recordings() const { return recordings_.load(); }
+    size_t recordings() const;
 
     /** Number of traces currently memoized. */
     size_t size() const;
@@ -156,11 +174,14 @@ class TraceCache
                        KeyEqual>
         memo_;
     std::shared_ptr<CorpusManager> corpus_;
-    std::atomic<size_t> recordings_{0};
-    std::atomic<size_t> hits_{0};
-    std::atomic<size_t> misses_{0};
-    std::atomic<size_t> corpusHits_{0};
-    std::atomic<uint64_t> bytesInserted_{0};
+
+    std::unique_ptr<obs::MetricsRegistry> owned_;  ///< when unshared
+    obs::MetricsRegistry *metrics_;
+    obs::Counter hits_;
+    obs::Counter misses_;
+    obs::Counter corpusHits_;
+    obs::Counter recordings_;
+    obs::Counter bytesInserted_;
 };
 
 /**

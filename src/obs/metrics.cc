@@ -1,0 +1,318 @@
+#include "obs/metrics.hh"
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <ctime>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace tpred::obs
+{
+
+namespace detail
+{
+
+/**
+ * The registry's whole mutable state, ref-counted: the registry holds
+ * one reference and every handle holds another.  A handle that
+ * outlives its registry therefore keeps writing into this (detached)
+ * block instead of freed memory — the mutex and shard vector stay
+ * valid, and the increments are simply never snapshotted.
+ */
+struct RegistryState
+{
+    struct Slot
+    {
+        std::string name;
+        MetricsRegistry::SlotUse use;
+        MetricKind kind;
+    };
+
+    struct Shard
+    {
+        std::array<std::atomic<uint64_t>, MetricsRegistry::kMaxSlots>
+            cells{};
+    };
+
+    const uint64_t uid;  ///< process-unique, keys the TLS shard cache
+
+    mutable std::mutex mutex;
+    std::vector<Slot> slots;  ///< indexed by cell; timers span 3
+    std::unordered_map<std::string, uint32_t> byName;
+    std::vector<std::shared_ptr<Shard>> shards;
+    std::array<std::atomic<uint64_t>, MetricsRegistry::kMaxSlots>
+        gauges{};
+
+    explicit RegistryState(uint64_t id) : uid(id)
+    {
+        slots.reserve(64);
+    }
+};
+
+} // namespace detail
+
+namespace
+{
+
+using detail::RegistryState;
+
+std::atomic<uint64_t> g_next_registry_uid{1};
+
+/**
+ * Per-thread cache of (registry uid -> shard).  The list is tiny —
+ * one entry per registry this thread ever touched — so a linear scan
+ * beats a hash.
+ */
+struct TlsShardCache
+{
+    std::vector<std::pair<uint64_t, std::shared_ptr<void>>> entries;
+};
+
+thread_local TlsShardCache tls_shards;
+
+/** This thread's shard for @p state (allocating on first use). */
+RegistryState::Shard &
+localShard(RegistryState &state)
+{
+    for (auto &entry : tls_shards.entries)
+        if (entry.first == state.uid)
+            return *static_cast<RegistryState::Shard *>(
+                entry.second.get());
+    auto shard = std::make_shared<RegistryState::Shard>();
+    {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        state.shards.push_back(shard);
+    }
+    tls_shards.entries.emplace_back(state.uid, shard);
+    return *shard;
+}
+
+/** Hot path behind the handle types: one relaxed fetch_add. */
+void
+addCell(RegistryState &state, uint32_t slot, uint64_t delta)
+{
+    localShard(state).cells[slot].fetch_add(delta,
+                                            std::memory_order_relaxed);
+}
+
+uint64_t
+wallNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+uint64_t
+cpuNowNs()
+{
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0)
+        return 0;
+    return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+           static_cast<uint64_t>(ts.tv_nsec);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------
+
+void
+Counter::inc(uint64_t delta) const
+{
+    if (state_ != nullptr)
+        addCell(*state_, slot_, delta);
+}
+
+void
+Gauge::set(uint64_t value) const
+{
+    if (state_ != nullptr)
+        state_->gauges[slot_].store(value, std::memory_order_relaxed);
+}
+
+void
+Gauge::setMax(uint64_t value) const
+{
+    if (state_ == nullptr)
+        return;
+    std::atomic<uint64_t> &cell = state_->gauges[slot_];
+    uint64_t seen = cell.load(std::memory_order_relaxed);
+    while (seen < value &&
+           !cell.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+void
+Timer::record(uint64_t wall_ns, uint64_t cpu_ns) const
+{
+    if (state_ == nullptr)
+        return;
+    addCell(*state_, slot_, 1);
+    addCell(*state_, slot_ + 1, wall_ns);
+    addCell(*state_, slot_ + 2, cpu_ns);
+}
+
+ScopedTimer::ScopedTimer(Timer timer)
+    : timer_(std::move(timer)), wallStart_(wallNowNs()),
+      cpuStart_(cpuNowNs())
+{
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    const uint64_t wall = wallNowNs() - wallStart_;
+    const uint64_t cpu = cpuNowNs() - cpuStart_;
+    timer_.record(wall, cpu);
+}
+
+// ---------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------
+
+MetricsRegistry::MetricsRegistry()
+    : state_(std::make_shared<RegistryState>(
+          g_next_registry_uid.fetch_add(1,
+                                        std::memory_order_relaxed)))
+{
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+uint32_t
+MetricsRegistry::registerSlots(std::string_view name, SlotUse use,
+                               MetricKind kind, uint32_t cells)
+{
+    RegistryState &st = *state_;
+    std::lock_guard<std::mutex> lock(st.mutex);
+    const auto it = st.byName.find(std::string(name));
+    if (it != st.byName.end()) {
+        const RegistryState::Slot &slot = st.slots[it->second];
+        if (slot.use != use || slot.kind != kind)
+            throw std::logic_error("metric '" + std::string(name) +
+                                   "' re-registered as a different "
+                                   "type");
+        return it->second;
+    }
+    if (st.slots.size() + cells > kMaxSlots)
+        throw std::length_error(
+            "metrics registry full (kMaxSlots cells)");
+    const auto base = static_cast<uint32_t>(st.slots.size());
+    st.slots.push_back(
+        RegistryState::Slot{std::string(name), use, kind});
+    for (uint32_t i = 1; i < cells; ++i)
+        st.slots.push_back(
+            RegistryState::Slot{"", use, kind});  // continuation cells
+    st.byName.emplace(std::string(name), base);
+    return base;
+}
+
+Counter
+MetricsRegistry::counter(std::string_view name, MetricKind kind)
+{
+    return Counter(state_,
+                   registerSlots(name, SlotUse::Counter, kind, 1));
+}
+
+Gauge
+MetricsRegistry::gauge(std::string_view name)
+{
+    return Gauge(state_, registerSlots(name, SlotUse::Gauge,
+                                       MetricKind::Runtime, 1));
+}
+
+Timer
+MetricsRegistry::timer(std::string_view name)
+{
+    return Timer(state_, registerSlots(name, SlotUse::TimerBase,
+                                       MetricKind::Runtime, 3));
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    const RegistryState &st = *state_;
+    std::lock_guard<std::mutex> lock(st.mutex);
+    std::vector<uint64_t> sums(st.slots.size(), 0);
+    for (const auto &shard : st.shards)
+        for (size_t i = 0; i < st.slots.size(); ++i)
+            sums[i] += shard->cells[i].load(std::memory_order_relaxed);
+
+    MetricsSnapshot snap;
+    for (size_t i = 0; i < st.slots.size(); ++i) {
+        const RegistryState::Slot &slot = st.slots[i];
+        if (slot.name.empty())
+            continue;  // continuation cell of a timer
+        switch (slot.use) {
+          case SlotUse::Counter:
+            (slot.kind == MetricKind::Deterministic ? snap.counters
+                                                    : snap.runtime)
+                [slot.name] = sums[i];
+            break;
+          case SlotUse::Gauge:
+            snap.gauges[slot.name] =
+                st.gauges[i].load(std::memory_order_relaxed);
+            break;
+          case SlotUse::TimerBase:
+            snap.timers[slot.name] =
+                TimerValue{sums[i], sums[i + 1], sums[i + 2]};
+            break;
+        }
+    }
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    RegistryState &st = *state_;
+    std::lock_guard<std::mutex> lock(st.mutex);
+    for (const auto &shard : st.shards)
+        for (auto &cell : shard->cells)
+            cell.store(0, std::memory_order_relaxed);
+    for (auto &cell : st.gauges)
+        cell.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+globalMetrics()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+MetricsSnapshot
+snapshotDelta(const MetricsSnapshot &a, const MetricsSnapshot &b)
+{
+    MetricsSnapshot d;
+    auto diff = [](const std::map<std::string, uint64_t> &before,
+                   const std::map<std::string, uint64_t> &after) {
+        std::map<std::string, uint64_t> out;
+        for (const auto &[name, value] : after) {
+            const auto it = before.find(name);
+            out[name] = value - (it != before.end() ? it->second : 0);
+        }
+        return out;
+    };
+    d.counters = diff(a.counters, b.counters);
+    d.runtime = diff(a.runtime, b.runtime);
+    d.gauges = b.gauges;
+    for (const auto &[name, value] : b.timers) {
+        const auto it = a.timers.find(name);
+        TimerValue prev =
+            it != a.timers.end() ? it->second : TimerValue{};
+        d.timers[name] = TimerValue{value.count - prev.count,
+                                    value.wallNs - prev.wallNs,
+                                    value.cpuNs - prev.cpuNs};
+    }
+    return d;
+}
+
+} // namespace tpred::obs

@@ -1,0 +1,263 @@
+#include "obs/run_report.hh"
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace tpred::obs
+{
+
+namespace
+{
+
+/** JSON string escape (quotes, backslash, control characters). */
+std::string
+quoted(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    out += '"';
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+fixed(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+/** Emits a {key -> pre-rendered JSON token} map at @p indent. */
+void
+emitObject(std::string &out,
+           const std::map<std::string, std::string> &members,
+           const std::string &indent)
+{
+    if (members.empty()) {
+        out += "{}";
+        return;
+    }
+    out += "{\n";
+    size_t i = 0;
+    for (const auto &[key, token] : members) {
+        out += indent + "  " + quoted(key) + ": " + token;
+        out += ++i < members.size() ? ",\n" : "\n";
+    }
+    out += indent + "}";
+}
+
+std::map<std::string, std::string>
+tokenized(const std::map<std::string, uint64_t> &values)
+{
+    std::map<std::string, std::string> out;
+    for (const auto &[key, value] : values)
+        out[key] = std::to_string(value);
+    return out;
+}
+
+} // namespace
+
+RunReport::RunReport(std::string tool) : tool_(std::move(tool)) {}
+
+void
+RunReport::setConfig(std::string_view key, std::string_view value)
+{
+    config_[std::string(key)] = quoted(value);
+}
+
+void
+RunReport::setConfig(std::string_view key, uint64_t value)
+{
+    config_[std::string(key)] = std::to_string(value);
+}
+
+void
+RunReport::setConfig(std::string_view key, bool value)
+{
+    config_[std::string(key)] = value ? "true" : "false";
+}
+
+void
+RunReport::addTable(std::string_view name, std::string_view text)
+{
+    tables_[std::string(name)] = quoted(text);
+}
+
+void
+RunReport::addWorkloadValue(std::string_view workload,
+                            std::string_view key, double value,
+                            int precision)
+{
+    workloads_[std::string(workload)][std::string(key)] =
+        fixed(value, precision);
+}
+
+void
+RunReport::addWorkloadValue(std::string_view workload,
+                            std::string_view key, uint64_t value)
+{
+    workloads_[std::string(workload)][std::string(key)] =
+        std::to_string(value);
+}
+
+void
+RunReport::setRuntimeInfo(std::string_view key, std::string_view value)
+{
+    runtimeInfo_[std::string(key)] = quoted(value);
+}
+
+void
+RunReport::setRuntimeInfo(std::string_view key, uint64_t value)
+{
+    runtimeInfo_[std::string(key)] = std::to_string(value);
+}
+
+void
+RunReport::capture(const MetricsSnapshot &snap)
+{
+    for (const auto &[name, value] : snap.counters)
+        metrics_[name] = value;
+    for (const auto &[name, value] : snap.runtime)
+        runtimeCounters_[name] = value;
+    for (const auto &[name, value] : snap.gauges)
+        gauges_[name] = value;
+    for (const auto &[name, value] : snap.timers)
+        timers_[name] = value;
+}
+
+void
+RunReport::captureProcess(MetricsRegistry &reg)
+{
+    capture(reg.snapshot());
+    peakRssBytes_ = peakRssBytes();
+#if defined(__VERSION__)
+    setRuntimeInfo("compiler", __VERSION__);
+#endif
+#if defined(NDEBUG)
+    setRuntimeInfo("assertions", "off");
+#else
+    setRuntimeInfo("assertions", "on");
+#endif
+}
+
+std::string
+RunReport::toJson() const
+{
+    std::string out;
+    out.reserve(4096);
+    out += "{\n";
+    out += "  \"schema\": " + quoted(kRunReportSchema) + ",\n";
+    out += "  \"tool\": " + quoted(tool_) + ",\n";
+
+    out += "  \"config\": ";
+    emitObject(out, config_, "  ");
+    out += ",\n";
+
+    out += "  \"metrics\": ";
+    emitObject(out, tokenized(metrics_), "  ");
+    out += ",\n";
+
+    out += "  \"tables\": ";
+    emitObject(out, tables_, "  ");
+    out += ",\n";
+
+    out += "  \"workloads\": ";
+    {
+        std::map<std::string, std::string> rows;
+        for (const auto &[workload, lanes] : workloads_) {
+            std::string row;
+            emitObject(row, lanes, "    ");
+            rows[workload] = row;
+        }
+        emitObject(out, rows, "  ");
+    }
+    out += ",\n";
+
+    out += "  \"runtime\": {\n";
+    out += "    \"counters\": ";
+    emitObject(out, tokenized(runtimeCounters_), "    ");
+    out += ",\n";
+    out += "    \"gauges\": ";
+    emitObject(out, tokenized(gauges_), "    ");
+    out += ",\n";
+    out += "    \"timers\": ";
+    {
+        std::map<std::string, std::string> rows;
+        for (const auto &[name, value] : timers_) {
+            rows[name] = "{\"count\": " + std::to_string(value.count) +
+                         ", \"wall_ns\": " +
+                         std::to_string(value.wallNs) +
+                         ", \"cpu_ns\": " + std::to_string(value.cpuNs) +
+                         "}";
+        }
+        emitObject(out, rows, "    ");
+    }
+    out += ",\n";
+    out += "    \"info\": ";
+    emitObject(out, runtimeInfo_, "    ");
+    out += ",\n";
+    out += "    \"resources\": {\"peak_rss_bytes\": " +
+           std::to_string(peakRssBytes_) + "}\n";
+    out += "  }\n";
+    out += "}\n";
+    return out;
+}
+
+void
+RunReport::write(const std::string &path) const
+{
+    const std::string json = toJson();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        throw std::runtime_error("run report: cannot open '" + path +
+                                 "' for writing");
+    const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    const int close_rc = std::fclose(f);
+    if (written != json.size() || close_rc != 0)
+        throw std::runtime_error("run report: short write to '" +
+                                 path + "'");
+}
+
+uint64_t
+peakRssBytes()
+{
+    rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    // Linux reports ru_maxrss in kilobytes.
+    return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+} // namespace tpred::obs

@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "obs/metrics.hh"
 #include "uarch/fu_pool.hh"
 
 namespace tpred
@@ -46,6 +47,10 @@ CoreResult
 CoreModel::runImpl(Source &trace, FrontendPredictor &frontend,
                    uint64_t max_instrs)
 {
+    static const obs::Timer phase =
+        obs::globalMetrics().timer("phase.core_run");
+    obs::ScopedTimer timed(phase);
+
     CoreResult result;
     window_.clear();
 
@@ -157,6 +162,14 @@ CoreModel::runImpl(Source &trace, FrontendPredictor &frontend,
     result.cycles = cycle;
     result.frontend = frontend.stats();
     result.dcache = dcache_.stats();
+
+    // Once per run, not per cycle — the simulation loop stays clean.
+    static const obs::Counter cycles_simulated =
+        obs::globalMetrics().counter("core.cycles_simulated");
+    static const obs::Counter instructions_retired =
+        obs::globalMetrics().counter("core.instructions_retired");
+    cycles_simulated.inc(result.cycles);
+    instructions_retired.inc(result.instructions);
     return result;
 }
 

@@ -20,6 +20,7 @@
 #include "corpus/mapped_file.hh"
 #include "harness/paper_tables.hh"
 #include "harness/trace_cache.hh"
+#include "obs/metrics.hh"
 #include "test_util.hh"
 #include "trace/compact_io.hh"
 #include "workloads/workload.hh"
@@ -179,12 +180,17 @@ TEST(Corpus, StoreThenLoadIsIdenticalAndZeroCopy)
     EXPECT_EQ(name, "perl");
     EXPECT_TRUE(sameOps(trace, *loaded));
 
-    const CorpusStats stats = corpus.stats();
-    EXPECT_EQ(stats.stores, 1u);
-    EXPECT_EQ(stats.hits, 1u);
-    EXPECT_EQ(stats.misses, 0u);
-    EXPECT_GT(stats.bytesStored, 0u);
-    EXPECT_EQ(stats.bytesLoaded, stats.bytesStored);
+    // Counters read straight off the metrics registry — the
+    // CorpusStats shim wraps exactly this view (see test_metrics.cc
+    // for the shim/registry equivalence check).
+    const obs::MetricsSnapshot snap =
+        corpus.metricsRegistry().snapshot();
+    EXPECT_EQ(snap.counters.at("corpus.stores"), 1u);
+    EXPECT_EQ(snap.counters.at("corpus.hits"), 1u);
+    EXPECT_EQ(snap.counters.at("corpus.misses"), 0u);
+    EXPECT_GT(snap.counters.at("corpus.bytes_stored"), 0u);
+    EXPECT_EQ(snap.counters.at("corpus.bytes_loaded"),
+              snap.counters.at("corpus.bytes_stored"));
 }
 
 TEST(Corpus, MissingEntryIsAMiss)

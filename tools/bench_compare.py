@@ -5,7 +5,10 @@ Usage:
     bench_compare.py BASELINE.json CANDIDATE.json [--threshold PCT]
 
 Accepts the output of any bench that emits an `ops` budget and a
-per-workload map of *_mops lanes:
+per-workload map of *_mops lanes — both the current tpred-run-report/1
+documents (ops under "config", see tools/report_lint.py) and the older
+flat {"ops": N, "workloads": {...}} files, so an old committed baseline
+can be compared against a fresh candidate:
 
     bench/replay_throughput -> BENCH_replay.json
         (legacy/compact/indexed replay Mops/s)
@@ -42,6 +45,13 @@ def load(path):
     return data
 
 
+def ops_of(data):
+    """Instruction budget: top-level (legacy) or config.ops (report)."""
+    if "ops" in data:
+        return data["ops"]
+    return data.get("config", {}).get("ops")
+
+
 def lanes(entry):
     """The throughput lanes of one workload entry, name -> Mops/s."""
     return {
@@ -63,9 +73,9 @@ def main():
 
     base = load(args.baseline)
     cand = load(args.candidate)
-    if base.get("ops") != cand.get("ops"):
-        print(f"note: op budgets differ (baseline {base.get('ops')}, "
-              f"candidate {cand.get('ops')}); Mops/s still comparable")
+    if ops_of(base) != ops_of(cand):
+        print(f"note: op budgets differ (baseline {ops_of(base)}, "
+              f"candidate {ops_of(cand)}); Mops/s still comparable")
 
     regressions = []
     rows = []

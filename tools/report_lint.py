@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Validate, mask, and compare tpred-run-report/1 JSON documents.
+
+Usage:
+  report_lint.py REPORT...            validate schema, exit 1 on errors
+  report_lint.py --mask REPORT        validate, zero the volatile fields,
+                                      print canonical JSON on stdout
+  report_lint.py --compare A B        validate both, diff everything but
+                                      the volatile fields, exit 1 on any
+                                      difference
+
+The determinism contract (docs/observability.md): two runs of the same
+tool with the same semantic config agree on every field outside the
+"runtime" section and outside keys matching the volatile patterns
+below.  --mask canonicalizes a report so `cmp` can assert byte-identical
+output; --compare diffs two reports under the same rules (e.g. a serial
+run against a --jobs N run).
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "tpred-run-report/1"
+SECTIONS = ["schema", "tool", "config", "metrics", "tables",
+            "workloads", "runtime"]
+RUNTIME_SECTIONS = ["counters", "gauges", "timers", "info", "resources"]
+
+# Keys whose values are timing- or environment-dependent wherever they
+# appear (the entire "runtime" section is volatile as a whole).
+VOLATILE_SUFFIXES = ("_ns", "_mops", "_seconds", "_speedup")
+VOLATILE_KEYS = {"speedup"}
+
+
+def is_volatile_key(key):
+    return key in VOLATILE_KEYS or key.endswith(VOLATILE_SUFFIXES)
+
+
+def fail(path, message):
+    print(f"report_lint: {path}: {message}", file=sys.stderr)
+    return False
+
+
+def validate(path, doc):
+    ok = True
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    for key in SECTIONS:
+        if key not in doc:
+            ok = fail(path, f"missing section '{key}'")
+    for key in doc:
+        if key not in SECTIONS:
+            ok = fail(path, f"unknown section '{key}'")
+    if doc.get("schema") != SCHEMA:
+        ok = fail(path, f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    if not isinstance(doc.get("tool"), str) or not doc.get("tool"):
+        ok = fail(path, "'tool' must be a non-empty string")
+    for section in ("config", "metrics", "tables", "workloads", "runtime"):
+        if not isinstance(doc.get(section), dict):
+            ok = fail(path, f"'{section}' must be an object")
+    if not ok:
+        return False
+    for name, value in doc["metrics"].items():
+        if not isinstance(value, int) or value < 0:
+            ok = fail(path, f"metrics.{name} must be a non-negative int")
+    for name, value in doc["tables"].items():
+        if not isinstance(value, str):
+            ok = fail(path, f"tables.{name} must be a string")
+    for workload, lanes in doc["workloads"].items():
+        if not isinstance(lanes, dict):
+            ok = fail(path, f"workloads.{workload} must be an object")
+            continue
+        for lane, value in lanes.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                ok = fail(path,
+                          f"workloads.{workload}.{lane} must be a number")
+    runtime = doc["runtime"]
+    for key in RUNTIME_SECTIONS:
+        if key not in runtime:
+            ok = fail(path, f"missing runtime.{key}")
+    for key in runtime:
+        if key not in RUNTIME_SECTIONS:
+            ok = fail(path, f"unknown runtime section '{key}'")
+    if not ok:
+        return False
+    for name, value in runtime["timers"].items():
+        if (not isinstance(value, dict) or
+                sorted(value) != ["count", "cpu_ns", "wall_ns"]):
+            ok = fail(path, f"runtime.timers.{name} must be "
+                            "{count, wall_ns, cpu_ns}")
+    return ok
+
+
+def masked(doc):
+    """Copy of doc with every volatile field zeroed."""
+
+    def scrub(value):
+        if isinstance(value, dict):
+            return {k: (0 if is_volatile_key(k) else scrub(v))
+                    for k, v in value.items()}
+        return value
+
+    out = {k: scrub(v) for k, v in doc.items() if k != "runtime"}
+    out["runtime"] = {key: {} for key in RUNTIME_SECTIONS}
+    return out
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"report_lint: {path}: {e}", file=sys.stderr)
+        return None
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="tpred-run-report/1 schema checker")
+    parser.add_argument("--mask", action="store_true",
+                        help="print the report with volatile fields "
+                             "zeroed (canonical JSON)")
+    parser.add_argument("--compare", action="store_true",
+                        help="diff two reports ignoring volatile fields")
+    parser.add_argument("reports", nargs="+", metavar="REPORT")
+    args = parser.parse_args()
+
+    docs = []
+    for path in args.reports:
+        doc = load(path)
+        if doc is None or not validate(path, doc):
+            return 1
+        docs.append(doc)
+
+    if args.compare:
+        if len(docs) != 2:
+            print("report_lint: --compare needs exactly two reports",
+                  file=sys.stderr)
+            return 2
+        a, b = masked(docs[0]), masked(docs[1])
+        if a != b:
+            for section in SECTIONS:
+                if a.get(section) != b.get(section):
+                    print(f"report_lint: section '{section}' differs "
+                          f"between {args.reports[0]} and "
+                          f"{args.reports[1]}", file=sys.stderr)
+            return 1
+        print(f"{args.reports[0]} == {args.reports[1]} "
+              "(volatile fields ignored)")
+        return 0
+
+    if args.mask:
+        for doc in docs:
+            print(json.dumps(masked(doc), indent=2, sort_keys=True))
+        return 0
+
+    for path in args.reports:
+        print(f"{path}: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,8 @@
 #include "common/stats.hh"
 #include "corpus/corpus.hh"
 #include "harness/experiment.hh"
+#include "harness/run_options.hh"
+#include "obs/run_report.hh"
 #include "workloads/workload.hh"
 
 using namespace tpred;
@@ -33,6 +35,8 @@ using namespace tpred;
 namespace
 {
 
+/** Tool-specific options; --ops (and the rest of the shared
+ *  vocabulary) is consumed by RunOptions before parse() runs. */
 struct Options
 {
     std::string command;
@@ -78,8 +82,6 @@ parse(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--dir")
             opt.dir = need(i);
-        else if (arg == "--ops")
-            opt.ops = parseOps(need(i), "--ops");
         else if (arg == "--seed")
             opt.seed = static_cast<uint64_t>(std::atoll(need(i)));
         else if (arg == "--max-bytes")
@@ -160,18 +162,34 @@ cmdGc(CorpusManager &corpus, const Options &opt)
 int
 main(int argc, char **argv)
 {
+    // argv[1] is a subcommand, so no positional instruction count.
+    const RunOptions run = RunOptions::fromEnvAndArgv(
+        argc, argv, kDefaultAccuracyOps, /*positional_ops=*/false);
     try {
-        const Options opt = parse(argc, argv);
-        CorpusManager corpus(opt.dir);
+        Options opt = parse(argc, argv);
+        opt.ops = run.ops;
+        setVerboseLogging(run.verbose);
+        CorpusManager corpus(opt.dir, &obs::globalMetrics());
+        int rc = 2;
         if (opt.command == "build")
-            return cmdBuild(corpus, opt);
-        if (opt.command == "ls")
-            return cmdList(corpus, false);
-        if (opt.command == "verify")
-            return cmdList(corpus, true);
-        if (opt.command == "gc")
-            return cmdGc(corpus, opt);
-        usage();
+            rc = cmdBuild(corpus, opt);
+        else if (opt.command == "ls")
+            rc = cmdList(corpus, false);
+        else if (opt.command == "verify")
+            rc = cmdList(corpus, true);
+        else if (opt.command == "gc")
+            rc = cmdGc(corpus, opt);
+        else
+            usage();
+        if (!run.reportPath.empty()) {
+            obs::RunReport report("tpredcorpus");
+            report.setConfig("command", opt.command);
+            report.setConfig("dir", opt.dir);
+            report.setConfig("ops", static_cast<uint64_t>(opt.ops));
+            report.captureProcess();
+            report.write(run.reportPath);
+        }
+        return rc;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "tpredcorpus: %s\n", e.what());
         return 1;

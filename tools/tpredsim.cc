@@ -10,6 +10,7 @@
  *   tpredsim --workload perl --timing --ops 2000000
  *   tpredsim --workload perl --save-trace perl.tpr
  *   tpredsim --load-trace perl.tpr --predictor ittage --sites 10
+ *   tpredsim --workload gcc --timing --report run.json
  */
 
 #include <cstdio>
@@ -21,8 +22,10 @@
 #include "corpus/corpus.hh"
 #include "harness/paper_tables.hh"
 #include "harness/parallel_runner.hh"
+#include "harness/run_options.hh"
 #include "harness/site_report.hh"
 #include "harness/trace_cache.hh"
+#include "obs/run_report.hh"
 #include "trace/trace_io.hh"
 #include "workloads/workload.hh"
 
@@ -31,6 +34,8 @@ using namespace tpred;
 namespace
 {
 
+/** Tool-specific options; the shared vocabulary (--ops, --jobs,
+ *  --corpus, --report, --verbose) is consumed by RunOptions first. */
 struct Options
 {
     std::string workload = "perl";
@@ -39,14 +44,11 @@ struct Options
     std::string scheme = "xor";
     std::string saveTrace;
     std::string loadTrace;
-    std::string corpusDir;
-    size_t ops = 1'000'000;
     unsigned ways = 4;
     unsigned histBits = 9;
     unsigned bitsPerTarget = 1;
     uint64_t seed = 1;
     size_t sites = 0;
-    unsigned jobs = 0;  ///< 0 = hardware concurrency
     bool timing = false;
     bool twoBitBtb = false;
 };
@@ -78,7 +80,10 @@ usage()
         "  --save-trace FILE   record the workload to a trace file\n"
         "  --load-trace FILE   replay a recorded trace file\n"
         "  --corpus DIR        persistent trace corpus directory\n"
-        "                      (also honoured as $TPRED_CORPUS_DIR)\n");
+        "                      (also honoured as $TPRED_CORPUS_DIR)\n"
+        "  --report FILE       write a tpred-run-report/1 JSON file\n"
+        "                      (also honoured as $TPRED_REPORT)\n"
+        "  --verbose           log cache/corpus traffic to stderr\n");
     std::exit(2);
 }
 
@@ -95,8 +100,6 @@ parse(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--workload")
             opt.workload = need(i);
-        else if (arg == "--ops")
-            opt.ops = parseOps(need(i), "--ops");
         else if (arg == "--seed")
             opt.seed = static_cast<uint64_t>(std::atoll(need(i)));
         else if (arg == "--predictor")
@@ -112,8 +115,6 @@ parse(int argc, char **argv)
             opt.scheme = need(i);
         else if (arg == "--ways")
             opt.ways = static_cast<unsigned>(std::atoi(need(i)));
-        else if (arg == "--jobs")
-            opt.jobs = static_cast<unsigned>(std::atoi(need(i)));
         else if (arg == "--two-bit-btb")
             opt.twoBitBtb = true;
         else if (arg == "--timing")
@@ -124,8 +125,6 @@ parse(int argc, char **argv)
             opt.saveTrace = need(i);
         else if (arg == "--load-trace")
             opt.loadTrace = need(i);
-        else if (arg == "--corpus")
-            opt.corpusDir = need(i);
         else
             usage();
     }
@@ -189,22 +188,23 @@ configFor(const Options &opt)
 int
 main(int argc, char **argv)
 {
+    // Shared vocabulary first (consumes its flags), tool flags after.
+    const RunOptions run = RunOptions::fromEnvAndArgv(
+        argc, argv, /*fallback_ops=*/1'000'000,
+        /*positional_ops=*/false);
     try {
         const Options opt = parse(argc, argv);
-        setDefaultJobs(opt.jobs);
-        if (!opt.corpusDir.empty())
-            globalTraceCache().attachCorpus(
-                std::make_shared<CorpusManager>(opt.corpusDir));
+        run.apply();
 
         SharedTrace trace = [&] {
             if (!opt.loadTrace.empty()) {
                 std::string name;
                 CompactTrace loaded =
                     loadCompactTraceFile(opt.loadTrace, name);
-                if (loaded.size() > opt.ops) {
+                if (loaded.size() > run.ops) {
                     // Honour --ops as a cap on replayed trace files.
                     std::vector<MicroOp> ops = loaded.decodeAll();
-                    ops.resize(opt.ops);
+                    ops.resize(run.ops);
                     return SharedTrace(std::move(ops), name);
                 }
                 return SharedTrace(
@@ -214,7 +214,7 @@ main(int argc, char **argv)
             }
             // Routed through the cache so an attached corpus (via
             // --corpus or $TPRED_CORPUS_DIR) is consulted/populated.
-            return cachedTrace(opt.workload, opt.ops, opt.seed);
+            return cachedTrace(opt.workload, run.ops, opt.seed);
         }();
         std::printf("trace: %s, %s instructions\n", trace.name().c_str(),
                     formatCount(trace.size()).c_str());
@@ -244,6 +244,25 @@ main(int argc, char **argv)
                     formatPercent(stats.returns.missRate(), 2).c_str());
         std::printf("all branches   : %.2f MPKI\n", stats.mpki());
 
+        obs::RunReport report("tpredsim");
+        report.setConfig("workload", trace.name());
+        report.setConfig("ops", static_cast<uint64_t>(run.ops));
+        report.setConfig("seed", opt.seed);
+        report.setConfig("predictor", config.describe());
+        report.setConfig("timing", opt.timing);
+        const std::string &w = trace.name();
+        report.addWorkloadValue(w, "instructions",
+                                stats.instructions);
+        report.addWorkloadValue(w, "indirect_jumps",
+                                stats.indirectJumps.total());
+        report.addWorkloadValue(w, "indirect_miss_rate",
+                                stats.indirectJumps.missRate(), 6);
+        report.addWorkloadValue(w, "cond_miss_rate",
+                                stats.condDirection.missRate(), 6);
+        report.addWorkloadValue(w, "return_miss_rate",
+                                stats.returns.missRate(), 6);
+        report.addWorkloadValue(w, "mpki", stats.mpki(), 4);
+
         if (opt.timing) {
             // Baseline and configured runs are independent: shard
             // them across the runner (results keyed by job index).
@@ -257,6 +276,13 @@ main(int argc, char **argv)
                 });
             const CoreResult &base = timings[0];
             const CoreResult &result = timings[1];
+            report.addWorkloadValue(w, "cycles", result.cycles);
+            report.addWorkloadValue(w, "baseline_cycles",
+                                    base.cycles);
+            report.addWorkloadValue(w, "ipc", result.ipc(), 4);
+            report.addWorkloadValue(
+                w, "exec_time_reduction",
+                execTimeReduction(base.cycles, result.cycles), 6);
             std::printf("\ntiming         : %s cycles, IPC %.2f\n",
                         formatCount(result.cycles).c_str(),
                         result.ipc());
@@ -280,9 +306,19 @@ main(int argc, char **argv)
         }
 
         if (opt.sites > 0) {
-            SiteReport report = analyzeSites(trace, config, fe);
+            SiteReport sites = analyzeSites(trace, config, fe);
+            const std::string rendered = sites.render(opt.sites);
+            report.addTable("top_sites", rendered);
             std::printf("\ntop mispredicting sites:\n%s",
-                        report.render(opt.sites).c_str());
+                        rendered.c_str());
+        }
+
+        if (!run.reportPath.empty()) {
+            report.setRuntimeInfo("jobs", defaultJobs());
+            report.captureProcess();
+            report.write(run.reportPath);
+            std::printf("\nwrote report to %s\n",
+                        run.reportPath.c_str());
         }
         return 0;
     } catch (const std::exception &e) {
