@@ -18,8 +18,48 @@
 
 #include "bench_util.hh"
 #include "harness/multi_seed.hh"
+#include "harness/sweep_kernel.hh"
 
 using namespace tpred;
+
+namespace
+{
+
+/**
+ * Fused (workload x config) accuracy grid: one runSweep() per
+ * (workload x history-group) job, results scattered back into grid
+ * order.  Cell values are bit-identical to per-config runAccuracy().
+ */
+std::vector<double>
+sweepGrid(const ParallelRunner &runner,
+          const std::vector<SharedTrace> &traces,
+          const std::vector<IndirectConfig> &configs)
+{
+    const auto groups = groupByHistory(configs);
+    const auto parts = runner.map<std::vector<double>>(
+        traces.size() * groups.size(), [&](size_t j) {
+            const SharedTrace &trace = traces[j / groups.size()];
+            const auto &group = groups[j % groups.size()];
+            std::vector<IndirectConfig> batch;
+            batch.reserve(group.size());
+            for (size_t c : group)
+                batch.push_back(configs[c]);
+            std::vector<double> rates;
+            rates.reserve(group.size());
+            for (const FrontendStats &s : runSweep(trace, batch))
+                rates.push_back(s.indirectJumps.missRate());
+            return rates;
+        });
+    std::vector<double> cells(traces.size() * configs.size());
+    for (size_t w = 0; w < traces.size(); ++w)
+        for (size_t g = 0; g < groups.size(); ++g)
+            for (size_t k = 0; k < groups[g].size(); ++k)
+                cells[w * configs.size() + groups[g][k]] =
+                    parts[w * groups.size() + g][k];
+    return cells;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -38,14 +78,10 @@ main(int argc, char **argv)
         const std::vector<unsigned> lengths = {4, 6, 9, 12, 16};
         // Entry count fixed at 512; longer histories fold through
         // the XOR index.
-        const auto cells = runner.map<double>(
-            headline.size() * lengths.size(), [&](size_t j) {
-                return runAccuracy(
-                           headline_traces[j / lengths.size()],
-                           taglessGshare(patternHistory(
-                               lengths[j % lengths.size()])))
-                    .indirectJumps.missRate();
-            });
+        std::vector<IndirectConfig> configs;
+        for (unsigned length : lengths)
+            configs.push_back(taglessGshare(patternHistory(length)));
+        const auto cells = sweepGrid(runner, headline_traces, configs);
         Table table;
         table.setHeader({"Benchmark", "h=4", "h=6", "h=9", "h=12",
                          "h=16"});
@@ -84,13 +120,10 @@ main(int argc, char **argv)
         const auto &names = spec95Names();
         const std::vector<SharedTrace> traces =
             bench::recordAll(names, ops);
-        const auto cells = runner.map<double>(
-            names.size() * structures.size(), [&](size_t j) {
-                return runAccuracy(
-                           traces[j / structures.size()],
-                           structures[j % structures.size()].second)
-                    .indirectJumps.missRate();
-            });
+        std::vector<IndirectConfig> configs;
+        for (const auto &[label, config] : structures)
+            configs.push_back(config);
+        const auto cells = sweepGrid(runner, traces, configs);
         for (size_t w = 0; w < names.size(); ++w) {
             std::vector<std::string> row = {names[w]};
             for (size_t k = 0; k < structures.size(); ++k)
@@ -114,11 +147,11 @@ main(int argc, char **argv)
                               patternHistory(16))},
                 {"cascaded", cascadedConfig()},
             };
-        const auto cells = runner.map<double>(
-            configs.size(), [&](size_t j) {
-                return runAccuracy(trace, configs[j].second)
-                    .indirectJumps.missRate();
-            });
+        std::vector<IndirectConfig> batch;
+        for (const auto &[label, config] : configs)
+            batch.push_back(config);
+        const auto cells =
+            sweepGrid(runner, std::vector<SharedTrace>{trace}, batch);
         Table table;
         table.setHeader({"Predictor", "Mispred. rate"});
         for (size_t k = 0; k < configs.size(); ++k)
@@ -184,13 +217,15 @@ main(int argc, char **argv)
     {
         FrontendConfig tourney;
         tourney.direction = DirectionScheme::Tournament;
+        // The two columns differ in FrontendConfig, so each runs as
+        // its own batch-of-one sweep (still hits the cached stream).
+        const std::vector<IndirectConfig> batch = {taglessGshare()};
         const auto stats = runner.map<FrontendStats>(
             headline.size() * 2, [&](size_t j) {
                 const SharedTrace &trace = headline_traces[j / 2];
                 return j % 2 == 0
-                           ? runAccuracy(trace, taglessGshare())
-                           : runAccuracy(trace, taglessGshare(),
-                                         tourney);
+                           ? runSweep(trace, batch).front()
+                           : runSweep(trace, batch, tourney).front();
             });
         Table table;
         table.setHeader({"Benchmark", "gshare dir miss",

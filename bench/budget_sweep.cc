@@ -18,6 +18,7 @@
 #include <cstring>
 
 #include "bench_util.hh"
+#include "harness/sweep_kernel.hh"
 
 using namespace tpred;
 
@@ -70,28 +71,56 @@ main(int argc, char **argv)
     const std::vector<std::string> names = bench::headlinePair();
     const std::vector<SharedTrace> traces = bench::recordAll(names, ops);
 
-    // Flattened grid: (workload x point x {tagless, tagged}).
+    // Flattened grid: (workload x point x {tagless, tagged}).  Every
+    // point shares patternHistory(9), so the whole per-workload grid
+    // collapses into one fused sweep; the job unit in both lanes is
+    // (workload x history-group).
     const size_t per_workload = kPoints.size() * 2;
     const size_t cell_count = names.size() * per_workload;
-    const auto cell = [&](size_t j) {
-        const SharedTrace &trace = traces[j / per_workload];
-        const Point &point = kPoints[j % per_workload / 2];
-        const IndirectConfig config =
-            j % 2 == 0 ? taglessAt(point) : taggedAt(point);
-        return runAccuracy(trace, config).indirectJumps.missRate();
+    std::vector<IndirectConfig> configs;
+    configs.reserve(per_workload);
+    for (const Point &point : kPoints) {
+        configs.push_back(taglessAt(point));
+        configs.push_back(taggedAt(point));
+    }
+    const auto groups = groupByHistory(configs);
+    const size_t job_count = names.size() * groups.size();
+    const auto job = [&](size_t j) {
+        const SharedTrace &trace = traces[j / groups.size()];
+        const auto &group = groups[j % groups.size()];
+        std::vector<IndirectConfig> batch;
+        batch.reserve(group.size());
+        for (size_t c : group)
+            batch.push_back(configs[c]);
+        std::vector<double> rates;
+        rates.reserve(group.size());
+        for (const FrontendStats &s : runSweep(trace, batch))
+            rates.push_back(s.indirectJumps.missRate());
+        return rates;
     };
+    const auto scatter =
+        [&](const std::vector<std::vector<double>> &parts) {
+            std::vector<double> flat(cell_count);
+            for (size_t w = 0; w < names.size(); ++w)
+                for (size_t g = 0; g < groups.size(); ++g)
+                    for (size_t k = 0; k < groups[g].size(); ++k)
+                        flat[w * per_workload + groups[g][k]] =
+                            parts[w * groups.size() + g][k];
+            return flat;
+        };
 
     bench::Stopwatch serial_watch;
-    std::vector<double> serial_cells;
-    serial_cells.reserve(cell_count);
-    for (size_t j = 0; j < cell_count; ++j)
-        serial_cells.push_back(cell(j));
+    std::vector<std::vector<double>> serial_parts;
+    serial_parts.reserve(job_count);
+    for (size_t j = 0; j < job_count; ++j)
+        serial_parts.push_back(job(j));
+    const std::vector<double> serial_cells = scatter(serial_parts);
     const double serial_s = serial_watch.seconds();
 
     const ParallelRunner runner;
     bench::Stopwatch parallel_watch;
     const std::vector<double> cells =
-        runner.map<double>(cell_count, cell);
+        scatter(runner.map<std::vector<double>>(job_count, job));
     const double parallel_s = parallel_watch.seconds();
 
     const bool identical =

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Fused-sweep throughput: Table 9's ten-config tagged grid evaluated
+ * per workload through
+ *
+ *   sequential — the per-config path: one runAccuracy() per config,
+ *                each paying its own branch walk and re-deriving the
+ *                same architectural front-end state ten times;
+ *   fused      — one runSweep() pass over the trace's cached dense
+ *                BranchStream driving all ten predictors at once,
+ *                with one shared front-end core and the history
+ *                trackers deduplicated by HistorySpec.
+ *
+ * An untimed self-check first requires every fused FrontendStats to
+ * be bit-identical to its per-config reference, so the speedups are
+ * only reported for a kernel proven semantically equivalent; the
+ * timed lanes then fold each config's indirect-hit count into a
+ * checksum that must also agree.  Throughput is in aggregate Mops/s:
+ * (ops x configs) per wall-clock second, i.e. the rate at which
+ * config-instructions are retired.  Results go to stdout and to
+ * BENCH_sweep.json (override with TPRED_BENCH_OUT) as a
+ * tpred-run-report/1 document for tools/bench_compare.py.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "harness/sweep_kernel.hh"
+
+using namespace tpred;
+
+namespace
+{
+
+inline uint64_t
+fold(uint64_t acc, const FrontendStats &s)
+{
+    return acc * 0x9E3779B97F4A7C15ull +
+           (s.indirectJumps.hits() ^ s.allBranches.total());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const size_t ops =
+        bench::setup(argc, argv, kDefaultAccuracyOps).ops;
+    const unsigned reps = 3;
+    bench::heading("Fused multi-config sweep vs per-config replay "
+                   "(Table 9's tagged grid)",
+                   ops);
+
+    const std::vector<unsigned> assocs = {1, 2, 4, 8, 16};
+    const std::vector<unsigned> history_bits = {9, 16};
+    std::vector<IndirectConfig> configs;
+    for (unsigned bits : history_bits)
+        for (unsigned ways : assocs)
+            configs.push_back(taggedConfig(TaggedIndexScheme::HistoryXor,
+                                           ways, patternHistory(bits)));
+
+    const std::vector<std::string> names = bench::headlinePair();
+    const std::vector<SharedTrace> traces = bench::recordAll(names, ops);
+
+    Table table;
+    table.setHeader({"Benchmark", "sequential Mops/s", "fused Mops/s",
+                     "speedup"});
+    bench::LaneReport out("sweep_throughput", ops, "BENCH_sweep.json");
+    out.report().setConfig("configs",
+                           static_cast<uint64_t>(configs.size()));
+
+    double seq_secs = 0.0;
+    double fused_secs = 0.0;
+    double aggregate_total = 0.0;
+    for (size_t w = 0; w < names.size(); ++w) {
+        const SharedTrace &trace = traces[w];
+
+        // --- Untimed: the fused kernel must reproduce every config's
+        // per-config statistics exactly before its speed means
+        // anything.  (This also builds the cached BranchStream, so
+        // the timed lanes measure the sweep itself.)
+        const std::vector<FrontendStats> fused_ref =
+            runSweep(trace, configs);
+        for (size_t c = 0; c < configs.size(); ++c)
+            bench::requireSameStats(runAccuracy(trace, configs[c]),
+                                    fused_ref[c], "fused sweep",
+                                    names[w]);
+
+        const size_t aggregate_ops = ops * configs.size();
+        uint64_t seq_sum = 0;
+        const double seq_mops =
+            bench::measureMops(aggregate_ops, reps, seq_sum, [&] {
+                uint64_t acc = 0;
+                for (const IndirectConfig &config : configs)
+                    acc = fold(acc, runAccuracy(trace, config));
+                return acc;
+            });
+
+        uint64_t fused_sum = 0;
+        const double fused_mops =
+            bench::measureMops(aggregate_ops, reps, fused_sum, [&] {
+                uint64_t acc = 0;
+                for (const FrontendStats &s : runSweep(trace, configs))
+                    acc = fold(acc, s);
+                return acc;
+            });
+
+        if (seq_sum != fused_sum) {
+            std::fprintf(stderr,
+                         "FATAL: sweep checksums disagree on %s\n",
+                         names[w].c_str());
+            return 1;
+        }
+
+        const double speedup =
+            seq_mops > 0.0 ? fused_mops / seq_mops : 0.0;
+        char buf[64];
+        std::vector<std::string> row = {names[w]};
+        std::snprintf(buf, sizeof(buf), "%.1f", seq_mops);
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%.1f", fused_mops);
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%.2fx", speedup);
+        row.push_back(buf);
+        table.addRow(row);
+
+        out.value(names[w], "sequential_mops", seq_mops);
+        out.value(names[w], "fused_mops", fused_mops);
+        out.value(names[w], "speedup", speedup);
+
+        aggregate_total += static_cast<double>(aggregate_ops);
+        if (seq_mops > 0.0)
+            seq_secs += static_cast<double>(aggregate_ops) /
+                        (seq_mops * 1e6);
+        if (fused_mops > 0.0)
+            fused_secs += static_cast<double>(aggregate_ops) /
+                          (fused_mops * 1e6);
+    }
+
+    const double agg_seq =
+        seq_secs > 0.0 ? aggregate_total / seq_secs / 1e6 : 0.0;
+    const double agg_fused =
+        fused_secs > 0.0 ? aggregate_total / fused_secs / 1e6 : 0.0;
+    const double agg_speedup =
+        agg_seq > 0.0 ? agg_fused / agg_seq : 0.0;
+    out.value("aggregate", "sequential_mops", agg_seq);
+    out.value("aggregate", "fused_mops", agg_fused);
+    out.value("aggregate", "speedup", agg_speedup);
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("aggregate (%zu configs x %zu workloads): sequential "
+                "%.1f, fused %.1f Mops/s -> %.2fx\n",
+                configs.size(), names.size(), agg_seq, agg_fused,
+                agg_speedup);
+
+    return out.write();
+}

@@ -80,6 +80,8 @@ struct PathSpec
     unsigned bitsPerTarget = 1;
     unsigned addrBitOffset = 2;
 
+    bool operator==(const PathSpec &) const = default;
+
     /** Bits of @p target that this spec records. */
     uint64_t
     recordedBits(uint64_t target) const
@@ -186,6 +188,14 @@ struct HistorySpec
     unsigned lengthBits = 9;
     PathSpec path{};                        ///< path kinds only
     PathFilter filter = PathFilter::Control; ///< PathGlobal only
+
+    /**
+     * Field-wise equality.  Two equal specs construct HistoryTracker
+     * instances with identical state trajectories, which is what lets
+     * the fused sweep kernel advance one tracker per spec group
+     * (harness/sweep_kernel.hh).
+     */
+    bool operator==(const HistorySpec &) const = default;
 
     /** Short human-readable description ("pattern(9)", "path-ind jmp"). */
     std::string describe() const;

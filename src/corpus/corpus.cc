@@ -238,24 +238,6 @@ CorpusManager::store(const CorpusKey &key, const CompactTrace &trace,
     refreshManifest();
 }
 
-CorpusStats
-CorpusManager::stats() const
-{
-    const obs::MetricsSnapshot snap = metrics_->snapshot();
-    const auto value = [&](const char *name) -> uint64_t {
-        const auto it = snap.counters.find(name);
-        return it != snap.counters.end() ? it->second : 0;
-    };
-    CorpusStats s;
-    s.hits = value("corpus.hits");
-    s.misses = value("corpus.misses");
-    s.stores = value("corpus.stores");
-    s.quarantined = value("corpus.quarantined");
-    s.bytesLoaded = value("corpus.bytes_loaded");
-    s.bytesStored = value("corpus.bytes_stored");
-    return s;
-}
-
 std::vector<CorpusEntry>
 CorpusManager::list(bool verify) const
 {

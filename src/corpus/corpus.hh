@@ -47,24 +47,6 @@ struct CorpusKey
     size_t ops = 0;
 };
 
-/**
- * Cumulative effectiveness counters.
- *
- * DEPRECATED shim: the counters now live in an obs::MetricsRegistry
- * (names "corpus.*"; see docs/observability.md) and stats() is a
- * snapshot view over it, kept for one PR so existing callers
- * compile.  New code should read the registry directly.
- */
-struct CorpusStats
-{
-    size_t hits = 0;         ///< load() served from disk
-    size_t misses = 0;       ///< no usable file (incl. quarantined)
-    size_t stores = 0;       ///< files written
-    size_t quarantined = 0;  ///< corrupt files set aside
-    uint64_t bytesLoaded = 0;   ///< container bytes mapped on hits
-    uint64_t bytesStored = 0;   ///< container bytes written
-};
-
 /** One corpus file as seen by ls/verify tooling. */
 struct CorpusEntry
 {
@@ -131,9 +113,6 @@ class CorpusManager
      */
     void store(const CorpusKey &key, const CompactTrace &trace,
                const std::string &name);
-
-    /** DEPRECATED: snapshot view over the "corpus.*" registry counters. */
-    CorpusStats stats() const;
 
     /**
      * Scans the corpus directory.

@@ -107,6 +107,15 @@ class SharedTrace
     /** The columnar storage itself (branch index, size accounting). */
     const CompactTrace &compact() const { return *trace_; }
 
+    /**
+     * The trace's dense branch stream, built lazily on first request
+     * and shared by all configs and threads (sweep kernel fast path).
+     */
+    const BranchStream &branchStream() const
+    {
+        return trace_->branchStream();
+    }
+
     /** Batch replay: fn(const MicroOp &) for every op, in order. */
     template <typename Fn>
     void

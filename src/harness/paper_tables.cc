@@ -5,6 +5,7 @@
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "harness/parallel_runner.hh"
+#include "harness/sweep_kernel.hh"
 #include "harness/trace_cache.hh"
 #include "trace/trace_stats.hh"
 #include "workloads/workload.hh"
@@ -207,6 +208,43 @@ pathSchemeLabels()
     return labels;
 }
 
+/**
+ * Fused accuracy cells: evaluates every (workload x config) pair's
+ * indirect miss rate, one runSweep() per (workload x history-group)
+ * job, and scatters the results back into (workload x config) grid
+ * order.  Cell values are bit-identical to per-config runAccuracy().
+ */
+std::vector<double>
+sweepMissRates(const TableOptions &opt,
+               const std::vector<SharedTrace> &traces,
+               const std::vector<IndirectConfig> &configs,
+               const FrontendConfig &fe = {})
+{
+    const auto groups = groupByHistory(configs);
+    const auto parts = mapJobs<std::vector<double>>(
+        opt, traces.size() * groups.size(), [&](size_t j) {
+            const SharedTrace &trace = traces[j / groups.size()];
+            const auto &group = groups[j % groups.size()];
+            std::vector<IndirectConfig> batch;
+            batch.reserve(group.size());
+            for (size_t c : group)
+                batch.push_back(configs[c]);
+            std::vector<double> rates;
+            rates.reserve(group.size());
+            for (const FrontendStats &s : runSweep(trace, batch, fe))
+                rates.push_back(s.indirectJumps.missRate());
+            return rates;
+        });
+
+    std::vector<double> cells(traces.size() * configs.size());
+    for (size_t w = 0; w < traces.size(); ++w)
+        for (size_t g = 0; g < groups.size(); ++g)
+            for (size_t k = 0; k < groups[g].size(); ++k)
+                cells[w * configs.size() + groups[g][k]] =
+                    parts[w * groups.size() + g][k];
+    return cells;
+}
+
 HistorySpec
 pathSchemeHistory(const std::string &scheme, unsigned bits_per_target,
                   unsigned addr_bit_offset)
@@ -247,14 +285,36 @@ renderReductionGrid(const TableOptions &opt,
     const size_t rows = row_labels.size();
     const size_t cols = header.size() - 1;
     const size_t per_workload = rows * cols;
-    const auto cells = mapJobs<double>(
-        opt, names.size() * per_workload, [&](size_t j) {
-            const size_t w = j / per_workload;
-            const size_t row = j % per_workload / cols;
-            const size_t col = j % cols;
-            return reductionOver(bases[w], traces[w],
-                                 config_at(row, col));
+
+    // Timing cells cannot fuse — the core model consumes per-config
+    // wrong-path state — but the parallelism unit still follows the
+    // sweep kernel's grouping: one job per (workload x history
+    // group), its cells evaluated serially inside the job and
+    // scattered back by cell index, so Serial and Parallel modes
+    // produce the same bits as the per-cell job layout did.
+    std::vector<IndirectConfig> configs;
+    configs.reserve(per_workload);
+    for (size_t row = 0; row < rows; ++row)
+        for (size_t col = 0; col < cols; ++col)
+            configs.push_back(config_at(row, col));
+    const auto groups = groupByHistory(configs);
+    const auto parts = mapJobs<std::vector<double>>(
+        opt, names.size() * groups.size(), [&](size_t j) {
+            const size_t w = j / groups.size();
+            const auto &group = groups[j % groups.size()];
+            std::vector<double> vals;
+            vals.reserve(group.size());
+            for (size_t c : group)
+                vals.push_back(
+                    reductionOver(bases[w], traces[w], configs[c]));
+            return vals;
         });
+    std::vector<double> cells(names.size() * per_workload);
+    for (size_t w = 0; w < names.size(); ++w)
+        for (size_t g = 0; g < groups.size(); ++g)
+            for (size_t k = 0; k < groups[g].size(); ++k)
+                cells[w * per_workload + groups[g][k]] =
+                    parts[w * groups.size() + g][k];
 
     std::string out;
     for (size_t w = 0; w < names.size(); ++w) {
@@ -315,32 +375,21 @@ renderTable2(const TableOptions &opt)
 {
     const auto &names = spec95Names();
     const auto traces = tracesFor(opt, names);
-    constexpr size_t cols = 3;
-    const auto cells =
-        mapJobs<double>(opt, names.size() * cols, [&](size_t j) {
-            const SharedTrace &trace = traces[j / cols];
-            switch (j % cols) {
-              case 0:
-                return runAccuracy(trace, baselineConfig())
-                    .indirectJumps.missRate();
-              case 1:
-                return runAccuracy(trace, baselineConfig(),
-                                   twoBitBtbFrontend())
-                    .indirectJumps.missRate();
-              default:
-                return runAccuracy(trace, taglessGshare())
-                    .indirectJumps.missRate();
-            }
-        });
+    // A fused batch shares one FrontendConfig, so the 2-bit BTB
+    // column runs as its own (degenerate, batch-of-one) sweep.
+    const auto fused = sweepMissRates(
+        opt, traces, {baselineConfig(), taglessGshare()});
+    const auto two_bit = sweepMissRates(
+        opt, traces, {baselineConfig()}, twoBitBtbFrontend());
 
     Table table;
     table.setHeader({"Benchmark", "BTB", "2-bit BTB",
                      "512-entry target cache"});
     for (size_t i = 0; i < names.size(); ++i) {
         table.addRow({names[i],
-                      formatPercent(cells[i * cols + 0], 1),
-                      formatPercent(cells[i * cols + 1], 1),
-                      formatPercent(cells[i * cols + 2], 1)});
+                      formatPercent(fused[i * 2 + 0], 1),
+                      formatPercent(two_bit[i], 1),
+                      formatPercent(fused[i * 2 + 1], 1)});
     }
     return table.render();
 }
@@ -355,11 +404,7 @@ renderTable4(const TableOptions &opt)
         taglessGAs(7, 2),   taglessGshare(),
     };
     const size_t cols = configs.size();
-    const auto cells =
-        mapJobs<double>(opt, names.size() * cols, [&](size_t j) {
-            return runAccuracy(traces[j / cols], configs[j % cols])
-                .indirectJumps.missRate();
-        });
+    const auto cells = sweepMissRates(opt, traces, configs);
 
     Table table;
     table.setHeader({"Benchmark", "BTB", "GAg(9)", "GAs(8,1)",
@@ -470,19 +515,32 @@ renderFig1213(const TableOptions &opt)
     const auto traces = tracesFor(opt, names);
     const auto bases = baseCyclesFor(opt, traces);
 
-    // Per workload: job 0 is the tagless reference, jobs 1..n the
-    // tagged cache at each associativity.
-    const size_t per_workload = 1 + assocs.size();
-    const auto cells = mapJobs<double>(
-        opt, names.size() * per_workload, [&](size_t j) {
-            const size_t w = j / per_workload;
-            const size_t k = j % per_workload;
-            const IndirectConfig config =
-                k == 0 ? taglessGshare()
-                       : taggedConfig(TaggedIndexScheme::HistoryXor,
-                                      assocs[k - 1]);
-            return reductionOver(bases[w], traces[w], config);
+    // Per workload: cell 0 is the tagless reference, cells 1..n the
+    // tagged cache at each associativity.  Timing cells, so the jobs
+    // follow the (workload x history-group) unit without fusing.
+    std::vector<IndirectConfig> configs = {taglessGshare()};
+    for (unsigned ways : assocs)
+        configs.push_back(
+            taggedConfig(TaggedIndexScheme::HistoryXor, ways));
+    const size_t per_workload = configs.size();
+    const auto groups = groupByHistory(configs);
+    const auto parts = mapJobs<std::vector<double>>(
+        opt, names.size() * groups.size(), [&](size_t j) {
+            const size_t w = j / groups.size();
+            const auto &group = groups[j % groups.size()];
+            std::vector<double> vals;
+            vals.reserve(group.size());
+            for (size_t c : group)
+                vals.push_back(
+                    reductionOver(bases[w], traces[w], configs[c]));
+            return vals;
         });
+    std::vector<double> cells(names.size() * per_workload);
+    for (size_t w = 0; w < names.size(); ++w)
+        for (size_t g = 0; g < groups.size(); ++g)
+            for (size_t k = 0; k < groups[g].size(); ++k)
+                cells[w * per_workload + groups[g][k]] =
+                    parts[w * groups.size() + g][k];
 
     std::string out;
     for (size_t w = 0; w < names.size(); ++w) {

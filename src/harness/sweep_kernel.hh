@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fused multi-config sweep kernel.
+ *
+ * Every paper table and ablation evaluates N IndirectConfigs against
+ * the *same* trace.  runAccuracy() pays a full branch-column decode
+ * and re-derives identical front-end state per config; for Table 9's
+ * grid that is ten redundant passes per workload.  runSweep() fuses
+ * the batch into one pass over the trace's cached BranchStream:
+ *
+ *  - The architectural front end (BTB, direction predictor, global
+ *    history register, return address stack) is trained exclusively
+ *    with architectural outcomes carried by the trace — never with
+ *    predictions — so its state trajectory is identical for every
+ *    config sharing one FrontendConfig.  The kernel keeps ONE shared
+ *    front-end core per batch instead of N.
+ *  - History trackers are deduplicated by HistorySpec equality and
+ *    advanced once per spec group per branch.
+ *  - Per-config state reduces to the indirect predictor itself plus
+ *    one RatioStat, touched only at indirect jumps/calls — a small
+ *    minority of branches — with the members' state laid out
+ *    contiguously in batch order.
+ *
+ * The returned FrontendStats are bit-identical to running each config
+ * through runAccuracy() separately: shared accumulators cover the
+ * classes whose outcomes cannot differ across members, and
+ * allBranches is composed as shared-non-indirect + member-indirect
+ * via RatioStat::merge (pure counter addition, order-free).
+ *
+ * Batching rules (when callers must fall back to separate batches):
+ * all members of one runSweep() call share one FrontendConfig —
+ * grids that vary the front end (Table 2's 2-bit BTB column,
+ * ablation 6's tournament machine) issue one batch per front-end
+ * variant, down to a batch of one, which degenerates to exactly the
+ * per-config path.  Timing experiments (runTiming / the reduction
+ * tables) never fuse: the core model consumes per-config wrong-path
+ * fetch state.  See docs/sweep_kernel.md.
+ */
+
+#ifndef TPRED_HARNESS_SWEEP_KERNEL_HH
+#define TPRED_HARNESS_SWEEP_KERNEL_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace tpred
+{
+
+/**
+ * Evaluates every config against @p trace in one fused pass.
+ *
+ * @param trace   The shared trace; its BranchStream is built lazily
+ *                on first use and cached for all configs and threads.
+ * @param configs The batch; histories may differ (trackers are
+ *                grouped internally by HistorySpec).
+ * @param fe      Front-end sizes shared by the whole batch.
+ * @return Per-config statistics, in batch order, bit-identical to
+ *         runAccuracy(trace, configs[i], fe) for each i.
+ */
+std::vector<FrontendStats> runSweep(const SharedTrace &trace,
+                                    std::span<const IndirectConfig> configs,
+                                    const FrontendConfig &fe = {});
+
+/**
+ * Partitions config indices into groups of equal HistorySpec, first-
+ * seen order — the (workload x config-group) unit the paper-table
+ * drivers parallelize over.
+ */
+std::vector<std::vector<size_t>>
+groupByHistory(std::span<const IndirectConfig> configs);
+
+} // namespace tpred
+
+#endif // TPRED_HARNESS_SWEEP_KERNEL_HH

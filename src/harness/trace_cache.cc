@@ -151,27 +151,12 @@ TraceCache::corpus() const
     return corpus_;
 }
 
-TraceCacheStats
-TraceCache::stats() const
-{
-    const obs::MetricsSnapshot snap = metrics_->snapshot();
-    const auto value = [&](const char *name) -> uint64_t {
-        const auto it = snap.counters.find(name);
-        return it != snap.counters.end() ? it->second : 0;
-    };
-    TraceCacheStats s;
-    s.hits = value("trace_cache.hits");
-    s.misses = value("trace_cache.misses");
-    s.corpusHits = value("trace_cache.corpus_hits");
-    s.recordings = value("trace_cache.recordings");
-    s.bytesInserted = value("trace_cache.bytes_inserted");
-    return s;
-}
-
 size_t
 TraceCache::recordings() const
 {
-    return stats().recordings;
+    const obs::MetricsSnapshot snap = metrics_->snapshot();
+    const auto it = snap.counters.find("trace_cache.recordings");
+    return it != snap.counters.end() ? it->second : 0;
 }
 
 size_t

@@ -29,23 +29,6 @@ namespace tpred
 class CorpusManager;
 
 /**
- * Cumulative TraceCache effectiveness counters.
- *
- * DEPRECATED shim: the counters now live in an obs::MetricsRegistry
- * (names "trace_cache.*"; see docs/observability.md) and stats() is
- * a snapshot view over it, kept for one PR so existing callers
- * compile.  New code should read the registry directly.
- */
-struct TraceCacheStats
-{
-    size_t hits = 0;        ///< get() served from the in-process memo
-    size_t misses = 0;      ///< memo misses (corpus hit or generation)
-    size_t corpusHits = 0;  ///< memo misses served from the disk corpus
-    size_t recordings = 0;  ///< traces actually generated
-    uint64_t bytesInserted = 0;  ///< resident bytes of inserted traces
-};
-
-/**
  * Mutex-guarded memo from (workload, seed, ops) to a recorded
  * SharedTrace.
  *
@@ -93,9 +76,6 @@ class TraceCache
 
     /** The attached corpus, or nullptr. */
     std::shared_ptr<CorpusManager> corpus() const;
-
-    /** DEPRECATED: snapshot view over the registry counters. */
-    TraceCacheStats stats() const;
 
     /** Number of traces actually generated (not served from disk). */
     size_t recordings() const;

@@ -1,0 +1,31 @@
+#include "trace/branch_stream.hh"
+
+#include "trace/compact_trace.hh"
+
+namespace tpred
+{
+
+BranchStream
+BranchStream::extract(const CompactTrace &trace)
+{
+    BranchStream stream;
+    stream.opCount = trace.size();
+    const size_t branches = trace.branchPositions().size();
+    stream.pos.reserve(branches);
+    stream.pc.reserve(branches);
+    stream.target.reserve(branches);
+    stream.fallthrough.reserve(branches);
+    stream.kind.reserve(branches);
+    stream.taken.reserve(branches);
+    trace.forEachBranch([&stream](const MicroOp &op, size_t pos) {
+        stream.pos.push_back(static_cast<uint32_t>(pos));
+        stream.pc.push_back(op.pc);
+        stream.target.push_back(op.nextPc);
+        stream.fallthrough.push_back(op.fallthrough);
+        stream.kind.push_back(static_cast<uint8_t>(op.branch));
+        stream.taken.push_back(op.taken ? 1 : 0);
+    });
+    return stream;
+}
+
+} // namespace tpred

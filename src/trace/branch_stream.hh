@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Dense branch stream: a structure-of-arrays projection of just the
+ * control-transfer ops of a CompactTrace.
+ *
+ * Accuracy experiments only touch predictor state at branches; every
+ * op in between contributes exactly one instruction to the counters.
+ * The compact columns already expose that through forEachBranch, but
+ * each sweep configuration replaying the same trace still pays the
+ * column decode again.  A BranchStream is that decode done once: the
+ * (position, pc, target, fallthrough, kind, taken) tuples of every
+ * branch, laid out as parallel arrays a fused multi-config sweep
+ * kernel (harness/sweep_kernel.hh) can iterate with plain loads.
+ *
+ * Extraction goes through CompactTrace::forEachBranch, so traces that
+ * fail the encode-time fast-scan preconditions feed the extractor
+ * through the same block-decode fallback the legacy path uses — fused
+ * and per-config replays agree on hostile traces by construction.
+ *
+ * The stream stores every field the accuracy path reads from a branch
+ * MicroOp (BTB training consumes pc/fallthrough/kind/taken/nextPc;
+ * history trackers consume pc/kind/taken/nextPc; the indirect
+ * predictors consume pc/history/nextPc).  memAddr, selector and the
+ * register fields are never read on that path and are not stored;
+ * opAt() reconstructs a MicroOp with those fields defaulted.
+ */
+
+#ifndef TPRED_TRACE_BRANCH_STREAM_HH
+#define TPRED_TRACE_BRANCH_STREAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/micro_op.hh"
+
+namespace tpred
+{
+
+class CompactTrace;
+
+/** SoA view of the control-transfer ops of one trace. */
+struct BranchStream
+{
+    uint64_t opCount = 0;  ///< total ops in the source trace
+
+    std::vector<uint32_t> pos;          ///< op index within the trace
+    std::vector<uint64_t> pc;           ///< fetch address
+    std::vector<uint64_t> target;       ///< resolved nextPc
+    std::vector<uint64_t> fallthrough;  ///< pc + 4 (or override)
+    std::vector<uint8_t> kind;          ///< BranchKind
+    std::vector<uint8_t> taken;         ///< architectural outcome
+
+    /** Number of branches in the stream. */
+    size_t size() const { return pos.size(); }
+
+    /**
+     * Reconstructs branch @p i as a MicroOp carrying every field the
+     * accuracy path reads; memAddr/selector/registers are defaulted.
+     */
+    MicroOp
+    opAt(size_t i) const
+    {
+        MicroOp op;
+        op.pc = pc[i];
+        op.nextPc = target[i];
+        op.fallthrough = fallthrough[i];
+        op.cls = InstClass::Branch;
+        op.branch = static_cast<BranchKind>(kind[i]);
+        op.taken = taken[i] != 0;
+        return op;
+    }
+
+    /**
+     * Extracts the stream from @p trace via forEachBranch — the fast
+     * O(branches) scan on coherent traces, the block-decode fallback
+     * on hostile ones, identical results either way.
+     */
+    static BranchStream extract(const CompactTrace &trace);
+};
+
+} // namespace tpred
+
+#endif // TPRED_TRACE_BRANCH_STREAM_HH

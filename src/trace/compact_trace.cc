@@ -392,6 +392,25 @@ CompactTrace::decodeAll() const
     return ops;
 }
 
+const BranchStream &
+CompactTrace::branchStream(const std::function<void()> &on_build) const
+{
+    StreamBox &box = *streamBox_;
+    std::call_once(box.once, [&] {
+        box.stream = BranchStream::extract(*this);
+        box.built.store(true, std::memory_order_release);
+        if (on_build)
+            on_build();
+    });
+    return box.stream;
+}
+
+bool
+CompactTrace::branchStreamBuilt() const
+{
+    return streamBox_->built.load(std::memory_order_acquire);
+}
+
 size_t
 CompactTrace::residentBytes() const
 {

@@ -52,14 +52,18 @@
 #ifndef TPRED_TRACE_COMPACT_TRACE_HH
 #define TPRED_TRACE_COMPACT_TRACE_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <type_traits>
 #include <vector>
 
+#include "trace/branch_stream.hh"
 #include "trace/micro_op.hh"
 
 namespace tpred
@@ -228,6 +232,22 @@ class CompactTrace
     /** Full decode into a fresh vector (compatibility / tooling). */
     std::vector<MicroOp> decodeAll() const;
 
+    /**
+     * The dense branch stream of this trace, extracted lazily on
+     * first request and cached for the trace's lifetime — all sweep
+     * configurations and all threads share one extraction.
+     *
+     * Thread safety: concurrent callers race only on a call_once;
+     * exactly one performs the extraction.  @p on_build, when given,
+     * runs inside that once-block (after the build), so callers can
+     * count builds deterministically regardless of scheduling.
+     */
+    const BranchStream &
+    branchStream(const std::function<void()> &on_build = {}) const;
+
+    /** True when branchStream() has already been built (tests). */
+    bool branchStreamBuilt() const;
+
   private:
     // Flags byte layout.
     static constexpr uint8_t kClsShift = 0;      // bits 0-2
@@ -289,6 +309,21 @@ class CompactTrace
 
     std::unique_ptr<OwnedColumns> owned_;   ///< encode()-built storage
     std::shared_ptr<const void> backing_;   ///< borrowed-view keep-alive
+
+    /**
+     * Once-per-trace lazy BranchStream cache.  std::once_flag and
+     * std::atomic are immovable, so the box lives behind a shared_ptr
+     * the (movable) trace carries; every handle to the same trace
+     * shares one extraction.
+     */
+    struct StreamBox
+    {
+        std::once_flag once;
+        std::atomic<bool> built{false};
+        BranchStream stream;
+    };
+    mutable std::shared_ptr<StreamBox> streamBox_ =
+        std::make_shared<StreamBox>();
 };
 
 /**

@@ -53,6 +53,13 @@ struct TempDir
     std::string path;
 };
 
+/** Registry counter value; every counter is registered at 0. */
+uint64_t
+counterOf(const obs::MetricsRegistry &reg, const std::string &name)
+{
+    return reg.snapshot().counters.at(name);
+}
+
 CompactTrace
 sampleTrace(size_t ops = 5000)
 {
@@ -180,9 +187,7 @@ TEST(Corpus, StoreThenLoadIsIdenticalAndZeroCopy)
     EXPECT_EQ(name, "perl");
     EXPECT_TRUE(sameOps(trace, *loaded));
 
-    // Counters read straight off the metrics registry — the
-    // CorpusStats shim wraps exactly this view (see test_metrics.cc
-    // for the shim/registry equivalence check).
+    // Counters read straight off the metrics registry.
     const obs::MetricsSnapshot snap =
         corpus.metricsRegistry().snapshot();
     EXPECT_EQ(snap.counters.at("corpus.stores"), 1u);
@@ -198,7 +203,8 @@ TEST(Corpus, MissingEntryIsAMiss)
     const TempDir dir("miss");
     CorpusManager corpus(dir.path);
     EXPECT_EQ(corpus.load(CorpusKey{"perl", 1, 1000}), nullptr);
-    EXPECT_EQ(corpus.stats().misses, 1u);
+    EXPECT_EQ(counterOf(corpus.metricsRegistry(), "corpus.misses"),
+              1u);
 }
 
 TEST(Corpus, KeysWithDashesInWorkloadNamesAreDistinct)
@@ -269,8 +275,10 @@ TEST(Corpus, TraceCacheUsesCorpusSecondLevel)
         const SharedTrace trace = cache.get(workload, ops);
         first_stats = runAccuracy(trace, taglessGshare());
         EXPECT_EQ(cache.recordings(), 1u);
-        EXPECT_EQ(cache.stats().corpusHits, 0u);
-        EXPECT_EQ(cache.corpus()->stats().stores, 1u);
+        EXPECT_EQ(counterOf(cache.metricsRegistry(),
+                            "trace_cache.corpus_hits"), 0u);
+        EXPECT_EQ(counterOf(cache.corpus()->metricsRegistry(),
+                            "corpus.stores"), 1u);
     }
 
     // Second process (simulated): warm corpus — zero generation,
@@ -281,14 +289,19 @@ TEST(Corpus, TraceCacheUsesCorpusSecondLevel)
         const SharedTrace trace = cache.get(workload, ops);
         EXPECT_EQ(cache.recordings(), 0u) <<
             "warm corpus must not regenerate the trace";
-        EXPECT_EQ(cache.stats().corpusHits, 1u);
-        EXPECT_EQ(cache.stats().misses, 1u);
-        EXPECT_EQ(cache.corpus()->stats().hits, 1u);
+        EXPECT_EQ(counterOf(cache.metricsRegistry(),
+                            "trace_cache.corpus_hits"), 1u);
+        EXPECT_EQ(counterOf(cache.metricsRegistry(),
+                            "trace_cache.misses"), 1u);
+        EXPECT_EQ(counterOf(cache.corpus()->metricsRegistry(),
+                            "corpus.hits"), 1u);
 
         // Memo hit on re-request: no second corpus load either.
         cache.get(workload, ops);
-        EXPECT_EQ(cache.stats().hits, 1u);
-        EXPECT_EQ(cache.corpus()->stats().hits, 1u);
+        EXPECT_EQ(counterOf(cache.metricsRegistry(),
+                            "trace_cache.hits"), 1u);
+        EXPECT_EQ(counterOf(cache.corpus()->metricsRegistry(),
+                            "corpus.hits"), 1u);
 
         EXPECT_TRUE(sameStats(first_stats,
                               runAccuracy(trace, taglessGshare())));
@@ -301,7 +314,8 @@ TEST(Corpus, CacheWithoutCorpusStillWorks)
     const SharedTrace trace = cache.get("compress", 5000);
     EXPECT_EQ(trace.size(), 5000u);
     EXPECT_EQ(cache.recordings(), 1u);
-    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(counterOf(cache.metricsRegistry(),
+                        "trace_cache.misses"), 1u);
 }
 
 // ---------------------------------------------------------------
@@ -351,7 +365,8 @@ corruptionCase(const char *tag, Mutate &&mutate)
     const SharedTrace trace = cache.get(workload, ops);
     EXPECT_EQ(cache.recordings(), 1u)
         << "damaged corpus entry must force regeneration";
-    EXPECT_EQ(cache.corpus()->stats().quarantined, 1u);
+    EXPECT_EQ(counterOf(cache.corpus()->metricsRegistry(),
+                        "corpus.quarantined"), 1u);
     EXPECT_TRUE(fs::exists(path.string() + ".quarantined"))
         << "damaged file must be moved aside";
     // The entry now back under the original name is the freshly

@@ -12,6 +12,9 @@ can be compared against a fresh candidate:
 
     bench/replay_throughput -> BENCH_replay.json
         (legacy/compact/indexed replay Mops/s)
+    bench/sweep_throughput  -> BENCH_sweep.json
+        (sequential vs fused multi-config sweep Mops/s; a fused-lane
+        drop beyond the threshold fails the sweep perf gate)
     bench/corpus_load       -> BENCH_corpus.json
         (regen/cold/warm trace-acquisition Mops/s; a warm-load drop
         beyond the threshold fails the corpus perf gate)
@@ -21,8 +24,9 @@ candidate is compared against the baseline; a drop of more than
 --threshold percent (default 10) is a regression.  Workloads or lanes
 missing from the candidate are also regressions — a bench that
 silently stopped covering a workload must not pass.  Compare like
-with like: a replay baseline against a replay candidate, a corpus
-baseline against a corpus candidate.
+with like: a replay baseline against a replay candidate, a sweep
+baseline against a sweep candidate, a corpus baseline against a
+corpus candidate.
 
 Exit status: 0 when clean, 1 on any regression, 2 on unusable input.
 Only the standard library is used so the script runs anywhere.

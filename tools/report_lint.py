@@ -12,7 +12,11 @@ Usage:
 The determinism contract (docs/observability.md): two runs of the same
 tool with the same semantic config agree on every field outside the
 "runtime" section and outside keys matching the volatile patterns
-below.  --mask canonicalizes a report so `cmp` can assert byte-identical
+below.  Metric names are not constrained: deterministic counters such
+as the fused sweep kernel's "sweep.*" family (sweep.batches,
+sweep.configs, sweep.history_groups, sweep.branches,
+sweep.streams_built) are compared exactly like any other counter —
+identical serial vs --jobs N.  --mask canonicalizes a report so `cmp` can assert byte-identical
 output; --compare diffs two reports under the same rules (e.g. a serial
 run against a --jobs N run).
 """
