@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Segmented-replay benchmark: what do streaming windows and sharded
+ * checkpoint replay cost — and what do they bound?  Three replay
+ * lanes over the same trace:
+ *
+ *   resident  — runAccuracy() on a fully materialized SharedTrace
+ *               (the pre-segmentation baseline; skipped above
+ *               kResidentCap ops, where residency is the thing this
+ *               subsystem exists to avoid);
+ *   streaming — runAccuracyStreaming() over the segmented container,
+ *               one mapped segment window resident at a time;
+ *   sharded   — runAccuracySharded(): serial checkpoint pass plus
+ *               per-shard warm-up/region replay with boundary proofs.
+ *
+ * The container itself is built *streamingly* from the workload
+ * generator (storeSegmentedFromSource), so the whole pipeline — build,
+ * verify, replay, shard — never holds more than O(segment) trace
+ * bytes.  That is the headline claim, and it is asserted, not just
+ * reported: at >= kRssAssertOps the process peak RSS (the same
+ * obs::peakRssBytes() field run reports carry) must stay under an
+ * O(segment size x shards) budget, and under the container file size
+ * — replaying a trace without being able to hold it.
+ *
+ * An untimed self-check requires the streaming and sharded lanes (and
+ * the resident lane when it runs) to produce bit-identical
+ * FrontendStats, and every shard's checkpoint proofs to hold, before
+ * any throughput is reported.  Results go to stdout and
+ * BENCH_shard.json (override with TPRED_BENCH_OUT) as a
+ * tpred-run-report/1 document for tools/bench_compare.py.
+ */
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "corpus/corpus.hh"
+#include "corpus/segmented_trace.hh"
+#include "harness/shard_replay.hh"
+
+using namespace tpred;
+
+namespace
+{
+
+/** Above this, the resident lane is skipped (that much residency is
+ *  exactly what segmented replay exists to avoid). */
+constexpr size_t kResidentCap = 20'000'000;
+
+/** Below this, the RSS assertion is informative only: tiny runs are
+ *  dominated by fixed allocator/test overhead, not trace bytes. */
+constexpr size_t kRssAssertOps = 50'000'000;
+
+constexpr unsigned kShards = 4;
+
+size_t
+segmentOpsFor(size_t ops)
+{
+    return std::max<size_t>(ops / 64, 8192);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const RunOptions opts =
+        bench::setup(argc, argv, kDefaultAccuracyOps);
+    const size_t ops = opts.ops;
+    const size_t segment_ops = segmentOpsFor(ops);
+    const uint64_t seed = 1;
+    const unsigned reps = 2;
+    const IndirectConfig config = taglessGshare();
+    bench::heading(
+        "Segmented replay: resident vs streaming windows vs sharded "
+        "checkpoint replay",
+        ops);
+
+    const std::string corpus_dir =
+        !opts.corpusDir.empty() ? opts.corpusDir : "bench_shard_corpus";
+    CorpusManager corpus(corpus_dir);
+
+    const std::vector<std::string> names = bench::headlinePair();
+    Table table;
+    table.setHeader({"Benchmark", "resident Mops/s", "stream Mops/s",
+                     "sharded Mops/s", "segments", "file MB",
+                     "ckpt KB"});
+
+    bench::LaneReport out("shard_replay", ops, "BENCH_shard.json");
+    out.report().setConfig("segment_ops",
+                           static_cast<uint64_t>(segment_ops));
+    out.report().setConfig("shards", static_cast<uint64_t>(kShards));
+
+    uint64_t max_segment_bytes = 0;
+    uint64_t total_file_bytes = 0;
+
+    for (const std::string &name : names) {
+        const CorpusKey key{name, seed, ops};
+
+        // --- Build the container streamingly (untimed): the
+        // generator is drained one segment's worth at a time, so the
+        // build itself obeys the O(segment) bound being asserted.
+        auto trace = corpus.loadSegmented(key, segment_ops);
+        if (!trace) {
+            auto source = makeWorkload(name, seed);
+            corpus.storeSegmentedFromSource(key, *source,
+                                            source->name(),
+                                            segment_ops);
+            trace = corpus.loadSegmented(key, segment_ops);
+        }
+        if (!trace) {
+            std::fprintf(stderr,
+                         "FATAL: segmented corpus entry for %s failed "
+                         "to load\n",
+                         name.c_str());
+            return 1;
+        }
+        total_file_bytes += trace->fileBytes();
+        for (size_t i = 0; i < trace->segmentCount(); ++i)
+            max_segment_bytes = std::max(
+                max_segment_bytes, trace->record(i).byteLen);
+
+        // --- Untimed equivalence self-check: no throughput is
+        // reported for a lane that computes different statistics.
+        const FrontendStats stream_stats =
+            runAccuracyStreaming(trace, config);
+        const ShardedAccuracyResult sharded_check =
+            runAccuracySharded(trace, config, {.shards = kShards});
+        if (!sharded_check.verified()) {
+            std::fprintf(stderr,
+                         "FATAL: shard checkpoint proofs failed on "
+                         "%s\n",
+                         name.c_str());
+            return 1;
+        }
+        bench::requireSameStats(stream_stats, sharded_check.stats,
+                                "sharded replay", name);
+        bench::requireSameStats(stream_stats, sharded_check.serial,
+                                "shard serial pass", name);
+
+        // --- Timed lanes ------------------------------------------
+        const double stream_mops =
+            bench::measureMops(trace->totalOps(), reps, [&] {
+                runAccuracyStreaming(trace, config);
+            });
+        const double sharded_mops =
+            bench::measureMops(trace->totalOps(), reps, [&] {
+                runAccuracySharded(trace, config,
+                                   {.shards = kShards});
+            });
+
+        // The resident lane runs *last*: materializing the full trace
+        // would otherwise contaminate the peak-RSS evidence that the
+        // streaming lanes are bounded.
+        double resident_mops = 0.0;
+        if (ops <= kResidentCap) {
+            const SharedTrace resident =
+                recordWorkload(name, ops, seed);
+            bench::requireSameStats(
+                runAccuracy(resident, config), stream_stats,
+                "streaming replay", name);
+            resident_mops =
+                bench::measureMops(resident.size(), reps, [&] {
+                    runAccuracy(resident, config);
+                });
+        }
+
+        char buf[64];
+        std::vector<std::string> row = {name};
+        if (resident_mops > 0.0)
+            std::snprintf(buf, sizeof(buf), "%.1f", resident_mops);
+        else
+            std::snprintf(buf, sizeof(buf), "skipped");
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%.1f", stream_mops);
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%.1f", sharded_mops);
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%zu",
+                      trace->segmentCount());
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%.1f",
+                      static_cast<double>(trace->fileBytes()) / 1e6);
+        row.push_back(buf);
+        std::snprintf(buf, sizeof(buf), "%.1f",
+                      static_cast<double>(
+                          sharded_check.checkpointBytes) /
+                          1e3);
+        row.push_back(buf);
+        table.addRow(row);
+
+        out.value(name, "resident_mops", resident_mops);
+        out.value(name, "streaming_mops", stream_mops);
+        out.value(name, "sharded_mops", sharded_mops);
+        out.value(name, "segments",
+                  static_cast<uint64_t>(trace->segmentCount()));
+        out.value(name, "file_bytes", trace->fileBytes());
+        out.value(name, "checkpoint_bytes",
+                  sharded_check.checkpointBytes);
+    }
+
+    std::printf("%s\n", table.render().c_str());
+
+    // --- The memory claim, as an assertion --------------------------
+    // Budget: fixed process overhead, the streaming-build chunk
+    // (segment_ops decoded MicroOps, with slack for vector growth),
+    // and a handful of mapped segment windows per shard.  All terms
+    // are O(segment size x shards); none scale with trace length.
+    const uint64_t peak_rss = obs::peakRssBytes();
+    const uint64_t rss_budget =
+        256ull * 1024 * 1024 +
+        3ull * segment_ops * sizeof(MicroOp) +
+        4ull * kShards * max_segment_bytes;
+    out.report().setConfig("rss_budget_bytes", rss_budget);
+    std::printf("peak RSS %.1f MB, budget %.1f MB, container bytes "
+                "%.1f MB (x%zu workloads)\n",
+                static_cast<double>(peak_rss) / 1e6,
+                static_cast<double>(rss_budget) / 1e6,
+                static_cast<double>(total_file_bytes) / 1e6,
+                names.size());
+    if (ops >= kRssAssertOps) {
+        if (peak_rss >= rss_budget) {
+            std::fprintf(stderr,
+                         "FATAL: peak RSS %" PRIu64
+                         " exceeds the O(segment x shards) budget "
+                         "%" PRIu64 "\n",
+                         peak_rss, rss_budget);
+            return 1;
+        }
+        if (peak_rss >= total_file_bytes) {
+            std::fprintf(stderr,
+                         "FATAL: peak RSS %" PRIu64
+                         " not below container bytes %" PRIu64
+                         " — streaming replay is not streaming\n",
+                         peak_rss, total_file_bytes);
+            return 1;
+        }
+        std::printf("RSS assertion held: replayed %.0fx more trace "
+                    "bytes than peak memory\n",
+                    static_cast<double>(total_file_bytes) /
+                        static_cast<double>(peak_rss));
+    }
+
+    return out.write();
+}

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bits.hh"
+#include "common/state_io.hh"
 
 namespace tpred
 {
@@ -123,6 +124,41 @@ Btb::validEntries() const
     for (const auto &entry : entries_)
         n += entry.valid ? 1 : 0;
     return n;
+}
+
+void
+Btb::saveState(StateWriter &w) const
+{
+    w.u64(useClock_);
+    for (const Entry &e : entries_) {
+        w.b(e.valid);
+        w.u64(e.tag);
+        w.u64(e.target);
+        w.u64(e.fallthrough);
+        w.u8(static_cast<uint8_t>(e.kind));
+        w.u8(e.missStreak);
+        w.u64(e.lastUsed);
+    }
+}
+
+void
+Btb::restoreState(StateReader &r)
+{
+    useClock_ = r.u64();
+    for (Entry &e : entries_) {
+        e.valid = r.b();
+        e.tag = r.u64();
+        e.target = r.u64();
+        e.fallthrough = r.u64();
+        e.kind = static_cast<BranchKind>(r.u8());
+        e.missStreak = r.u8();
+        e.lastUsed = r.u64();
+    }
+    // The memo is only valid between a lookup() and the matching
+    // update(); a restore never lands in that window.
+    memoValid_ = false;
+    memoEntry_ = nullptr;
+    memoPc_ = 0;
 }
 
 } // namespace tpred

@@ -21,6 +21,9 @@
 namespace tpred
 {
 
+class StateWriter;
+class StateReader;
+
 /** Target-address update policy for BTB entries. */
 enum class BtbUpdateStrategy : uint8_t
 {
@@ -82,6 +85,12 @@ class Btb
 
     /** Number of valid entries (for tests / occupancy reporting). */
     size_t validEntries() const;
+
+    /** Serializes the full table + LRU clock (sharded replay). */
+    void saveState(StateWriter &w) const;
+
+    /** Restores a saveState() snapshot; geometry must match. */
+    void restoreState(StateReader &r);
 
   private:
     struct Entry

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bits.hh"
+#include "common/state_io.hh"
 
 namespace tpred
 {
@@ -34,6 +35,20 @@ GShare::update(uint64_t pc, uint64_t history, bool taken)
         ctr.increment();
     else
         ctr.decrement();
+}
+
+void
+GShare::saveState(StateWriter &w) const
+{
+    for (const SatCounter &ctr : pht_)
+        w.u8(static_cast<uint8_t>(ctr.count()));
+}
+
+void
+GShare::restoreState(StateReader &r)
+{
+    for (SatCounter &ctr : pht_)
+        ctr.set(r.u8());
 }
 
 } // namespace tpred

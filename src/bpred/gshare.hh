@@ -20,6 +20,9 @@
 namespace tpred
 {
 
+class StateWriter;
+class StateReader;
+
 /**
  * PHT of 2-bit counters indexed by (pc XOR global-history).
  *
@@ -41,6 +44,12 @@ class GShare
     void update(uint64_t pc, uint64_t history, bool taken);
 
     unsigned indexBits() const { return indexBits_; }
+
+    /** Serializes every PHT counter (sharded replay). */
+    void saveState(StateWriter &w) const;
+
+    /** Restores a saveState() snapshot; geometry must match. */
+    void restoreState(StateReader &r);
 
   private:
     uint64_t indexOf(uint64_t pc, uint64_t history) const;

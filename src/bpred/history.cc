@@ -1,6 +1,9 @@
 #include "bpred/history.hh"
 
+#include <algorithm>
 #include <cassert>
+
+#include "common/state_io.hh"
 
 namespace tpred
 {
@@ -76,6 +79,35 @@ PerAddressPathHistory::valueFor(uint64_t pc) const
     return it == regs_.end() ? 0 : it->second.value();
 }
 
+void
+PerAddressPathHistory::saveState(StateWriter &w) const
+{
+    std::vector<std::pair<uint64_t, uint64_t>> sorted;
+    sorted.reserve(regs_.size());
+    for (const auto &[pc, reg] : regs_)
+        sorted.emplace_back(pc, reg.value());
+    std::sort(sorted.begin(), sorted.end());
+    w.u64(sorted.size());
+    for (const auto &[pc, value] : sorted) {
+        w.u64(pc);
+        w.u64(value);
+    }
+}
+
+void
+PerAddressPathHistory::restoreState(StateReader &r)
+{
+    regs_.clear();
+    const uint64_t count = r.u64();
+    regs_.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        const uint64_t pc = r.u64();
+        const uint64_t value = r.u64();
+        auto [it, inserted] = regs_.try_emplace(pc, spec_);
+        it->second.restoreValue(value);
+    }
+}
+
 std::string
 HistorySpec::describe() const
 {
@@ -138,6 +170,22 @@ HistoryTracker::reset()
     pattern_.reset();
     globalPath_.reset();
     perAddrPath_.reset();
+}
+
+void
+HistoryTracker::saveState(StateWriter &w) const
+{
+    w.u64(pattern_.value());
+    w.u64(globalPath_.value());
+    perAddrPath_.saveState(w);
+}
+
+void
+HistoryTracker::restoreState(StateReader &r)
+{
+    pattern_.restoreValue(r.u64());
+    globalPath_.restoreValue(r.u64());
+    perAddrPath_.restoreState(r);
 }
 
 } // namespace tpred

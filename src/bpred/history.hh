@@ -24,6 +24,9 @@
 namespace tpred
 {
 
+class StateWriter;
+class StateReader;
+
 /**
  * Global pattern history register: taken/not-taken outcomes of the last
  * n conditional branches, newest outcome in the LSB.
@@ -43,6 +46,9 @@ class PatternHistory
     unsigned length() const { return length_; }
 
     void reset() { reg_ = 0; }
+
+    /** Restores an exact register value (checkpoint restore). */
+    void restoreValue(uint64_t v) { reg_ = v & mask(length_); }
 
   private:
     unsigned length_;
@@ -110,6 +116,9 @@ class PathRegister
 
     void reset() { reg_ = 0; }
 
+    /** Restores an exact register value (checkpoint restore). */
+    void restoreValue(uint64_t v) { reg_ = v & mask(spec_.lengthBits); }
+
   private:
     PathSpec spec_;
     uint64_t reg_ = 0;
@@ -140,6 +149,9 @@ class GlobalPathHistory
 
     void reset() { reg_.reset(); }
 
+    /** Restores an exact register value (checkpoint restore). */
+    void restoreValue(uint64_t v) { reg_.restoreValue(v); }
+
   private:
     PathRegister reg_;
     PathFilter filter_;
@@ -167,6 +179,12 @@ class PerAddressPathHistory
     size_t registers() const { return regs_.size(); }
 
     void reset() { regs_.clear(); }
+
+    /** Serializes the register file, sorted by pc for determinism. */
+    void saveState(StateWriter &w) const;
+
+    /** Restores a saveState() snapshot (replaces all registers). */
+    void restoreState(StateReader &r);
 
   private:
     PathSpec spec_;
@@ -223,6 +241,12 @@ class HistoryTracker
     const HistorySpec &spec() const { return spec_; }
 
     void reset();
+
+    /** Serializes whichever registers the spec uses (sharded replay). */
+    void saveState(StateWriter &w) const;
+
+    /** Restores a saveState() snapshot; spec must match. */
+    void restoreState(StateReader &r);
 
   private:
     HistorySpec spec_;

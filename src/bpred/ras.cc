@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/state_io.hh"
+
 namespace tpred
 {
 
@@ -35,6 +37,24 @@ uint64_t
 ReturnAddressStack::top() const
 {
     return size_ == 0 ? 0 : stack_[topIdx_];
+}
+
+void
+ReturnAddressStack::saveState(StateWriter &w) const
+{
+    w.u32(topIdx_);
+    w.u32(size_);
+    for (uint64_t v : stack_)
+        w.u64(v);
+}
+
+void
+ReturnAddressStack::restoreState(StateReader &r)
+{
+    topIdx_ = r.u32();
+    size_ = r.u32();
+    for (uint64_t &v : stack_)
+        v = r.u64();
 }
 
 } // namespace tpred

@@ -16,6 +16,9 @@
 namespace tpred
 {
 
+class StateWriter;
+class StateReader;
+
 /**
  * Fixed-depth circular return address stack.
  *
@@ -41,6 +44,12 @@ class ReturnAddressStack
     bool empty() const { return size_ == 0; }
 
     void reset() { size_ = 0; topIdx_ = 0; }
+
+    /** Serializes the stack contents and pointers (sharded replay). */
+    void saveState(StateWriter &w) const;
+
+    /** Restores a saveState() snapshot; depth must match. */
+    void restoreState(StateReader &r);
 
   private:
     std::vector<uint64_t> stack_;

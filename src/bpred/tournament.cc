@@ -1,6 +1,7 @@
 #include "bpred/tournament.hh"
 
 #include "common/bits.hh"
+#include "common/state_io.hh"
 
 namespace tpred
 {
@@ -53,6 +54,30 @@ TournamentPredictor::update(uint64_t pc, uint64_t history, bool taken)
         bim.increment();
     else
         bim.decrement();
+}
+
+void
+TournamentPredictor::saveState(StateWriter &w) const
+{
+    for (const SatCounter &ctr : bimodal_)
+        w.u8(static_cast<uint8_t>(ctr.count()));
+    gshare_.saveState(w);
+    for (const SatCounter &ctr : chooser_)
+        w.u8(static_cast<uint8_t>(ctr.count()));
+    w.u64(predictions_);
+    w.u64(gshareUses_);
+}
+
+void
+TournamentPredictor::restoreState(StateReader &r)
+{
+    for (SatCounter &ctr : bimodal_)
+        ctr.set(r.u8());
+    gshare_.restoreState(r);
+    for (SatCounter &ctr : chooser_)
+        ctr.set(r.u8());
+    predictions_ = r.u64();
+    gshareUses_ = r.u64();
 }
 
 double

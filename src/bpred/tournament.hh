@@ -18,6 +18,9 @@
 namespace tpred
 {
 
+class StateWriter;
+class StateReader;
+
 /** Tournament geometry. */
 struct TournamentConfig
 {
@@ -43,6 +46,12 @@ class TournamentPredictor
 
     /** Fraction of predictions the chooser sent to gshare. */
     double gshareShare() const;
+
+    /** Serializes both components, chooser and usage counts. */
+    void saveState(StateWriter &w) const;
+
+    /** Restores a saveState() snapshot; geometry must match. */
+    void restoreState(StateReader &r);
 
   private:
     bool bimodalPredict(uint64_t pc) const;

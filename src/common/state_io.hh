@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Byte-exact predictor state serialization, the substrate of the
+ * sharded-replay checkpoints (docs/parallelism.md).
+ *
+ * Every predictor family, the history trackers and the core model
+ * implement saveState(StateWriter&) / restoreState(StateReader&) in
+ * terms of these two classes.  The encoding is deliberately trivial —
+ * fixed-width little-endian fields in declaration order, no framing,
+ * no versioning — because checkpoints never leave the process family
+ * that wrote them: they exist to transplant exact state between
+ * replay shards and to prove bit-identity by memcmp of two
+ * serializations.  Any change to serialized state changes the bytes,
+ * which is precisely what the differential proof should notice.
+ *
+ * StateReader throws StateFormatError on underflow and (via
+ * expectEnd) on trailing bytes, so a shape mismatch between writer
+ * and reader is always a loud failure, never a silent misparse.
+ */
+
+#ifndef TPRED_COMMON_STATE_IO_HH
+#define TPRED_COMMON_STATE_IO_HH
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace tpred
+{
+
+/** A checkpoint blob that does not parse back as it was written. */
+class StateFormatError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Appends fixed-width little-endian fields to a byte vector. */
+class StateWriter
+{
+  public:
+    void u8(uint8_t v) { bytes_.push_back(v); }
+    void b(bool v) { u8(v ? 1 : 0); }
+    void u16(uint16_t v) { raw(&v, sizeof(v)); }
+    void u32(uint32_t v) { raw(&v, sizeof(v)); }
+    void u64(uint64_t v) { raw(&v, sizeof(v)); }
+    void i16(int16_t v) { raw(&v, sizeof(v)); }
+
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+    std::vector<uint8_t> take() { return std::move(bytes_); }
+    size_t size() const { return bytes_.size(); }
+
+  private:
+    void
+    raw(const void *p, size_t n)
+    {
+        const auto *b = static_cast<const uint8_t *>(p);
+        bytes_.insert(bytes_.end(), b, b + n);
+    }
+
+    std::vector<uint8_t> bytes_;
+};
+
+/** Consumes the fields back in the order they were written. */
+class StateReader
+{
+  public:
+    explicit StateReader(std::span<const uint8_t> bytes) : bytes_(bytes)
+    {
+    }
+
+    uint8_t u8() { uint8_t v; raw(&v, sizeof(v)); return v; }
+    bool b() { return u8() != 0; }
+    uint16_t u16() { uint16_t v; raw(&v, sizeof(v)); return v; }
+    uint32_t u32() { uint32_t v; raw(&v, sizeof(v)); return v; }
+    uint64_t u64() { uint64_t v; raw(&v, sizeof(v)); return v; }
+    int16_t i16() { int16_t v; raw(&v, sizeof(v)); return v; }
+
+    size_t remaining() const { return bytes_.size() - at_; }
+
+    /** @throws StateFormatError unless every byte was consumed. */
+    void
+    expectEnd() const
+    {
+        if (at_ != bytes_.size())
+            throw StateFormatError(
+                "checkpoint has " +
+                std::to_string(bytes_.size() - at_) +
+                " trailing byte(s)");
+    }
+
+  private:
+    void
+    raw(void *p, size_t n)
+    {
+        if (n > bytes_.size() - at_)
+            throw StateFormatError("checkpoint truncated");
+        std::memcpy(p, bytes_.data() + at_, n);
+        at_ += n;
+    }
+
+    std::span<const uint8_t> bytes_;
+    size_t at_ = 0;
+};
+
+} // namespace tpred
+
+#endif // TPRED_COMMON_STATE_IO_HH

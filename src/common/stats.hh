@@ -46,6 +46,13 @@ class RatioStat
 
     void reset() { hits_ = 0; total_ = 0; }
 
+    /** Restores exact counts, e.g. from a serialized checkpoint. */
+    void setCounts(uint64_t hits, uint64_t total)
+    {
+        hits_ = hits;
+        total_ = total;
+    }
+
   private:
     uint64_t hits_ = 0;
     uint64_t total_ = 0;

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bits.hh"
+#include "common/state_io.hh"
 
 namespace tpred
 {
@@ -75,6 +76,32 @@ double
 CascadedPredictor::stage2Share() const
 {
     return probes_ ? static_cast<double>(stage2Hits_) / probes_ : 0.0;
+}
+
+void
+CascadedPredictor::saveState(StateWriter &w) const
+{
+    for (const Stage1Entry &e : stage1_) {
+        w.b(e.valid);
+        w.u64(e.tag);
+        w.u64(e.target);
+    }
+    stage2_.saveState(w);
+    w.u64(stage2Hits_);
+    w.u64(probes_);
+}
+
+void
+CascadedPredictor::restoreState(StateReader &r)
+{
+    for (Stage1Entry &e : stage1_) {
+        e.valid = r.b();
+        e.tag = r.u64();
+        e.target = r.u64();
+    }
+    stage2_.restoreState(r);
+    stage2Hits_ = r.u64();
+    probes_ = r.u64();
 }
 
 } // namespace tpred

@@ -47,6 +47,9 @@ class CascadedPredictor : public IndirectPredictor
     /** Fraction of predictions served by stage 2 (diagnostics). */
     double stage2Share() const;
 
+    void saveState(StateWriter &w) const override;
+    void restoreState(StateReader &r) override;
+
   private:
     struct Stage1Entry
     {

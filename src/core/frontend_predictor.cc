@@ -2,8 +2,30 @@
 
 #include <cassert>
 
+#include "common/state_io.hh"
+
 namespace tpred
 {
+
+namespace
+{
+
+void
+saveRatio(StateWriter &w, const RatioStat &s)
+{
+    w.u64(s.hits());
+    w.u64(s.total());
+}
+
+void
+restoreRatio(StateReader &r, RatioStat &s)
+{
+    const uint64_t hits = r.u64();
+    const uint64_t total = r.u64();
+    s.setCounts(hits, total);
+}
+
+} // namespace
 
 FrontendPredictor::FrontendPredictor(const FrontendConfig &config,
                                      IndirectPredictor *indirect,
@@ -125,6 +147,42 @@ FrontendPredictor::onInstruction(const MicroOp &op)
         tracker_->observe(op);
 
     return {predicted, correct};
+}
+
+void
+FrontendPredictor::saveState(StateWriter &w) const
+{
+    btb_.saveState(w);
+    gshare_.saveState(w);
+    tournament_.saveState(w);
+    w.u64(ghr_.value());
+    ras_.saveState(w);
+    w.u64(stats_.instructions);
+    saveRatio(w, stats_.allBranches);
+    saveRatio(w, stats_.condDirection);
+    saveRatio(w, stats_.condBranches);
+    saveRatio(w, stats_.uncondDirect);
+    saveRatio(w, stats_.indirectJumps);
+    saveRatio(w, stats_.returns);
+    saveRatio(w, stats_.btbHits);
+}
+
+void
+FrontendPredictor::restoreState(StateReader &r)
+{
+    btb_.restoreState(r);
+    gshare_.restoreState(r);
+    tournament_.restoreState(r);
+    ghr_.restoreValue(r.u64());
+    ras_.restoreState(r);
+    stats_.instructions = r.u64();
+    restoreRatio(r, stats_.allBranches);
+    restoreRatio(r, stats_.condDirection);
+    restoreRatio(r, stats_.condBranches);
+    restoreRatio(r, stats_.uncondDirect);
+    restoreRatio(r, stats_.indirectJumps);
+    restoreRatio(r, stats_.returns);
+    restoreRatio(r, stats_.btbHits);
 }
 
 } // namespace tpred

@@ -116,6 +116,17 @@ class FrontendPredictor
     const Btb &btb() const { return btb_; }
     IndirectPredictor *indirect() const { return indirect_; }
 
+    /**
+     * Serializes the owned structures (BTB, direction predictors, GHR,
+     * RAS) and the accuracy stats.  The borrowed indirect predictor
+     * and history tracker are NOT included — the owner checkpoints
+     * them alongside (see harness/shard_replay.hh).
+     */
+    void saveState(StateWriter &w) const;
+
+    /** Restores a saveState() snapshot; config must match. */
+    void restoreState(StateReader &r);
+
   private:
     FrontendConfig config_;
     Btb btb_;

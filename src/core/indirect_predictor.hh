@@ -19,6 +19,9 @@
 namespace tpred
 {
 
+class StateWriter;
+class StateReader;
+
 /**
  * Interface implemented by the target cache variants, the oracle and
  * the cascaded extension.
@@ -61,6 +64,17 @@ class IndirectPredictor
 
     /** Storage cost in bits (paper section 4.2's budget accounting). */
     virtual uint64_t costBits() const = 0;
+
+    /**
+     * Serializes the complete predictor state for a sharded-replay
+     * checkpoint (docs/parallelism.md).  Restoring the bytes into a
+     * freshly constructed predictor of the same configuration must
+     * reproduce the exact prediction/training trajectory.
+     */
+    virtual void saveState(StateWriter &w) const = 0;
+
+    /** Restores a saveState() snapshot; configuration must match. */
+    virtual void restoreState(StateReader &r) = 0;
 };
 
 } // namespace tpred

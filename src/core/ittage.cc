@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bits.hh"
+#include "common/state_io.hh"
 
 namespace tpred
 {
@@ -194,6 +195,46 @@ double
 IttagePredictor::taggedShare() const
 {
     return probes_ ? static_cast<double>(taggedHits_) / probes_ : 0.0;
+}
+
+void
+IttagePredictor::saveState(StateWriter &w) const
+{
+    for (uint64_t t : base_)
+        w.u64(t);
+    for (const auto &table : tables_) {
+        for (const TaggedEntry &e : table) {
+            w.b(e.valid);
+            w.u64(e.tag);
+            w.u64(e.target);
+            w.u8(static_cast<uint8_t>(e.confidence.count()));
+            w.u8(static_cast<uint8_t>(e.useful.count()));
+        }
+    }
+    w.u8(static_cast<uint8_t>(useAltOnWeak_.count()));
+    w.u64(ditherState_);
+    w.u64(probes_);
+    w.u64(taggedHits_);
+}
+
+void
+IttagePredictor::restoreState(StateReader &r)
+{
+    for (uint64_t &t : base_)
+        t = r.u64();
+    for (auto &table : tables_) {
+        for (TaggedEntry &e : table) {
+            e.valid = r.b();
+            e.tag = r.u64();
+            e.target = r.u64();
+            e.confidence.set(r.u8());
+            e.useful.set(r.u8());
+        }
+    }
+    useAltOnWeak_.set(r.u8());
+    ditherState_ = r.u64();
+    probes_ = r.u64();
+    taggedHits_ = r.u64();
 }
 
 } // namespace tpred

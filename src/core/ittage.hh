@@ -62,6 +62,9 @@ class IttagePredictor : public IndirectPredictor
     /** Fraction of predictions provided by tagged components. */
     double taggedShare() const;
 
+    void saveState(StateWriter &w) const override;
+    void restoreState(StateReader &r) override;
+
   private:
     struct TaggedEntry
     {

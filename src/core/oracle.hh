@@ -8,6 +8,7 @@
 #ifndef TPRED_CORE_ORACLE_HH
 #define TPRED_CORE_ORACLE_HH
 
+#include "common/state_io.hh"
 #include "core/indirect_predictor.hh"
 
 namespace tpred
@@ -41,6 +42,16 @@ class OraclePredictor : public IndirectPredictor
     std::string describe() const override { return "oracle"; }
 
     uint64_t costBits() const override { return 0; }
+
+    void saveState(StateWriter &w) const override
+    {
+        w.u64(nextTarget_);
+    }
+
+    void restoreState(StateReader &r) override
+    {
+        nextTarget_ = r.u64();
+    }
 
   private:
     uint64_t nextTarget_ = 0;

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bits.hh"
+#include "common/state_io.hh"
 
 namespace tpred
 {
@@ -130,6 +131,32 @@ TaggedTargetCache::validEntries() const
     for (const auto &entry : entries_)
         n += entry.valid ? 1 : 0;
     return n;
+}
+
+void
+TaggedTargetCache::saveState(StateWriter &w) const
+{
+    w.u64(useClock_);
+    w.u64(conflictEvictions_);
+    for (const Entry &e : entries_) {
+        w.b(e.valid);
+        w.u64(e.tag);
+        w.u64(e.target);
+        w.u64(e.lastUsed);
+    }
+}
+
+void
+TaggedTargetCache::restoreState(StateReader &r)
+{
+    useClock_ = r.u64();
+    conflictEvictions_ = r.u64();
+    for (Entry &e : entries_) {
+        e.valid = r.b();
+        e.tag = r.u64();
+        e.target = r.u64();
+        e.lastUsed = r.u64();
+    }
 }
 
 } // namespace tpred

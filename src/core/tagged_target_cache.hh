@@ -90,6 +90,9 @@ class TaggedTargetCache : public IndirectPredictor
     /** Allocations that displaced a live entry (conflict pressure). */
     uint64_t conflictEvictions() const { return conflictEvictions_; }
 
+    void saveState(StateWriter &w) const override;
+    void restoreState(StateReader &r) override;
+
   private:
     struct Entry
     {

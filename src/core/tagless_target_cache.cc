@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bits.hh"
+#include "common/state_io.hh"
 
 namespace tpred
 {
@@ -84,6 +85,28 @@ TaglessTargetCache::describe() const
         name += "(" + std::to_string(config_.historyBits) + ")";
     }
     return "tagless-" + name + "/" + std::to_string(config_.entries());
+}
+
+void
+TaglessTargetCache::saveState(StateWriter &w) const
+{
+    for (uint64_t t : targets_)
+        w.u64(t);
+    for (uint64_t pc : lastWriterPc_)
+        w.u64(pc);
+    w.u64(stats_.probes);
+    w.u64(stats_.crossBranchProbes);
+}
+
+void
+TaglessTargetCache::restoreState(StateReader &r)
+{
+    for (uint64_t &t : targets_)
+        t = r.u64();
+    for (uint64_t &pc : lastWriterPc_)
+        pc = r.u64();
+    stats_.probes = r.u64();
+    stats_.crossBranchProbes = r.u64();
 }
 
 } // namespace tpred

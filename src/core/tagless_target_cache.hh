@@ -95,6 +95,9 @@ class TaglessTargetCache : public IndirectPredictor
     /** Interference statistics over the probes made so far. */
     const TaglessStats &stats() const { return stats_; }
 
+    void saveState(StateWriter &w) const override;
+    void restoreState(StateReader &r) override;
+
   private:
     TaglessConfig config_;
     std::vector<uint64_t> targets_;

@@ -12,7 +12,9 @@
 #include <unistd.h>
 
 #include "corpus/mapped_file.hh"
+#include "corpus/segmented_trace.hh"
 #include "trace/compact_io.hh"
+#include "trace/trace_source.hh"
 
 namespace fs = std::filesystem;
 
@@ -23,6 +25,7 @@ namespace
 {
 
 constexpr const char *kEntrySuffix = ".tpct";
+constexpr const char *kSegmentedSuffix = ".tpcs";
 constexpr const char *kQuarantineSuffix = ".quarantined";
 constexpr const char *kTempMarker = ".tmp";
 
@@ -96,6 +99,42 @@ parseFileName(const std::string &file, CorpusKey &key)
         key.workload = stem.substr(0, s_at);
         key.seed = std::stoull(stem.substr(s_at + 2, o_at - s_at - 2));
         key.ops = std::stoull(stem.substr(o_at + 2, c_at - o_at - 2));
+    } catch (const std::exception &) {
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Inverts CorpusManager::segmentedFileName():
+ * {workload}-s{seed}-o{ops}-g{segOps}-c{v}.tpcs.
+ */
+bool
+parseSegmentedFileName(const std::string &file, CorpusKey &key,
+                       uint64_t &segment_ops)
+{
+    if (!file.ends_with(kSegmentedSuffix))
+        return false;
+    const std::string stem =
+        file.substr(0, file.size() - std::strlen(kSegmentedSuffix));
+    const size_t c_at = stem.rfind("-c");
+    if (c_at == std::string::npos)
+        return false;
+    const size_t g_at = stem.rfind("-g", c_at - 1);
+    if (g_at == std::string::npos)
+        return false;
+    const size_t o_at = stem.rfind("-o", g_at - 1);
+    if (o_at == std::string::npos)
+        return false;
+    const size_t s_at = stem.rfind("-s", o_at - 1);
+    if (s_at == std::string::npos || s_at == 0)
+        return false;
+    try {
+        key.workload = stem.substr(0, s_at);
+        key.seed = std::stoull(stem.substr(s_at + 2, o_at - s_at - 2));
+        key.ops = std::stoull(stem.substr(o_at + 2, g_at - o_at - 2));
+        segment_ops =
+            std::stoull(stem.substr(g_at + 2, c_at - g_at - 2));
     } catch (const std::exception &) {
         return false;
     }
@@ -238,6 +277,99 @@ CorpusManager::store(const CorpusKey &key, const CompactTrace &trace,
     refreshManifest();
 }
 
+std::string
+CorpusManager::segmentedFileName(const CorpusKey &key,
+                                 size_t segment_ops)
+{
+    return key.workload + "-s" + std::to_string(key.seed) + "-o" +
+           std::to_string(key.ops) + "-g" +
+           std::to_string(segment_ops) + "-c" +
+           std::to_string(kCompactVersion) + kSegmentedSuffix;
+}
+
+std::string
+CorpusManager::segmentedPathFor(const CorpusKey &key,
+                                size_t segment_ops) const
+{
+    return (fs::path(dir_) / segmentedFileName(key, segment_ops))
+        .string();
+}
+
+std::shared_ptr<const SegmentedTrace>
+CorpusManager::loadSegmented(const CorpusKey &key, size_t segment_ops)
+{
+    const std::string path = segmentedPathFor(key, segment_ops);
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+        misses_.inc();
+        return nullptr;
+    }
+    try {
+        auto trace = SegmentedTrace::open(path);
+        // Full verification up front, one window at a time: a
+        // defective segment must surface here, not mid-replay.
+        trace->verifyAllSegments();
+        hits_.inc();
+        bytesLoaded_.inc(trace->fileBytes());
+        return trace;
+    } catch (const std::exception &e) {
+        quarantine(path, e.what());
+        misses_.inc();
+        return nullptr;
+    }
+}
+
+void
+CorpusManager::storeSegmented(const CorpusKey &key,
+                              const CompactTrace &trace,
+                              const std::string &name,
+                              size_t segment_ops)
+{
+    const std::string path = segmentedPathFor(key, segment_ops);
+    writeSegmentedTraceFile(path, trace, name, segment_ops);
+    fsyncs_.inc();
+    stores_.inc();
+    std::error_code ec;
+    bytesStored_.inc(fs::file_size(path, ec));
+    refreshManifest();
+}
+
+void
+CorpusManager::storeSegmentedFromSource(const CorpusKey &key,
+                                        TraceSource &source,
+                                        const std::string &name,
+                                        size_t segment_ops)
+{
+    if (segment_ops == 0)
+        throw std::invalid_argument("segment_ops must be positive");
+    const std::string path = segmentedPathFor(key, segment_ops);
+    SegmentedFileWriter writer(path, name);
+
+    // Pull one segment's worth of ops at a time: nothing beyond the
+    // chunk being encoded is ever resident.
+    std::vector<MicroOp> chunk;
+    chunk.reserve(std::min(segment_ops, key.ops));
+    uint64_t pulled = 0;
+    MicroOp op;
+    while (pulled < key.ops && source.next(op)) {
+        chunk.push_back(op);
+        ++pulled;
+        if (chunk.size() == segment_ops) {
+            writer.addSegment(CompactTrace::encode(chunk));
+            chunk.clear();
+        }
+    }
+    if (!chunk.empty())
+        writer.addSegment(CompactTrace::encode(chunk));
+    writer.finish();
+
+    fsyncs_.inc();
+    stores_.inc();
+    std::error_code ec;
+    bytesStored_.inc(fs::file_size(path, ec));
+    refreshManifest();
+}
+
 std::vector<CorpusEntry>
 CorpusManager::list(bool verify) const
 {
@@ -246,6 +378,29 @@ CorpusManager::list(bool verify) const
         if (!de.is_regular_file())
             continue;
         const std::string file = de.path().filename().string();
+        if (file.ends_with(kSegmentedSuffix)) {
+            CorpusEntry entry;
+            entry.file = file;
+            uint64_t seg_ops = 0;
+            parseSegmentedFileName(file, entry.key, seg_ops);
+            try {
+                const auto trace =
+                    SegmentedTrace::open(de.path().string());
+                if (verify)
+                    trace->verifyAllSegments();
+                entry.name = trace->name();
+                entry.opCount = trace->totalOps();
+                entry.branchCount = trace->totalBranches();
+                entry.fileBytes = trace->fileBytes();
+                entry.segmentCount = trace->segmentCount();
+                entry.ok = true;
+            } catch (const std::exception &e) {
+                entry.ok = false;
+                entry.error = e.what();
+            }
+            entries.push_back(std::move(entry));
+            continue;
+        }
         if (!file.ends_with(kEntrySuffix))
             continue;
         CorpusEntry entry;
@@ -307,6 +462,24 @@ CorpusManager::gc(uint64_t max_bytes)
             std::error_code ec;
             if (fs::remove(de.path(), ec))
                 ++removed;
+            continue;
+        }
+        if (file.ends_with(kSegmentedSuffix)) {
+            try {
+                const auto trace =
+                    SegmentedTrace::open(de.path().string());
+                trace->verifyAllSegments();
+                live.push_back({de.path(), trace->fileBytes(),
+                                fs::last_write_time(de.path())});
+                total += trace->fileBytes();
+            } catch (const std::exception &e) {
+                std::fprintf(stderr,
+                             "tpred-corpus: gc removing %s (%s)\n",
+                             de.path().c_str(), e.what());
+                std::error_code ec;
+                if (fs::remove(de.path(), ec))
+                    ++removed;
+            }
             continue;
         }
         if (!file.ends_with(kEntrySuffix))
@@ -377,6 +550,40 @@ CorpusManager::refreshManifest() const
         if (!de.is_regular_file())
             continue;
         const std::string file = de.path().filename().string();
+        if (file.ends_with(kSegmentedSuffix)) {
+            std::string entry = "\n    {\"file\": \"" +
+                                jsonEscape(file) + "\"";
+            CorpusKey key;
+            uint64_t seg_ops = 0;
+            if (parseSegmentedFileName(file, key, seg_ops)) {
+                entry += ", \"workload\": \"" +
+                         jsonEscape(key.workload) +
+                         "\", \"seed\": " + std::to_string(key.seed) +
+                         ", \"ops\": " + std::to_string(key.ops) +
+                         ", \"segment_ops\": " +
+                         std::to_string(seg_ops);
+            }
+            try {
+                const auto trace =
+                    SegmentedTrace::open(de.path().string());
+                entry += ", \"name\": \"" + jsonEscape(trace->name()) +
+                         "\", \"op_count\": " +
+                         std::to_string(trace->totalOps()) +
+                         ", \"branch_count\": " +
+                         std::to_string(trace->totalBranches()) +
+                         ", \"bytes\": " +
+                         std::to_string(trace->fileBytes()) +
+                         ", \"segments\": " +
+                         std::to_string(trace->segmentCount());
+            } catch (const std::exception &e) {
+                entry += ", \"error\": \"" + jsonEscape(e.what()) +
+                         "\"";
+            }
+            entry += "}";
+            json += (first ? "" : ",") + entry;
+            first = false;
+            continue;
+        }
         if (!file.ends_with(kEntrySuffix))
             continue;
         std::string entry = "\n    {\"file\": \"" + jsonEscape(file) +

@@ -39,6 +39,9 @@
 namespace tpred
 {
 
+class SegmentedTrace;
+class TraceSource;
+
 /** Identity of one corpus entry: what would have been generated. */
 struct CorpusKey
 {
@@ -56,6 +59,7 @@ struct CorpusEntry
     uint64_t opCount = 0;
     uint64_t branchCount = 0;
     uint64_t fileBytes = 0;
+    uint64_t segmentCount = 0; ///< 0 for plain (unsegmented) entries
     bool ok = false;
     std::string error;     ///< why !ok
 };
@@ -128,6 +132,46 @@ class CorpusManager
      * @return Number of files removed.
      */
     size_t gc(uint64_t max_bytes = 0);
+
+    /**
+     * Basename a key's *segmented* container stores under (embeds the
+     * segment granularity and container version; distinct ".tpcs"
+     * suffix so plain-container scans skip it).
+     */
+    static std::string segmentedFileName(const CorpusKey &key,
+                                         size_t segment_ops);
+
+    /** Absolute path for @p key's segmented container. */
+    std::string segmentedPathFor(const CorpusKey &key,
+                                 size_t segment_ops) const;
+
+    /**
+     * Opens the segmented entry for @p key and fully verifies every
+     * segment up front — one window at a time, so peak memory is
+     * O(segment size) no matter how long the trace is.
+     * @return The validated envelope (segments are re-mapped on
+     *         demand), or nullptr when absent or quarantined.
+     */
+    std::shared_ptr<const SegmentedTrace>
+    loadSegmented(const CorpusKey &key, size_t segment_ops);
+
+    /**
+     * Persists @p trace as a segmented container with @p segment_ops
+     * ops per segment (temp file + fsync + atomic rename, as store()).
+     */
+    void storeSegmented(const CorpusKey &key, const CompactTrace &trace,
+                        const std::string &name, size_t segment_ops);
+
+    /**
+     * Streaming store: pulls key.ops ops from @p source one segment's
+     * worth at a time, encoding and writing each before pulling the
+     * next — peak memory O(segment_ops), which is what makes building
+     * a 10^8..10^9-op corpus entry feasible at flat RSS.
+     */
+    void storeSegmentedFromSource(const CorpusKey &key,
+                                  TraceSource &source,
+                                  const std::string &name,
+                                  size_t segment_ops);
 
     std::string manifestPath() const;
 

@@ -38,28 +38,45 @@ class MappedFile
     static std::shared_ptr<MappedFile> open(const std::string &path,
                                             bool drop_cache = false);
 
+    /**
+     * Maps only @p length bytes starting at @p offset — the windowed
+     * view used by segmented streaming replay, where one segment at a
+     * time is resident instead of the whole container.  @p offset is
+     * page-aligned down internally; bytes() returns exactly the
+     * requested [offset, offset + length) range.
+     * @throws std::runtime_error when the range exceeds the file or
+     *         any open/stat/mmap step fails.
+     */
+    static std::shared_ptr<MappedFile>
+    openRange(const std::string &path, uint64_t offset, size_t length);
+
     ~MappedFile();
 
     MappedFile(const MappedFile &) = delete;
     MappedFile &operator=(const MappedFile &) = delete;
 
-    /** The mapped bytes (empty span for a zero-length file). */
+    /** The mapped bytes (empty span for a zero-length file/window). */
     std::span<const uint8_t> bytes() const
     {
-        return {static_cast<const uint8_t *>(base_), size_};
+        return {static_cast<const uint8_t *>(base_) + viewOffset_,
+                size_};
     }
 
     size_t size() const { return size_; }
     const std::string &path() const { return path_; }
 
   private:
-    MappedFile(void *base, size_t size, std::string path)
-        : base_(base), size_(size), path_(std::move(path))
+    MappedFile(void *base, size_t map_size, size_t view_offset,
+               size_t view_size, std::string path)
+        : base_(base), mapSize_(map_size), viewOffset_(view_offset),
+          size_(view_size), path_(std::move(path))
     {
     }
 
-    void *base_ = nullptr;
-    size_t size_ = 0;
+    void *base_ = nullptr;   ///< page-aligned mapping base
+    size_t mapSize_ = 0;     ///< bytes actually mapped (munmap length)
+    size_t viewOffset_ = 0;  ///< bytes() start relative to base_
+    size_t size_ = 0;        ///< bytes() length
     std::string path_;
 };
 

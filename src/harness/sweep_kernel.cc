@@ -54,6 +54,20 @@ runSweep(const SharedTrace &trace,
          std::span<const IndirectConfig> configs,
          const FrontendConfig &fe)
 {
+    static const obs::Counter streams_built =
+        obs::globalMetrics().counter("sweep.streams_built");
+    if (configs.empty())
+        return {};
+    const BranchStream &stream =
+        trace.compact().branchStream([] { streams_built.inc(); });
+    return runSweep(stream, configs, fe);
+}
+
+std::vector<FrontendStats>
+runSweep(const BranchStream &stream,
+         std::span<const IndirectConfig> configs,
+         const FrontendConfig &fe)
+{
     static const obs::Counter batches =
         obs::globalMetrics().counter("sweep.batches");
     static const obs::Counter swept_configs =
@@ -62,8 +76,6 @@ runSweep(const SharedTrace &trace,
         obs::globalMetrics().counter("sweep.history_groups");
     static const obs::Counter branches_fused =
         obs::globalMetrics().counter("sweep.branches");
-    static const obs::Counter streams_built =
-        obs::globalMetrics().counter("sweep.streams_built");
     static const obs::Timer phase =
         obs::globalMetrics().timer("phase.sweep");
 
@@ -73,9 +85,6 @@ runSweep(const SharedTrace &trace,
     obs::ScopedTimer timed(phase);
     batches.inc();
     swept_configs.inc(configs.size());
-
-    const BranchStream &stream =
-        trace.compact().branchStream([] { streams_built.inc(); });
     branches_fused.inc(stream.size());
 
     // --- Batch state ----------------------------------------------
@@ -225,7 +234,7 @@ runSweep(const SharedTrace &trace,
     std::vector<FrontendStats> out(configs.size());
     for (size_t i = 0; i < configs.size(); ++i) {
         FrontendStats &s = out[i];
-        s.instructions = trace.size();
+        s.instructions = stream.opCount;
         s.condDirection = cond_direction;
         s.condBranches = cond_branches;
         s.uncondDirect = uncond_direct;

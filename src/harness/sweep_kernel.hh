@@ -65,6 +65,18 @@ std::vector<FrontendStats> runSweep(const SharedTrace &trace,
                                     const FrontendConfig &fe = {});
 
 /**
+ * Same fused kernel over an already-extracted branch stream — the
+ * entry point for segmented containers, whose dense stream is built
+ * one window at a time by extractBranchStream
+ * (harness/shard_replay.hh) instead of from a resident trace.
+ * stream.opCount supplies the per-config instruction totals.
+ */
+std::vector<FrontendStats>
+runSweep(const BranchStream &stream,
+         std::span<const IndirectConfig> configs,
+         const FrontendConfig &fe = {});
+
+/**
  * Partitions config indices into groups of equal HistorySpec, first-
  * seen order — the (workload x config-group) unit the paper-table
  * drivers parallelize over.

@@ -144,11 +144,17 @@ parseContainer(std::span<const uint8_t> bytes, const std::string &whence,
     std::memcpy(&p.header, bytes.data(), sizeof(FileHeader));
     if (p.header.magic != kCompactMagic)
         fail(whence, "not a compact trace container (bad magic)");
-    if (p.header.version != kCompactVersion)
+    if (p.header.version < kCompactMinVersion ||
+        p.header.version > kCompactVersion)
         fail(whence, "unsupported compact container version " +
                          std::to_string(p.header.version) +
-                         " (expected " +
+                         " (supported: " +
+                         std::to_string(kCompactMinVersion) + ".." +
                          std::to_string(kCompactVersion) + ")");
+    if (p.header.flags & kCompactFlagSegmented)
+        fail(whence, "segmented container; open it with SegmentedTrace"
+                     " (corpus/segmented_trace.hh), not the plain"
+                     " container reader");
     if (crc32c(bytes.data(), offsetof(FileHeader, headerCrc)) !=
         p.header.headerCrc)
         fail(whence, "header checksum mismatch");

@@ -40,8 +40,24 @@ namespace tpred
 constexpr uint32_t kCompactMagic = 0x43435054;
 constexpr uint32_t kCompactFooterMagic = 0x46435054;
 
-/** Bump on any incompatible layout change. */
-constexpr uint32_t kCompactVersion = 1;
+/**
+ * Bump on any incompatible layout change.  Version 2 added the
+ * segmented-container flag; the plain (unsegmented) layout is
+ * byte-identical to version 1, so readers accept both.
+ */
+constexpr uint32_t kCompactVersion = 2;
+
+/** Oldest container version openCompactContainer still reads. */
+constexpr uint32_t kCompactMinVersion = 1;
+
+/**
+ * Header flag: the envelope holds fixed-size CompactTrace segments
+ * plus a segment index instead of one monolithic section payload
+ * (segmented_io.hh).  Plain openCompactContainer() refuses such
+ * files; SegmentedTrace (corpus/segmented_trace.hh) reads them via
+ * windowed mappings.
+ */
+constexpr uint32_t kCompactFlagSegmented = 1u << 1;
 
 /** A malformed, truncated or corrupt container. */
 class CompactFormatError : public std::runtime_error

@@ -1,9 +1,6 @@
 #include "uarch/core_model.hh"
 
-#include <array>
-
-#include "obs/metrics.hh"
-#include "uarch/fu_pool.hh"
+#include "common/state_io.hh"
 
 namespace tpred
 {
@@ -32,145 +29,161 @@ CoreResult
 CoreModel::run(TraceSource &trace, FrontendPredictor &frontend,
                uint64_t max_instrs)
 {
-    return runImpl(trace, frontend, max_instrs);
+    beginSession();
+    runSession(trace, frontend, max_instrs, UINT64_MAX);
+    return endSession(frontend);
 }
 
 CoreResult
 CoreModel::run(CompactReplay &trace, FrontendPredictor &frontend,
                uint64_t max_instrs)
 {
-    return runImpl(trace, frontend, max_instrs);
+    beginSession();
+    runSession(trace, frontend, max_instrs, UINT64_MAX);
+    return endSession(frontend);
 }
 
-template <typename Source>
-CoreResult
-CoreModel::runImpl(Source &trace, FrontendPredictor &frontend,
-                   uint64_t max_instrs)
+void
+CoreModel::beginSession()
 {
-    static const obs::Timer phase =
-        obs::globalMetrics().timer("phase.core_run");
-    obs::ScopedTimer timed(phase);
-
-    CoreResult result;
     window_.clear();
+    lastWriter_.fill(0);
+    stallByKind_.fill(0);
+    instructions_ = 0;
+    cycle_ = 0;
+    nextSeq_ = 1;
+    fetchAllowed_ = 0;
+    totalFetched_ = 0;
+    fetched_ = 0;
+    redirectPending_ = false;
+    inFetch_ = false;
+    stallKind_ = BranchKind::None;
+    traceEnded_ = false;
+}
 
-    // Sequence number of the last writer of each register; 0 = value
-    // available since before the window.
-    std::array<uint64_t, kNumArchRegs> last_writer{};
-
-    uint64_t cycle = 0;
-    uint64_t next_seq = 1;
-    uint64_t fetch_allowed = 0;    ///< earliest cycle fetch may resume
-    bool redirect_pending = false; ///< unresolved mispredicted branch
-    BranchKind stall_kind = BranchKind::None; ///< who blocked fetch
-    bool trace_ended = false;
-
-    while (result.instructions < max_instrs &&
-           (!trace_ended || !window_.empty())) {
-        // ---- Retire: in order, up to width per cycle. ---------------
-        unsigned retired = 0;
-        while (!window_.empty() && retired < params_.width) {
-            const InFlight &head = window_.front();
-            if (!head.issued || head.doneCycle > cycle)
-                break;
-            // A retiring writer's value is ready by construction; drop
-            // its writer record if it is still the latest.
-            if (head.op.dstReg != kNoReg &&
-                last_writer[head.op.dstReg] == head.seq) {
-                last_writer[head.op.dstReg] = 0;
-            }
-            window_.pop_front();
-            ++result.instructions;
-            ++retired;
-        }
-
-        // ---- Issue/execute: oldest-first, up to fuCount per cycle. --
-        unsigned issued = 0;
-        const uint64_t issue_base =
-            window_.empty() ? next_seq : window_.front().seq;
-        for (auto &entry : window_) {
-            if (issued >= params_.fuCount)
-                break;
-            if (entry.issued)
-                continue;
-            if (!sourcesReady(entry, issue_base, cycle))
-                continue;
-            entry.issued = true;
-            unsigned latency = executionLatency(entry.op.cls);
-            if (entry.op.cls == InstClass::Load ||
-                entry.op.cls == InstClass::Store) {
-                latency += dcache_.access(
-                    entry.op.memAddr,
-                    entry.op.cls == InstClass::Store);
-            }
-            entry.doneCycle = cycle + latency;
-            ++issued;
-            if (entry.mispredicted) {
-                // Checkpoint repair: correct-path fetch restarts the
-                // cycle after the branch resolves.
-                fetch_allowed = entry.doneCycle + 1;
-                redirect_pending = false;
-            }
-        }
-
-        // ---- Fetch/dispatch: up to width, stopping at taken CTIs. ---
-        const bool fetch_blocked =
-            redirect_pending || cycle < fetch_allowed;
-        if (fetch_blocked && stall_kind != BranchKind::None && !trace_ended) {
-            ++result.stallCyclesByKind[static_cast<size_t>(stall_kind)];
-        }
-        if (!trace_ended && !fetch_blocked) {
-            stall_kind = BranchKind::None;
-            unsigned fetched = 0;
-            while (fetched < params_.width &&
-                   window_.size() < params_.window) {
-                MicroOp op;
-                if (!trace.next(op)) {
-                    trace_ended = true;
-                    break;
-                }
-                PredictionOutcome outcome = frontend.onInstruction(op);
-
-                InFlight entry;
-                entry.op = op;
-                entry.seq = next_seq++;
-                for (unsigned s = 0; s < 2; ++s) {
-                    const RegIndex reg = op.srcRegs[s];
-                    entry.srcSeq[s] =
-                        reg == kNoReg ? 0 : last_writer[reg];
-                }
-                if (op.dstReg != kNoReg)
-                    last_writer[op.dstReg] = entry.seq;
-                entry.mispredicted = op.isBranch() && !outcome.correct;
-                window_.push_back(entry);
-                ++fetched;
-
-                if (entry.mispredicted) {
-                    // Wrong-path fetch until this branch executes.
-                    redirect_pending = true;
-                    stall_kind = op.branch;
-                    break;
-                }
-                if (op.isBranch() && op.taken)
-                    break;  // one taken control transfer per fetch group
-            }
-        }
-
-        ++cycle;
-    }
-
-    result.cycles = cycle;
+CoreResult
+CoreModel::endSession(FrontendPredictor &frontend, bool count_metrics)
+{
+    CoreResult result;
+    result.cycles = cycle_;
+    result.instructions = instructions_;
+    result.stallCyclesByKind = stallByKind_;
     result.frontend = frontend.stats();
     result.dcache = dcache_.stats();
 
-    // Once per run, not per cycle — the simulation loop stays clean.
-    static const obs::Counter cycles_simulated =
-        obs::globalMetrics().counter("core.cycles_simulated");
-    static const obs::Counter instructions_retired =
-        obs::globalMetrics().counter("core.instructions_retired");
-    cycles_simulated.inc(result.cycles);
-    instructions_retired.inc(result.instructions);
+    if (count_metrics) {
+        // Once per run, not per cycle — the simulation loop stays
+        // clean.
+        static const obs::Counter cycles_simulated =
+            obs::globalMetrics().counter("core.cycles_simulated");
+        static const obs::Counter instructions_retired =
+            obs::globalMetrics().counter("core.instructions_retired");
+        cycles_simulated.inc(result.cycles);
+        instructions_retired.inc(result.instructions);
+    }
     return result;
+}
+
+namespace
+{
+
+void
+saveOp(StateWriter &w, const MicroOp &op)
+{
+    w.u64(op.pc);
+    w.u64(op.nextPc);
+    w.u64(op.fallthrough);
+    w.u64(op.memAddr);
+    w.u64(op.selector);
+    w.u8(static_cast<uint8_t>(op.cls));
+    w.u8(static_cast<uint8_t>(op.branch));
+    w.b(op.taken);
+    w.i16(op.dstReg);
+    w.i16(op.srcRegs[0]);
+    w.i16(op.srcRegs[1]);
+}
+
+MicroOp
+restoreOp(StateReader &r)
+{
+    MicroOp op;
+    op.pc = r.u64();
+    op.nextPc = r.u64();
+    op.fallthrough = r.u64();
+    op.memAddr = r.u64();
+    op.selector = r.u64();
+    op.cls = static_cast<InstClass>(r.u8());
+    op.branch = static_cast<BranchKind>(r.u8());
+    op.taken = r.b();
+    op.dstReg = r.i16();
+    op.srcRegs[0] = r.i16();
+    op.srcRegs[1] = r.i16();
+    return op;
+}
+
+} // namespace
+
+void
+CoreModel::saveState(StateWriter &w) const
+{
+    dcache_.saveState(w);
+    for (uint64_t seq : lastWriter_)
+        w.u64(seq);
+    for (uint64_t cycles : stallByKind_)
+        w.u64(cycles);
+    w.u64(instructions_);
+    w.u64(cycle_);
+    w.u64(nextSeq_);
+    w.u64(fetchAllowed_);
+    w.u64(totalFetched_);
+    w.u32(fetched_);
+    w.b(redirectPending_);
+    w.b(inFetch_);
+    w.u8(static_cast<uint8_t>(stallKind_));
+    w.b(traceEnded_);
+    w.u64(window_.size());
+    for (const InFlight &entry : window_) {
+        saveOp(w, entry.op);
+        w.u64(entry.seq);
+        w.u64(entry.srcSeq[0]);
+        w.u64(entry.srcSeq[1]);
+        w.u64(entry.doneCycle);
+        w.b(entry.issued);
+        w.b(entry.mispredicted);
+    }
+}
+
+void
+CoreModel::restoreState(StateReader &r)
+{
+    dcache_.restoreState(r);
+    for (uint64_t &seq : lastWriter_)
+        seq = r.u64();
+    for (uint64_t &cycles : stallByKind_)
+        cycles = r.u64();
+    instructions_ = r.u64();
+    cycle_ = r.u64();
+    nextSeq_ = r.u64();
+    fetchAllowed_ = r.u64();
+    totalFetched_ = r.u64();
+    fetched_ = r.u32();
+    redirectPending_ = r.b();
+    inFetch_ = r.b();
+    stallKind_ = static_cast<BranchKind>(r.u8());
+    traceEnded_ = r.b();
+    const uint64_t window_size = r.u64();
+    window_.clear();
+    for (uint64_t i = 0; i < window_size; ++i) {
+        InFlight entry;
+        entry.op = restoreOp(r);
+        entry.seq = r.u64();
+        entry.srcSeq[0] = r.u64();
+        entry.srcSeq[1] = r.u64();
+        entry.doneCycle = r.u64();
+        entry.issued = r.b();
+        entry.mispredicted = r.b();
+        window_.push_back(entry);
+    }
 }
 
 } // namespace tpred

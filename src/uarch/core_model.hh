@@ -10,6 +10,16 @@
  * instruction and a misprediction stalls fetch until the branch
  * executes (wrong-path instructions are never injected; their cost is
  * the fetch bubble, the first-order effect the paper measures).
+ *
+ * Two driving styles share one simulation body:
+ *  - run(): simulate a whole trace in one call (the classic API);
+ *  - beginSession() / runSession() / endSession(): a resumable
+ *    session that can suspend at an exact fetched-op boundary, have
+ *    its complete microarchitectural state serialized (saveState /
+ *    restoreState), and be continued — possibly in another thread
+ *    from another windowed view of the same trace — with bit-identical
+ *    results.  This is the timing-model half of the sharded-replay
+ *    checkpoints (docs/parallelism.md).
  */
 
 #ifndef TPRED_UARCH_CORE_MODEL_HH
@@ -20,12 +30,17 @@
 #include <deque>
 
 #include "core/frontend_predictor.hh"
+#include "obs/metrics.hh"
 #include "trace/compact_trace.hh"
 #include "trace/trace_source.hh"
 #include "uarch/dcache.hh"
+#include "uarch/fu_pool.hh"
 
 namespace tpred
 {
+
+class StateWriter;
+class StateReader;
 
 /** Machine parameters (paper section 4.1 and DESIGN.md section 5). */
 struct CoreParams
@@ -73,7 +88,7 @@ struct CoreResult
 
 /**
  * Cycle-driven core.  One instance runs one trace against one front
- * end; construct fresh per experiment.
+ * end; construct fresh per experiment (or restoreState() into it).
  */
 class CoreModel
 {
@@ -95,12 +110,171 @@ class CoreModel
     CoreResult run(CompactReplay &trace, FrontendPredictor &frontend,
                    uint64_t max_instrs);
 
-  private:
-    /** Shared simulation body; Source needs only bool next(MicroOp&). */
-    template <typename Source>
-    CoreResult runImpl(Source &trace, FrontendPredictor &frontend,
-                       uint64_t max_instrs);
+    /** Resets all session state; call once before runSession(). */
+    void beginSession();
 
+    /**
+     * Advances the simulation, fetching ops from @p trace, until one
+     * of:
+     *  - @p stop_after_fetched ops (counted across the whole session)
+     *    have been fetched — returns true, the session is *suspended*
+     *    mid-cycle at an exact op boundary and a later runSession()
+     *    (after saveState()/restoreState(), with a Source positioned
+     *    at op @p stop_after_fetched) continues bit-identically;
+     *  - @p max_instrs instructions have retired, or the trace ended
+     *    and the window drained — returns false, the session is
+     *    complete and endSession() yields the result.
+     *
+     * @p Source needs only `bool next(MicroOp&)`.
+     */
+    template <typename Source>
+    bool
+    runSession(Source &trace, FrontendPredictor &frontend,
+               uint64_t max_instrs, uint64_t stop_after_fetched)
+    {
+        static const obs::Timer phase =
+            obs::globalMetrics().timer("phase.core_run");
+        obs::ScopedTimer timed(phase);
+
+        for (;;) {
+            if (!inFetch_) {
+                if (!(instructions_ < max_instrs &&
+                      (!traceEnded_ || !window_.empty())))
+                    return false;
+
+                // ---- Retire: in order, up to width per cycle. -------
+                unsigned retired = 0;
+                while (!window_.empty() && retired < params_.width) {
+                    const InFlight &head = window_.front();
+                    if (!head.issued || head.doneCycle > cycle_)
+                        break;
+                    // A retiring writer's value is ready by
+                    // construction; drop its writer record if it is
+                    // still the latest.
+                    if (head.op.dstReg != kNoReg &&
+                        lastWriter_[head.op.dstReg] == head.seq) {
+                        lastWriter_[head.op.dstReg] = 0;
+                    }
+                    window_.pop_front();
+                    ++instructions_;
+                    ++retired;
+                }
+
+                // ---- Issue/execute: oldest-first, <= fuCount/cycle. -
+                unsigned issued = 0;
+                const uint64_t issue_base =
+                    window_.empty() ? nextSeq_ : window_.front().seq;
+                for (auto &entry : window_) {
+                    if (issued >= params_.fuCount)
+                        break;
+                    if (entry.issued)
+                        continue;
+                    if (!sourcesReady(entry, issue_base, cycle_))
+                        continue;
+                    entry.issued = true;
+                    unsigned latency = executionLatency(entry.op.cls);
+                    if (entry.op.cls == InstClass::Load ||
+                        entry.op.cls == InstClass::Store) {
+                        latency += dcache_.access(
+                            entry.op.memAddr,
+                            entry.op.cls == InstClass::Store);
+                    }
+                    entry.doneCycle = cycle_ + latency;
+                    ++issued;
+                    if (entry.mispredicted) {
+                        // Checkpoint repair: correct-path fetch
+                        // restarts the cycle after the branch resolves.
+                        fetchAllowed_ = entry.doneCycle + 1;
+                        redirectPending_ = false;
+                    }
+                }
+
+                const bool fetch_blocked =
+                    redirectPending_ || cycle_ < fetchAllowed_;
+                if (fetch_blocked && stallKind_ != BranchKind::None &&
+                    !traceEnded_) {
+                    ++stallByKind_[static_cast<size_t>(stallKind_)];
+                }
+                if (!traceEnded_ && !fetch_blocked) {
+                    stallKind_ = BranchKind::None;
+                    fetched_ = 0;
+                    inFetch_ = true;
+                }
+            }
+
+            // ---- Fetch/dispatch: <= width, stopping at taken CTIs.
+            // This stage is individually resumable: a suspension
+            // leaves inFetch_/fetched_ set so the next runSession()
+            // re-enters the same fetch group mid-cycle.
+            if (inFetch_) {
+                while (fetched_ < params_.width &&
+                       window_.size() < params_.window) {
+                    if (totalFetched_ == stop_after_fetched)
+                        return true;  // suspended at an op boundary
+                    MicroOp op;
+                    if (!trace.next(op)) {
+                        traceEnded_ = true;
+                        break;
+                    }
+                    ++totalFetched_;
+                    PredictionOutcome outcome =
+                        frontend.onInstruction(op);
+
+                    InFlight entry;
+                    entry.op = op;
+                    entry.seq = nextSeq_++;
+                    for (unsigned s = 0; s < 2; ++s) {
+                        const RegIndex reg = op.srcRegs[s];
+                        entry.srcSeq[s] =
+                            reg == kNoReg ? 0 : lastWriter_[reg];
+                    }
+                    if (op.dstReg != kNoReg)
+                        lastWriter_[op.dstReg] = entry.seq;
+                    entry.mispredicted =
+                        op.isBranch() && !outcome.correct;
+                    window_.push_back(entry);
+                    ++fetched_;
+
+                    if (entry.mispredicted) {
+                        // Wrong-path fetch until this branch executes.
+                        redirectPending_ = true;
+                        stallKind_ = op.branch;
+                        break;
+                    }
+                    if (op.isBranch() && op.taken)
+                        break;  // one taken control transfer per group
+                }
+                inFetch_ = false;
+            }
+
+            ++cycle_;
+        }
+    }
+
+    /**
+     * Finishes a session: packages cycles, stats and stall breakdown.
+     * @p count_metrics gates the global core.cycles_simulated /
+     * core.instructions_retired counters — sharded-replay warm-up and
+     * verification passes pass false so the deterministic counters
+     * stay identical to a continuous run.
+     */
+    CoreResult endSession(FrontendPredictor &frontend,
+                          bool count_metrics = true);
+
+    /** Ops fetched from the source(s) so far in this session. */
+    uint64_t totalFetched() const { return totalFetched_; }
+
+    /**
+     * Serializes the complete session state — cycle counters, window
+     * contents, register writer map, fetch/stall flags and the data
+     * cache.  The front end is checkpointed separately by the caller.
+     */
+    void saveState(StateWriter &w) const;
+
+    /** Restores a saveState() snapshot; params must match. */
+    void restoreState(StateReader &r);
+
+  private:
     struct InFlight
     {
         MicroOp op;
@@ -117,6 +291,22 @@ class CoreModel
     CoreParams params_;
     DCache dcache_;
     std::deque<InFlight> window_;
+
+    // ---- Resumable session state ------------------------------------
+    /// Sequence number of the last writer of each register; 0 = value
+    /// available since before the window.
+    std::array<uint64_t, kNumArchRegs> lastWriter_{};
+    std::array<uint64_t, 7> stallByKind_{};
+    uint64_t instructions_ = 0;  ///< retired so far
+    uint64_t cycle_ = 0;
+    uint64_t nextSeq_ = 1;
+    uint64_t fetchAllowed_ = 0;    ///< earliest cycle fetch may resume
+    uint64_t totalFetched_ = 0;    ///< ops consumed from the source(s)
+    unsigned fetched_ = 0;         ///< ops fetched in the current group
+    bool redirectPending_ = false; ///< unresolved mispredicted branch
+    bool inFetch_ = false;         ///< suspended inside a fetch group
+    BranchKind stallKind_ = BranchKind::None; ///< who blocked fetch
+    bool traceEnded_ = false;
 };
 
 } // namespace tpred

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bits.hh"
+#include "common/state_io.hh"
 
 namespace tpred
 {
@@ -48,6 +49,32 @@ DCache::access(uint64_t addr, bool is_store)
     victim->lastUsed = ++useClock_;
     ++stats_.misses;
     return config_.hitLatency + config_.missLatency;
+}
+
+void
+DCache::saveState(StateWriter &w) const
+{
+    w.u64(useClock_);
+    w.u64(stats_.hits);
+    w.u64(stats_.misses);
+    for (const Line &line : lines_) {
+        w.b(line.valid);
+        w.u64(line.tag);
+        w.u64(line.lastUsed);
+    }
+}
+
+void
+DCache::restoreState(StateReader &r)
+{
+    useClock_ = r.u64();
+    stats_.hits = r.u64();
+    stats_.misses = r.u64();
+    for (Line &line : lines_) {
+        line.valid = r.b();
+        line.tag = r.u64();
+        line.lastUsed = r.u64();
+    }
 }
 
 } // namespace tpred

@@ -14,6 +14,9 @@
 namespace tpred
 {
 
+class StateWriter;
+class StateReader;
+
 /** D-cache geometry and timing. */
 struct DCacheConfig
 {
@@ -56,6 +59,12 @@ class DCache
 
     const DCacheStats &stats() const { return stats_; }
     const DCacheConfig &config() const { return config_; }
+
+    /** Serializes lines, LRU clock and hit/miss counters. */
+    void saveState(StateWriter &w) const;
+
+    /** Restores a saveState() snapshot; geometry must match. */
+    void restoreState(StateReader &r);
 
   private:
     struct Line

@@ -18,6 +18,7 @@
 
 #include "corpus/corpus.hh"
 #include "corpus/mapped_file.hh"
+#include "corpus/segmented_trace.hh"
 #include "harness/paper_tables.hh"
 #include "harness/trace_cache.hh"
 #include "obs/metrics.hh"
@@ -448,6 +449,230 @@ TEST(MappedFile, MapsWrittenBytesBack)
                               mapping->bytes().data()),
                           mapping->size()),
               payload);
+}
+
+TEST(MappedFile, RangeViewsReturnExactWindows)
+{
+    const TempDir dir("range");
+    const fs::path path = fs::path(dir.path) / "blob";
+    std::string payload(100000, '\0');
+    for (size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<char>(i * 31);
+    std::ofstream(path, std::ios::binary) << payload;
+
+    // Unaligned offsets (straddling page boundaries) must still
+    // yield exactly the requested bytes.
+    for (const uint64_t offset : {0u, 1u, 4095u, 4096u, 65537u}) {
+        const size_t len = 1000;
+        const auto view =
+            MappedFile::openRange(path.string(), offset, len);
+        ASSERT_EQ(view->size(), len) << "offset " << offset;
+        EXPECT_EQ(std::string(reinterpret_cast<const char *>(
+                                  view->bytes().data()),
+                              len),
+                  payload.substr(offset, len))
+            << "offset " << offset;
+    }
+    EXPECT_THROW(
+        MappedFile::openRange(path.string(), payload.size() - 10, 11),
+        std::runtime_error);
+}
+
+// ---------------------------------------------------------------
+// Segmented containers
+// ---------------------------------------------------------------
+
+/** Accuracy stats of a segmented entry via streaming replay. */
+FrontendStats
+segmentedStats(const std::shared_ptr<const SegmentedTrace> &trace)
+{
+    PredictorStack stack = buildStack(taglessGshare());
+    FrontendPredictor frontend(FrontendConfig{}, stack.predictor.get(),
+                               stack.tracker.get());
+    SegmentedReplay replay(trace);
+    MicroOp op;
+    while (replay.next(op))
+        frontend.onInstruction(op);
+    return frontend.stats();
+}
+
+TEST(SegmentedCorpus, StreamingStoreMatchesWholeTraceStore)
+{
+    const TempDir dir("seg_store");
+    CorpusManager corpus(dir.path);
+    const std::string workload = "ijpeg";
+    const size_t ops = 20000, seg_ops = 3000;
+
+    // Same trace three ways: plain container, storeSegmented on the
+    // resident trace, and the streaming storeSegmentedFromSource.
+    const SharedTrace resident = recordWorkload(workload, ops, 1);
+    corpus.storeSegmented(CorpusKey{workload, 1, ops},
+                          resident.compact(), workload, seg_ops);
+    auto from_trace =
+        corpus.loadSegmented(CorpusKey{workload, 1, ops}, seg_ops);
+    ASSERT_NE(from_trace, nullptr);
+
+    auto source = makeWorkload(workload, 2);
+    corpus.storeSegmentedFromSource(CorpusKey{workload, 2, ops},
+                                    *source, workload, seg_ops);
+    auto from_source =
+        corpus.loadSegmented(CorpusKey{workload, 2, ops}, seg_ops);
+    ASSERT_NE(from_source, nullptr);
+
+    EXPECT_EQ(from_trace->totalOps(), ops);
+    EXPECT_EQ(from_trace->segmentCount(), 7u);  // ceil(20000/3000)
+    EXPECT_EQ(from_source->totalOps(), ops);
+    EXPECT_EQ(from_source->segmentCount(), 7u);
+
+    // Decoding every segment reproduces the resident op sequence.
+    std::vector<MicroOp> decoded;
+    for (size_t i = 0; i < from_trace->segmentCount(); ++i) {
+        const auto segment = from_trace->openSegment(i);
+        const std::vector<MicroOp> part = segment->decodeAll();
+        decoded.insert(decoded.end(), part.begin(), part.end());
+    }
+    const std::vector<MicroOp> expected =
+        resident.compact().decodeAll();
+    ASSERT_EQ(decoded.size(), expected.size());
+    for (size_t i = 0; i < decoded.size(); ++i)
+        ASSERT_TRUE(sameOp(decoded[i], expected[i])) << "op " << i;
+
+    // Same workload generator, same seed => identical stats whether
+    // the container was built resident or streamed.
+    const SharedTrace resident2 = recordWorkload(workload, ops, 2);
+    EXPECT_TRUE(sameStats(segmentedStats(from_source),
+                          runAccuracy(resident2, taglessGshare())));
+}
+
+TEST(SegmentedCorpus, PlainV2ContainersAreUnaffected)
+{
+    const TempDir dir("seg_plain");
+    CorpusManager corpus(dir.path);
+    const CompactTrace trace = sampleTrace();
+    const CorpusKey key{"perl", 7, 5000};
+    corpus.store(key, trace, "perl");
+
+    // The plain (unsegmented) v2 container loads exactly as before.
+    const auto loaded = corpus.load(key);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_TRUE(sameOps(trace, *loaded));
+
+    // And the two layouts reject each other with telling errors.
+    EXPECT_THROW(SegmentedTrace::open(corpus.pathFor(key)),
+                 CompactFormatError);
+    corpus.storeSegmented(CorpusKey{"perl", 8, 5000}, trace, "perl",
+                          1000);
+    const auto mapping = MappedFile::open(
+        corpus.segmentedPathFor(CorpusKey{"perl", 8, 5000}, 1000));
+    std::string name;
+    EXPECT_THROW(openCompactContainer(mapping->bytes(), nullptr, name,
+                                      "segmented"),
+                 CompactFormatError);
+}
+
+/** Damages one segmented corpus file in place via @p mutate, then
+ *  checks quarantine + bit-identical regeneration. */
+template <typename Mutate>
+void
+segmentedCorruptionCase(const char *tag, Mutate &&mutate)
+{
+    const TempDir dir(tag);
+    const std::string workload = "m88ksim";
+    const size_t ops = 20000, seg_ops = 3000;
+    const CorpusKey key{workload, 1, ops};
+
+    FrontendStats clean_stats;
+    {
+        CorpusManager corpus(dir.path);
+        auto source = makeWorkload(workload, 1);
+        corpus.storeSegmentedFromSource(key, *source, workload,
+                                        seg_ops);
+        const auto trace = corpus.loadSegmented(key, seg_ops);
+        ASSERT_NE(trace, nullptr);
+        clean_stats = segmentedStats(trace);
+    }
+
+    // Damage the stored file.
+    CorpusManager corpus(dir.path);
+    const fs::path path = corpus.segmentedPathFor(key, seg_ops);
+    ASSERT_TRUE(fs::exists(path));
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+        in.close();
+        mutate(bytes);
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    // The damaged file must be quarantined, never trusted.
+    EXPECT_EQ(corpus.loadSegmented(key, seg_ops), nullptr);
+    EXPECT_EQ(counterOf(corpus.metricsRegistry(),
+                        "corpus.quarantined"), 1u);
+    EXPECT_TRUE(fs::exists(path.string() + ".quarantined"));
+
+    // Regeneration reproduces the clean statistics exactly.
+    auto source = makeWorkload(workload, 1);
+    corpus.storeSegmentedFromSource(key, *source, workload, seg_ops);
+    const auto trace = corpus.loadSegmented(key, seg_ops);
+    ASSERT_NE(trace, nullptr);
+    EXPECT_TRUE(sameStats(clean_stats, segmentedStats(trace)));
+}
+
+TEST(SegmentedCorruption, SegmentPayloadBitFlipIsQuarantined)
+{
+    segmentedCorruptionCase("seg_bitflip", [](std::vector<char> &bytes) {
+        // Mid-file lands inside a segment payload: only that
+        // segment's CRC breaks, which verifyAllSegments must catch.
+        ASSERT_GT(bytes.size(), 1000u);
+        bytes[bytes.size() / 2] ^= 0x04;
+    });
+}
+
+TEST(SegmentedCorruption, MidSegmentTruncationIsQuarantined)
+{
+    segmentedCorruptionCase("seg_truncate", [](std::vector<char> &bytes) {
+        ASSERT_GT(bytes.size(), 1000u);
+        bytes.resize(bytes.size() * 3 / 5);  // cut inside a segment
+    });
+}
+
+TEST(SegmentedCorruption, IndexRecordCorruptionIsQuarantined)
+{
+    segmentedCorruptionCase("seg_index", [](std::vector<char> &bytes) {
+        // The index sits between the last segment and the 24-byte
+        // footer; flip a byte inside the last record.
+        ASSERT_GT(bytes.size(), 24u + 56u);
+        bytes[bytes.size() - 24 - 28] ^= 0xFF;
+    });
+}
+
+TEST(SegmentedCorruption, FooterCorruptionIsQuarantined)
+{
+    segmentedCorruptionCase("seg_footer", [](std::vector<char> &bytes) {
+        ASSERT_GT(bytes.size(), 24u);
+        bytes[bytes.size() - 1] ^= 0x01;
+    });
+}
+
+TEST(SegmentedCorpus, GcKeepsHealthySegmentedEntries)
+{
+    const TempDir dir("seg_gc");
+    CorpusManager corpus(dir.path);
+    auto source = makeWorkload("go", 1);
+    corpus.storeSegmentedFromSource(CorpusKey{"go", 1, 9000}, *source,
+                                    "go", 2000);
+
+    std::ofstream(fs::path(dir.path) / "stale.tpcs.quarantined")
+        << "junk";
+    EXPECT_EQ(corpus.gc(), 1u);
+    const auto entries = corpus.list(true);
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_TRUE(entries[0].ok) << entries[0].error;
+    EXPECT_EQ(entries[0].segmentCount, 5u);  // ceil(9000/2000)
+    EXPECT_EQ(entries[0].opCount, 9000u);
 }
 
 } // namespace

@@ -18,6 +18,11 @@ can be compared against a fresh candidate:
     bench/corpus_load       -> BENCH_corpus.json
         (regen/cold/warm trace-acquisition Mops/s; a warm-load drop
         beyond the threshold fails the corpus perf gate)
+    bench/shard_replay      -> BENCH_shard.json
+        (resident/streaming/sharded segmented-replay Mops/s; the
+        resident lane is 0 — and exempt — when the run exceeds the
+        residency cap, and a streaming- or sharded-lane drop beyond
+        the threshold fails the segmented perf gate)
 
 For every workload present in both files, every *_mops lane in the
 candidate is compared against the baseline; a drop of more than

@@ -23,8 +23,11 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "common/stats.hh"
 #include "corpus/corpus.hh"
+#include "corpus/segmented_trace.hh"
 #include "harness/experiment.hh"
 #include "harness/run_options.hh"
 #include "obs/run_report.hh"
@@ -45,6 +48,7 @@ struct Options
     size_t ops = kDefaultAccuracyOps;
     uint64_t seed = 1;
     uint64_t maxBytes = 0;
+    size_t segmentOps = 0;  ///< >0 = build segmented containers
 };
 
 [[noreturn]] void
@@ -54,14 +58,17 @@ usage()
         "tpredcorpus — persistent trace corpus manager\n"
         "\n"
         "  tpredcorpus build  --dir DIR [--ops N] [--seed N] "
-        "[WORKLOAD...]\n"
+        "[--segment-ops N] [WORKLOAD...]\n"
         "  tpredcorpus ls     --dir DIR\n"
         "  tpredcorpus verify --dir DIR\n"
         "  tpredcorpus gc     --dir DIR [--max-bytes N]\n"
         "\n"
         "build records the listed workloads (default: all) into DIR;\n"
-        "entries that already verify are kept.  verify exits 1 if any\n"
-        "container fails its checksums.\n",
+        "entries that already verify are kept.  With --segment-ops N\n"
+        "each trace is written as a segmented container (N ops per\n"
+        "segment), streamed from the generator at O(N) memory.\n"
+        "verify exits 1 if any container fails its checksums and\n"
+        "prints per-segment detail for segmented entries.\n",
         stderr);
     std::exit(2);
 }
@@ -87,6 +94,8 @@ parse(int argc, char **argv)
         else if (arg == "--max-bytes")
             opt.maxBytes =
                 static_cast<uint64_t>(std::atoll(need(i)));
+        else if (arg == "--segment-ops")
+            opt.segmentOps = parseOps(need(i), "--segment-ops");
         else if (arg.starts_with("--"))
             usage();
         else
@@ -102,6 +111,36 @@ cmdBuild(CorpusManager &corpus, const Options &opt)
 {
     const std::vector<std::string> &names =
         opt.workloads.empty() ? allWorkloadNames() : opt.workloads;
+    if (opt.segmentOps > 0) {
+        // Segmented build streams straight from the generator: one
+        // segment of ops is resident at a time, so --ops can exceed
+        // memory by orders of magnitude.
+        for (const std::string &name : names) {
+            const CorpusKey key{name, opt.seed, opt.ops};
+            if (auto existing =
+                    corpus.loadSegmented(key, opt.segmentOps)) {
+                std::printf(
+                    "%-12s up to date (%llu ops, %zu segments)\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(
+                        existing->totalOps()),
+                    existing->segmentCount());
+                continue;
+            }
+            auto workload = makeWorkload(name, opt.seed);
+            corpus.storeSegmentedFromSource(key, *workload,
+                                            workload->name(),
+                                            opt.segmentOps);
+            const auto stored =
+                corpus.loadSegmented(key, opt.segmentOps);
+            std::printf(
+                "%-12s recorded %s ops -> %s (%zu segments)\n",
+                name.c_str(), formatCount(opt.ops).c_str(),
+                corpus.segmentedFileName(key, opt.segmentOps).c_str(),
+                stored ? stored->segmentCount() : 0);
+        }
+        return 0;
+    }
     for (const std::string &name : names) {
         const CorpusKey key{name, opt.seed, opt.ops};
         if (auto existing = corpus.load(key)) {
@@ -137,6 +176,27 @@ cmdList(const CorpusManager &corpus, bool verify)
                         static_cast<unsigned long long>(e.opCount),
                         static_cast<unsigned long long>(e.branchCount),
                         static_cast<unsigned long long>(e.fileBytes));
+            if (verify && e.segmentCount > 0) {
+                // Per-segment detail: the envelope was just verified
+                // by list(), so this re-walk only reads the index.
+                const auto trace = SegmentedTrace::open(
+                    (std::filesystem::path(corpus.dir()) / e.file)
+                        .string());
+                for (size_t s = 0; s < trace->segmentCount(); ++s) {
+                    const SegmentRecord &rec = trace->record(s);
+                    std::printf(
+                        "  segment %-4zu ops [%llu, %llu) %10llu "
+                        "branches %12llu bytes  crc32c %08x  ok\n",
+                        s,
+                        static_cast<unsigned long long>(rec.firstOp),
+                        static_cast<unsigned long long>(rec.firstOp +
+                                                        rec.opCount),
+                        static_cast<unsigned long long>(
+                            rec.branchCount),
+                        static_cast<unsigned long long>(rec.byteLen),
+                        rec.crc);
+                }
+            }
         } else {
             ++bad;
             std::printf("%-44s %10s %10s %12s  BAD: %s\n",

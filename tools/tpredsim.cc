@@ -21,6 +21,7 @@
 #include "common/stats.hh"
 #include "corpus/corpus.hh"
 #include "harness/paper_tables.hh"
+#include "harness/shard_replay.hh"
 #include "harness/parallel_runner.hh"
 #include "harness/run_options.hh"
 #include "harness/site_report.hh"
@@ -44,6 +45,8 @@ struct Options
     std::string scheme = "xor";
     std::string saveTrace;
     std::string loadTrace;
+    std::string loadSegmented;
+    unsigned shards = 0;
     unsigned ways = 4;
     unsigned histBits = 9;
     unsigned bitsPerTarget = 1;
@@ -79,6 +82,10 @@ usage()
         "  --sites N           print the top-N misbehaving sites\n"
         "  --save-trace FILE   record the workload to a trace file\n"
         "  --load-trace FILE   replay a recorded trace file\n"
+        "  --load-segmented F  stream a segmented (.tpcs) container,\n"
+        "                      one mapped segment resident at a time\n"
+        "  --shards N          shard the segmented replay into N\n"
+        "                      regions with checkpoint proofs\n"
         "  --corpus DIR        persistent trace corpus directory\n"
         "                      (also honoured as $TPRED_CORPUS_DIR)\n"
         "  --report FILE       write a tpred-run-report/1 JSON file\n"
@@ -125,6 +132,10 @@ parse(int argc, char **argv)
             opt.saveTrace = need(i);
         else if (arg == "--load-trace")
             opt.loadTrace = need(i);
+        else if (arg == "--load-segmented")
+            opt.loadSegmented = need(i);
+        else if (arg == "--shards")
+            opt.shards = static_cast<unsigned>(std::atoi(need(i)));
         else
             usage();
     }
@@ -183,6 +194,116 @@ configFor(const Options &opt)
     throw std::invalid_argument("unknown predictor: " + opt.predictor);
 }
 
+void
+printAccuracy(const FrontendStats &stats)
+{
+    std::printf("indirect jumps : %s, miss rate %s\n",
+                formatCount(stats.indirectJumps.total()).c_str(),
+                formatPercent(stats.indirectJumps.missRate(), 2)
+                    .c_str());
+    std::printf("cond direction : miss rate %s\n",
+                formatPercent(stats.condDirection.missRate(), 2)
+                    .c_str());
+    std::printf("returns        : miss rate %s\n",
+                formatPercent(stats.returns.missRate(), 2).c_str());
+    std::printf("all branches   : %.2f MPKI\n", stats.mpki());
+}
+
+void
+printProofs(const std::vector<ShardProof> &shards, bool verified)
+{
+    for (size_t k = 0; k < shards.size(); ++k) {
+        const ShardProof &p = shards[k];
+        std::printf("shard %zu: [%llu, %llu) warm-up %llu  entry %s  "
+                    "exit %s%s%s\n",
+                    k, static_cast<unsigned long long>(p.beginOp),
+                    static_cast<unsigned long long>(p.endOp),
+                    static_cast<unsigned long long>(p.warmupOps),
+                    p.entryMatched ? "ok" : "MISMATCH",
+                    p.exitMatched ? "ok" : "MISMATCH",
+                    p.error.empty() ? "" : "  error: ",
+                    p.error.c_str());
+    }
+    std::printf("checkpoint proof: %s\n",
+                verified ? "verified (bit-identical to serial replay)"
+                         : "FAILED");
+}
+
+/** The --load-segmented path: streaming or sharded replay of a
+ *  segmented container, never materializing the full trace. */
+int
+runSegmented(const Options &opt, const RunOptions &run)
+{
+    const auto trace = SegmentedTrace::open(opt.loadSegmented);
+    std::printf("trace: %s, %s instructions, %zu segments\n",
+                trace->name().c_str(),
+                formatCount(trace->totalOps()).c_str(),
+                trace->segmentCount());
+
+    const IndirectConfig config = configFor(opt);
+    FrontendConfig fe;
+    if (opt.twoBitBtb)
+        fe = twoBitBtbFrontend();
+    std::printf("predictor: %s\n\n", config.describe().c_str());
+
+    obs::RunReport report("tpredsim");
+    report.setConfig("trace", opt.loadSegmented);
+    report.setConfig("predictor", config.describe());
+    report.setConfig("timing", opt.timing);
+    report.setConfig("shards", static_cast<uint64_t>(opt.shards));
+    const std::string w = trace->name();
+
+    bool verified = true;
+    FrontendStats stats;
+    if (opt.shards > 0) {
+        const ShardedAccuracyResult sharded = runAccuracySharded(
+            trace, config, {.shards = opt.shards}, fe);
+        stats = sharded.stats;
+        printAccuracy(stats);
+        printProofs(sharded.shards, sharded.verified());
+        verified = sharded.verified();
+        report.addWorkloadValue(w, "checkpoint_bytes",
+                                sharded.checkpointBytes);
+    } else {
+        stats = runAccuracyStreaming(trace, config, fe);
+        printAccuracy(stats);
+    }
+    report.addWorkloadValue(w, "instructions", stats.instructions);
+    report.addWorkloadValue(w, "indirect_miss_rate",
+                            stats.indirectJumps.missRate(), 6);
+    report.addWorkloadValue(w, "mpki", stats.mpki(), 4);
+
+    if (opt.timing) {
+        CoreResult result;
+        if (opt.shards > 0) {
+            const ShardedTimingResult sharded = runTimingSharded(
+                trace, config, {.shards = opt.shards}, {}, fe);
+            result = sharded.result;
+            std::printf("\ntiming         : %s cycles, IPC %.2f\n",
+                        formatCount(result.cycles).c_str(),
+                        result.ipc());
+            printProofs(sharded.shards, sharded.verified());
+            verified = verified && sharded.verified();
+        } else {
+            result = runTimingStreaming(trace, config, {}, fe);
+            std::printf("\ntiming         : %s cycles, IPC %.2f\n",
+                        formatCount(result.cycles).c_str(),
+                        result.ipc());
+        }
+        report.addWorkloadValue(w, "cycles", result.cycles);
+        report.addWorkloadValue(w, "ipc", result.ipc(), 4);
+    }
+    report.addWorkloadValue(w, "verified",
+                            static_cast<uint64_t>(verified ? 1 : 0));
+
+    if (!run.reportPath.empty()) {
+        report.captureProcess();
+        report.write(run.reportPath);
+        std::printf("\nwrote report to %s\n", run.reportPath.c_str());
+    }
+    return verified ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -195,6 +316,9 @@ main(int argc, char **argv)
     try {
         const Options opt = parse(argc, argv);
         run.apply();
+
+        if (!opt.loadSegmented.empty())
+            return runSegmented(opt, run);
 
         SharedTrace trace = [&] {
             if (!opt.loadTrace.empty()) {
