@@ -17,10 +17,16 @@ CascadedPredictor::CascadedPredictor(const CascadedConfig &config)
     assert(isPowerOfTwo(config.stage1Entries));
 }
 
+uint64_t
+cascadedStage1IndexOf(unsigned stage1_bits, uint64_t pc)
+{
+    return bits(pc >> 2, 0, stage1_bits);
+}
+
 CascadedPredictor::Stage1Entry &
 CascadedPredictor::stage1Slot(uint64_t pc)
 {
-    return stage1_[bits(pc >> 2, 0, stage1Bits_)];
+    return stage1_[cascadedStage1IndexOf(stage1Bits_, pc)];
 }
 
 std::optional<uint64_t>

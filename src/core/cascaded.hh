@@ -31,6 +31,14 @@ struct CascadedConfig
 };
 
 /**
+ * The stage-1 slot index, as a free function over the geometry so the
+ * scalar predictor and the SoA-batched sweep kernel
+ * (harness/batched_predictors.cc) share one definition.  @p stage1_bits
+ * is floorLog2(config.stage1Entries), precomputed by the caller.
+ */
+uint64_t cascadedStage1IndexOf(unsigned stage1_bits, uint64_t pc);
+
+/**
  * Two-stage cascaded predictor with misprediction-filtered allocation.
  */
 class CascadedPredictor : public IndirectPredictor

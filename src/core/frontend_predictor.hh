@@ -113,6 +113,15 @@ class FrontendPredictor
     const FrontendStats &stats() const { return stats_; }
     void resetStats() { stats_ = FrontendStats{}; }
 
+    /**
+     * Overwrites the accuracy stats wholesale.  The fused timing sweep
+     * uses this after restoring a forked member from the lead's
+     * checkpoint: the shared-class counts are the lead's own, but
+     * indirectJumps (and hence allBranches) must be the member's
+     * (harness/sweep_kernel.cc).
+     */
+    void setStats(const FrontendStats &s) { stats_ = s; }
+
     const Btb &btb() const { return btb_; }
     IndirectPredictor *indirect() const { return indirect_; }
 

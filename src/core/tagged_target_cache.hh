@@ -55,6 +55,17 @@ struct TaggedConfig
 };
 
 /**
+ * The (set, tag) derivation, as a free function over the geometry so the
+ * scalar predictor and the SoA-batched sweep kernel
+ * (harness/batched_predictors.cc) share one definition.  @p set_bits is
+ * floorLog2(config.sets()) (0 for a single set), precomputed by the
+ * caller.
+ */
+std::pair<uint64_t, uint64_t> taggedIndexOf(const TaggedConfig &config,
+                                            unsigned set_bits, uint64_t pc,
+                                            uint64_t history);
+
+/**
  * Set-associative, true-LRU tagged target cache.
  *
  * predict() returns nullopt on a tag miss; update() allocates the LRU

@@ -34,25 +34,32 @@ TaglessTargetCache::TaglessTargetCache(const TaglessConfig &config)
 }
 
 uint64_t
-TaglessTargetCache::indexOf(uint64_t pc, uint64_t history) const
+taglessIndexOf(const TaglessConfig &config, uint64_t pc,
+               uint64_t history)
 {
     const uint64_t addr = pc >> 2;  // word-aligned instructions
-    switch (config_.scheme) {
+    switch (config.scheme) {
       case TaglessIndexScheme::GAg:
-        return history & mask(config_.entryBits);
+        return history & mask(config.entryBits);
       case TaglessIndexScheme::GAs:
         // Address bits pick the sub-table (high index bits), history
         // bits pick the entry within it.
-        return ((bits(addr, 0, config_.addrBits) << config_.historyBits) |
-                (history & mask(config_.historyBits)))
-               & mask(config_.entryBits);
+        return ((bits(addr, 0, config.addrBits) << config.historyBits) |
+                (history & mask(config.historyBits)))
+               & mask(config.entryBits);
       case TaglessIndexScheme::Gshare:
         // Histories longer than the index are XOR-folded in rather
         // than truncated, so every history bit influences the index.
-        return (addr ^ foldXor(history, config_.entryBits)) &
-               mask(config_.entryBits);
+        return (addr ^ foldXor(history, config.entryBits)) &
+               mask(config.entryBits);
     }
     return 0;
+}
+
+uint64_t
+TaglessTargetCache::indexOf(uint64_t pc, uint64_t history) const
+{
+    return taglessIndexOf(config_, pc, history);
 }
 
 std::optional<uint64_t>

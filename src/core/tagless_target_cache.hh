@@ -49,6 +49,15 @@ struct TaglessConfig
     size_t entries() const { return size_t{1} << entryBits; }
 };
 
+/**
+ * The entry-index computation, as a free function over the geometry so
+ * the scalar predictor and the SoA-batched sweep kernel
+ * (harness/batched_predictors.cc) share one definition — the two paths
+ * cannot drift apart.
+ */
+uint64_t taglessIndexOf(const TaglessConfig &config, uint64_t pc,
+                        uint64_t history);
+
 /** Interference accounting (simulation-side, costs no "hardware"). */
 struct TaglessStats
 {

@@ -1,0 +1,486 @@
+#include "harness/batched_predictors.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bits.hh"
+#include "common/state_io.hh"
+#include "core/cascaded.hh"
+
+namespace tpred
+{
+
+size_t
+findOrAppendHistorySpec(std::vector<HistorySpec> &specs,
+                        const HistorySpec &spec)
+{
+    for (size_t k = 0; k < specs.size(); ++k) {
+        if (specs[k] == spec)
+            return k;
+    }
+    specs.push_back(spec);
+    return specs.size() - 1;
+}
+
+// --- TaggedBank ------------------------------------------------------
+
+size_t
+BatchedPredictors::TaggedBank::addSlot(const TaggedConfig &config)
+{
+    // The scalar constructor's invariants, enforced on the same
+    // geometry here.
+    assert(config.ways >= 1);
+    assert(config.entries % config.ways == 0);
+    assert(isPowerOfTwo(config.sets()));
+    assert(config.tagBits >= 1 && config.tagBits <= 32);
+
+    TaggedGeom g;
+    g.config = config;
+    g.setBits = config.sets() > 1 ? floorLog2(config.sets()) : 0;
+    g.base = valid.size();
+    valid.resize(g.base + config.entries, 0);
+    tag.resize(g.base + config.entries, 0);
+    target.resize(g.base + config.entries, 0);
+    lastUsed.resize(g.base + config.entries, 0);
+    geom.push_back(g);
+    useClock.push_back(0);
+    conflictEvictions.push_back(0);
+    return geom.size() - 1;
+}
+
+size_t
+BatchedPredictors::TaggedBank::probe(size_t slot, uint64_t pc,
+                                     uint64_t history) const
+{
+    const TaggedGeom &g = geom[slot];
+    const auto [set, tg] = taggedIndexOf(g.config, g.setBits, pc, history);
+    const size_t base = g.base + set * g.config.ways;
+    for (unsigned w = 0; w < g.config.ways; ++w) {
+        if (valid[base + w] && tag[base + w] == tg)
+            return base + w;
+    }
+    return kMiss;
+}
+
+void
+BatchedPredictors::TaggedBank::update(size_t slot, uint64_t pc,
+                                      uint64_t history, uint64_t tgt)
+{
+    const TaggedGeom &g = geom[slot];
+    const auto [set, tg] = taggedIndexOf(g.config, g.setBits, pc, history);
+    const size_t base = g.base + set * g.config.ways;
+    size_t e = kMiss;
+    for (unsigned w = 0; w < g.config.ways; ++w) {
+        if (valid[base + w] && tag[base + w] == tg) {
+            e = base + w;
+            break;
+        }
+    }
+    if (e == kMiss) {
+        // Invalid way first, else true-LRU victim — the scalar
+        // update()'s allocation scan.
+        e = base;
+        for (unsigned w = 0; w < g.config.ways; ++w) {
+            if (!valid[base + w]) {
+                e = base + w;
+                break;
+            }
+            if (lastUsed[base + w] < lastUsed[e])
+                e = base + w;
+        }
+        if (valid[e])
+            ++conflictEvictions[slot];
+        valid[e] = 1;
+        tag[e] = tg;
+    }
+    target[e] = tgt;
+    lastUsed[e] = ++useClock[slot];
+}
+
+void
+BatchedPredictors::TaggedBank::save(size_t slot, StateWriter &w) const
+{
+    const TaggedGeom &g = geom[slot];
+    w.u64(useClock[slot]);
+    w.u64(conflictEvictions[slot]);
+    for (size_t e = g.base; e < g.base + g.config.entries; ++e) {
+        w.b(valid[e] != 0);
+        w.u64(tag[e]);
+        w.u64(target[e]);
+        w.u64(lastUsed[e]);
+    }
+}
+
+// --- BatchedPredictors -----------------------------------------------
+
+bool
+BatchedPredictors::timingBatchable(const IndirectConfig &config)
+{
+    return config.structure != IndirectStructure::Ittage &&
+           config.structure != IndirectStructure::Oracle;
+}
+
+BatchedPredictors::BatchedPredictors(
+    std::span<const IndirectConfig> configs)
+    : members_(configs.size()),
+      directory_(configs.size()),
+      liveMembers_(configs.size()),
+      hist_(configs.size(), 0),
+      predicted_(configs.size(), 0),
+      taglessIdx_(configs.size(), 0),
+      taggedHit_(configs.size(), kMiss),
+      cascadedS2Hit_(configs.size(), kMiss),
+      indirect_(configs.size())
+{
+    for (size_t i = 0; i < members_; ++i)
+        liveMembers_[i] = i;
+
+    for (size_t i = 0; i < configs.size(); ++i) {
+        const IndirectConfig &c = configs[i];
+        if (c.structure == IndirectStructure::None) {
+            directory_[i] = {Family::None, noneLive_.size()};
+            noneLive_.push_back(i);
+            continue;
+        }
+
+        // One tracker per distinct spec among predictor-carrying
+        // members — the same dedup rule the scalar kernel used.
+        const size_t t = findOrAppendHistorySpec(specs_, c.history);
+        if (t == trackers_.size())
+            trackers_.push_back(
+                std::make_unique<HistoryTracker>(c.history));
+
+        switch (c.structure) {
+          case IndirectStructure::Tagless: {
+            // The scalar constructor's invariants.
+            assert(c.tagless.entryBits >= 1 &&
+                   c.tagless.entryBits <= 24);
+            assert(c.tagless.scheme != TaglessIndexScheme::GAs ||
+                   c.tagless.historyBits + c.tagless.addrBits ==
+                       c.tagless.entryBits);
+            TaglessMeta meta;
+            meta.config = c.tagless;
+            meta.member = i;
+            meta.tracker = t;
+            meta.base = taglessTargets_.size();
+            taglessTargets_.resize(meta.base + c.tagless.entries(), 0);
+            taglessWriterPc_.resize(meta.base + c.tagless.entries(), 0);
+            directory_[i] = {Family::Tagless, taglessMeta_.size()};
+            taglessLive_.push_back(taglessMeta_.size());
+            taglessMeta_.push_back(meta);
+            break;
+          }
+          case IndirectStructure::Tagged: {
+            TaggedMeta meta;
+            meta.member = i;
+            meta.tracker = t;
+            meta.slot = tagged_.addSlot(c.tagged);
+            directory_[i] = {Family::Tagged, taggedMeta_.size()};
+            taggedLive_.push_back(taggedMeta_.size());
+            taggedMeta_.push_back(meta);
+            break;
+          }
+          case IndirectStructure::Cascaded: {
+            assert(isPowerOfTwo(c.cascaded.stage1Entries));
+            CascadedMeta meta;
+            meta.member = i;
+            meta.tracker = t;
+            meta.stage1Bits = floorLog2(c.cascaded.stage1Entries);
+            meta.stage1Base = s1Valid_.size();
+            meta.stage1Entries = c.cascaded.stage1Entries;
+            s1Valid_.resize(meta.stage1Base + meta.stage1Entries, 0);
+            s1Tag_.resize(meta.stage1Base + meta.stage1Entries, 0);
+            s1Target_.resize(meta.stage1Base + meta.stage1Entries, 0);
+            meta.slot = cascadedStage2_.addSlot(c.cascaded.stage2);
+            directory_[i] = {Family::Cascaded, cascadedMeta_.size()};
+            cascadedLive_.push_back(cascadedMeta_.size());
+            cascadedMeta_.push_back(meta);
+            break;
+          }
+          case IndirectStructure::Ittage:
+          case IndirectStructure::Oracle: {
+            ScalarMeta meta;
+            meta.member = i;
+            meta.tracker = t;
+            meta.predictor = buildStack(c).predictor;
+            directory_[i] = {Family::Scalar, scalarMeta_.size()};
+            scalarLive_.push_back(scalarMeta_.size());
+            scalarMeta_.push_back(std::move(meta));
+            break;
+          }
+          case IndirectStructure::None:
+            break;  // handled above
+        }
+    }
+    trackerVal_.assign(trackers_.size(), 0);
+}
+
+bool
+BatchedPredictors::hasPredictor(size_t m) const
+{
+    return directory_[m].family != Family::None;
+}
+
+void
+BatchedPredictors::computePredictions(const MicroOp &op, bool btb_hit,
+                                      uint64_t btb_target)
+{
+    pc_ = op.pc;
+    probeActive_ = btb_hit;
+    const uint64_t fall = op.fallthrough;
+
+    // One history computation per distinct spec — members sharing a
+    // spec no longer re-derive it (per-address path history is a hash
+    // lookup per call).
+    for (size_t t = 0; t < trackers_.size(); ++t)
+        trackerVal_[t] = trackers_[t]->valueFor(pc_);
+
+    for (size_t k : taglessLive_) {
+        const TaglessMeta &g = taglessMeta_[k];
+        const uint64_t h = trackerVal_[g.tracker];
+        hist_[g.member] = h;
+        // The index is cached for update time regardless of the BTB
+        // probe: the scalar path captures the history either way.
+        const size_t idx = g.base + taglessIndexOf(g.config, pc_, h);
+        taglessIdx_[g.member] = idx;
+        // A tagless cache always produces a prediction on probe.
+        predicted_[g.member] = btb_hit ? taglessTargets_[idx] : fall;
+    }
+
+    for (size_t k : taggedLive_) {
+        const TaggedMeta &g = taggedMeta_[k];
+        const uint64_t h = trackerVal_[g.tracker];
+        hist_[g.member] = h;
+        size_t e = kMiss;
+        uint64_t p = fall;
+        if (btb_hit) {
+            e = tagged_.probe(g.slot, pc_, h);
+            p = e != kMiss ? tagged_.target[e] : btb_target;
+        }
+        taggedHit_[g.member] = e;
+        predicted_[g.member] = p;
+    }
+
+    for (size_t k : cascadedLive_) {
+        const CascadedMeta &g = cascadedMeta_[k];
+        const uint64_t h = trackerVal_[g.tracker];
+        hist_[g.member] = h;
+        size_t e = kMiss;
+        uint64_t p = fall;
+        if (btb_hit) {
+            e = cascadedStage2_.probe(g.slot, pc_, h);
+            if (e != kMiss) {
+                p = cascadedStage2_.target[e];
+            } else {
+                const size_t s1 =
+                    g.stage1Base + cascadedStage1IndexOf(g.stage1Bits,
+                                                         pc_);
+                p = (s1Valid_[s1] && s1Tag_[s1] == (pc_ >> 2))
+                        ? s1Target_[s1]
+                        : btb_target;
+            }
+        }
+        cascadedS2Hit_[g.member] = e;
+        predicted_[g.member] = p;
+    }
+
+    for (size_t k : scalarLive_) {
+        ScalarMeta &g = scalarMeta_[k];
+        const uint64_t h = trackerVal_[g.tracker];
+        hist_[g.member] = h;
+        uint64_t p = fall;
+        if (btb_hit) {
+            // Stateful probe — the reason these members are excluded
+            // from timing fusion (timingBatchable()).
+            g.predictor->prime(op);
+            p = g.predictor->predict(pc_, h).value_or(btb_target);
+        }
+        predicted_[g.member] = p;
+    }
+
+    for (size_t m : noneLive_)
+        predicted_[m] = btb_hit ? btb_target : fall;
+}
+
+void
+BatchedPredictors::commitPredictions()
+{
+    if (!probeActive_)
+        return;  // BTB miss: the scalar path never probed
+
+    for (size_t k : taglessLive_) {
+        TaglessMeta &g = taglessMeta_[k];
+        const size_t idx = taglessIdx_[g.member];
+        ++g.probes;
+        if (taglessWriterPc_[idx] != 0 && taglessWriterPc_[idx] != pc_)
+            ++g.crossBranchProbes;
+    }
+
+    for (size_t k : taggedLive_) {
+        const TaggedMeta &g = taggedMeta_[k];
+        const size_t e = taggedHit_[g.member];
+        if (e != kMiss)
+            tagged_.touch(g.slot, e);
+    }
+
+    for (size_t k : cascadedLive_) {
+        CascadedMeta &g = cascadedMeta_[k];
+        ++g.probes;
+        const size_t e = cascadedS2Hit_[g.member];
+        if (e != kMiss) {
+            ++g.stage2Hits;
+            cascadedStage2_.touch(g.slot, e);
+        }
+    }
+
+    // Scalar members committed inside computePredictions(); BTB-only
+    // members have no state.
+}
+
+void
+BatchedPredictors::recordOutcomes(uint64_t next_pc)
+{
+    for (size_t m : liveMembers_)
+        indirect_[m].record(predicted_[m] == next_pc);
+}
+
+void
+BatchedPredictors::updateAll(uint64_t next_pc)
+{
+    for (size_t k : taglessLive_) {
+        const TaglessMeta &g = taglessMeta_[k];
+        const size_t idx = taglessIdx_[g.member];
+        taglessTargets_[idx] = next_pc;
+        taglessWriterPc_[idx] = pc_;
+    }
+
+    for (size_t k : taggedLive_) {
+        const TaggedMeta &g = taggedMeta_[k];
+        tagged_.update(g.slot, pc_, hist_[g.member], next_pc);
+    }
+
+    for (size_t k : cascadedLive_) {
+        const CascadedMeta &g = cascadedMeta_[k];
+        const size_t s1 =
+            g.stage1Base + cascadedStage1IndexOf(g.stage1Bits, pc_);
+        const bool s1_hit = s1Valid_[s1] && s1Tag_[s1] == (pc_ >> 2);
+        const bool s1_correct = s1_hit && s1Target_[s1] == next_pc;
+        // The scalar update()'s presence probe goes through
+        // stage2.predict(), which refreshes LRU on a hit — replicated
+        // exactly, clock bump and all.
+        const size_t e =
+            cascadedStage2_.probe(g.slot, pc_, hist_[g.member]);
+        if (e != kMiss)
+            cascadedStage2_.touch(g.slot, e);
+        if (e != kMiss || !s1_correct)
+            cascadedStage2_.update(g.slot, pc_, hist_[g.member],
+                                   next_pc);
+        s1Valid_[s1] = 1;
+        s1Tag_[s1] = pc_ >> 2;
+        s1Target_[s1] = next_pc;
+    }
+
+    for (size_t k : scalarLive_) {
+        ScalarMeta &g = scalarMeta_[k];
+        g.predictor->update(pc_, hist_[g.member], next_pc);
+    }
+}
+
+void
+BatchedPredictors::observeTrackers(const MicroOp &op)
+{
+    for (auto &tracker : trackers_)
+        tracker->observe(op);
+}
+
+void
+BatchedPredictors::retire(size_t m)
+{
+    std::erase(liveMembers_, m);
+    const DirEntry &d = directory_[m];
+    switch (d.family) {
+      case Family::None:
+        std::erase(noneLive_, m);
+        break;
+      case Family::Tagless:
+        std::erase(taglessLive_, d.pos);
+        break;
+      case Family::Tagged:
+        std::erase(taggedLive_, d.pos);
+        break;
+      case Family::Cascaded:
+        std::erase(cascadedLive_, d.pos);
+        break;
+      case Family::Scalar:
+        std::erase(scalarLive_, d.pos);
+        break;
+    }
+}
+
+void
+BatchedPredictors::savePredictorState(size_t m, StateWriter &w) const
+{
+    const DirEntry &d = directory_[m];
+    switch (d.family) {
+      case Family::Tagless: {
+        const TaglessMeta &g = taglessMeta_[d.pos];
+        const size_t n = g.config.entries();
+        for (size_t e = g.base; e < g.base + n; ++e)
+            w.u64(taglessTargets_[e]);
+        for (size_t e = g.base; e < g.base + n; ++e)
+            w.u64(taglessWriterPc_[e]);
+        w.u64(g.probes);
+        w.u64(g.crossBranchProbes);
+        break;
+      }
+      case Family::Tagged:
+        tagged_.save(taggedMeta_[d.pos].slot, w);
+        break;
+      case Family::Cascaded: {
+        const CascadedMeta &g = cascadedMeta_[d.pos];
+        for (size_t e = g.stage1Base;
+             e < g.stage1Base + g.stage1Entries; ++e) {
+            w.b(s1Valid_[e] != 0);
+            w.u64(s1Tag_[e]);
+            w.u64(s1Target_[e]);
+        }
+        cascadedStage2_.save(g.slot, w);
+        w.u64(g.stage2Hits);
+        w.u64(g.probes);
+        break;
+      }
+      case Family::Scalar:
+        scalarMeta_[d.pos].predictor->saveState(w);
+        break;
+      case Family::None:
+        assert(false && "BTB-only member has no predictor state");
+        break;
+    }
+}
+
+void
+BatchedPredictors::saveTrackerState(size_t m, StateWriter &w) const
+{
+    const DirEntry &d = directory_[m];
+    assert(d.family != Family::None);
+    size_t tracker = 0;
+    switch (d.family) {
+      case Family::Tagless:
+        tracker = taglessMeta_[d.pos].tracker;
+        break;
+      case Family::Tagged:
+        tracker = taggedMeta_[d.pos].tracker;
+        break;
+      case Family::Cascaded:
+        tracker = cascadedMeta_[d.pos].tracker;
+        break;
+      case Family::Scalar:
+        tracker = scalarMeta_[d.pos].tracker;
+        break;
+      case Family::None:
+        return;
+    }
+    trackers_[tracker]->saveState(w);
+}
+
+} // namespace tpred

@@ -245,6 +245,45 @@ sweepMissRates(const TableOptions &opt,
     return cells;
 }
 
+/**
+ * Fused timing cells: evaluates every (workload x config) pair's
+ * execution-time reduction over the BTB baseline, one runTimingSweep()
+ * per (workload x history-group) job, and scatters the results back
+ * into (workload x config) grid order.  Cell values are bit-identical
+ * to per-config runTiming() — the fusion shares one core trajectory
+ * and forks members on divergence (docs/sweep_kernel.md).
+ */
+std::vector<double>
+sweepReductions(const TableOptions &opt,
+                const std::vector<SharedTrace> &traces,
+                const std::vector<uint64_t> &bases,
+                const std::vector<IndirectConfig> &configs)
+{
+    const auto groups = groupByHistory(configs);
+    const auto parts = mapJobs<std::vector<double>>(
+        opt, traces.size() * groups.size(), [&](size_t j) {
+            const size_t w = j / groups.size();
+            const auto &group = groups[j % groups.size()];
+            std::vector<IndirectConfig> batch;
+            batch.reserve(group.size());
+            for (size_t c : group)
+                batch.push_back(configs[c]);
+            std::vector<double> vals;
+            vals.reserve(group.size());
+            for (const CoreResult &r : runTimingSweep(traces[w], batch))
+                vals.push_back(execTimeReduction(bases[w], r.cycles));
+            return vals;
+        });
+
+    std::vector<double> cells(traces.size() * configs.size());
+    for (size_t w = 0; w < traces.size(); ++w)
+        for (size_t g = 0; g < groups.size(); ++g)
+            for (size_t k = 0; k < groups[g].size(); ++k)
+                cells[w * configs.size() + groups[g][k]] =
+                    parts[w * groups.size() + g][k];
+    return cells;
+}
+
 HistorySpec
 pathSchemeHistory(const std::string &scheme, unsigned bits_per_target,
                   unsigned addr_bit_offset)
@@ -286,35 +325,16 @@ renderReductionGrid(const TableOptions &opt,
     const size_t cols = header.size() - 1;
     const size_t per_workload = rows * cols;
 
-    // Timing cells cannot fuse — the core model consumes per-config
-    // wrong-path state — but the parallelism unit still follows the
-    // sweep kernel's grouping: one job per (workload x history
-    // group), its cells evaluated serially inside the job and
-    // scattered back by cell index, so Serial and Parallel modes
-    // produce the same bits as the per-cell job layout did.
+    // Fused timing cells via runTimingSweep: the parallelism unit
+    // stays one job per (workload x history group), with the whole
+    // group sharing one core trajectory inside the job, so Serial and
+    // Parallel modes produce the same bits as the per-cell layout did.
     std::vector<IndirectConfig> configs;
     configs.reserve(per_workload);
     for (size_t row = 0; row < rows; ++row)
         for (size_t col = 0; col < cols; ++col)
             configs.push_back(config_at(row, col));
-    const auto groups = groupByHistory(configs);
-    const auto parts = mapJobs<std::vector<double>>(
-        opt, names.size() * groups.size(), [&](size_t j) {
-            const size_t w = j / groups.size();
-            const auto &group = groups[j % groups.size()];
-            std::vector<double> vals;
-            vals.reserve(group.size());
-            for (size_t c : group)
-                vals.push_back(
-                    reductionOver(bases[w], traces[w], configs[c]));
-            return vals;
-        });
-    std::vector<double> cells(names.size() * per_workload);
-    for (size_t w = 0; w < names.size(); ++w)
-        for (size_t g = 0; g < groups.size(); ++g)
-            for (size_t k = 0; k < groups[g].size(); ++k)
-                cells[w * per_workload + groups[g][k]] =
-                    parts[w * groups.size() + g][k];
+    const auto cells = sweepReductions(opt, traces, bases, configs);
 
     std::string out;
     for (size_t w = 0; w < names.size(); ++w) {
@@ -516,31 +536,14 @@ renderFig1213(const TableOptions &opt)
     const auto bases = baseCyclesFor(opt, traces);
 
     // Per workload: cell 0 is the tagless reference, cells 1..n the
-    // tagged cache at each associativity.  Timing cells, so the jobs
-    // follow the (workload x history-group) unit without fusing.
+    // tagged cache at each associativity; fused timing cells, one
+    // runTimingSweep() per (workload x history-group) job.
     std::vector<IndirectConfig> configs = {taglessGshare()};
     for (unsigned ways : assocs)
         configs.push_back(
             taggedConfig(TaggedIndexScheme::HistoryXor, ways));
     const size_t per_workload = configs.size();
-    const auto groups = groupByHistory(configs);
-    const auto parts = mapJobs<std::vector<double>>(
-        opt, names.size() * groups.size(), [&](size_t j) {
-            const size_t w = j / groups.size();
-            const auto &group = groups[j % groups.size()];
-            std::vector<double> vals;
-            vals.reserve(group.size());
-            for (size_t c : group)
-                vals.push_back(
-                    reductionOver(bases[w], traces[w], configs[c]));
-            return vals;
-        });
-    std::vector<double> cells(names.size() * per_workload);
-    for (size_t w = 0; w < names.size(); ++w)
-        for (size_t g = 0; g < groups.size(); ++g)
-            for (size_t k = 0; k < groups[g].size(); ++k)
-                cells[w * per_workload + groups[g][k]] =
-                    parts[w * groups.size() + g][k];
+    const auto cells = sweepReductions(opt, traces, bases, configs);
 
     std::string out;
     for (size_t w = 0; w < names.size(); ++w) {

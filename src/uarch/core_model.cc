@@ -186,4 +186,14 @@ CoreModel::restoreState(StateReader &r)
     }
 }
 
+void
+CoreModel::forkFrom(const CoreModel &other)
+{
+    StateWriter w;
+    other.saveState(w);
+    StateReader r(w.bytes());
+    restoreState(r);
+    r.expectEnd();
+}
+
 } // namespace tpred

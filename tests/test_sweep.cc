@@ -311,6 +311,158 @@ TEST(SweepKernel, FusedMatchesSequentialOnHostileTraces)
                         configs[c].describe());
 }
 
+void
+expectSameCoreResult(const CoreResult &want, const CoreResult &got,
+                     const std::string &context)
+{
+    EXPECT_EQ(want.cycles, got.cycles) << context;
+    EXPECT_EQ(want.instructions, got.instructions) << context;
+    EXPECT_EQ(want.stallCyclesByKind, got.stallCyclesByKind)
+        << context << " penalty breakdown";
+    EXPECT_EQ(want.dcache.hits, got.dcache.hits) << context;
+    EXPECT_EQ(want.dcache.misses, got.dcache.misses) << context;
+    expectSameStats(want.frontend, got.frontend, context);
+}
+
+/** One config per predictor family, lead first. */
+std::vector<IndirectConfig>
+timingFamilyConfigs()
+{
+    return {
+        taglessGshare(),                                  // lead
+        baselineConfig(),                                 // BTB-only
+        taglessGshare(patternHistory(12), 9),
+        taggedConfig(TaggedIndexScheme::HistoryXor, 4),
+        taggedConfig(TaggedIndexScheme::Address, 2),
+        cascadedConfig(),
+        ittageConfig(),  // scalar: internal per-config path
+        oracleConfig(),  // scalar: internal per-config path
+    };
+}
+
+/**
+ * The fused-timing equivalence claim: one shared core trajectory plus
+ * copy-on-divergence forks reproduces per-config runTiming() exactly
+ * — cycles, penalty breakdown, front-end stats and dcache — for every
+ * predictor family (ITTAGE and the oracle ride the internal
+ * per-config path) across workloads and seeds.
+ */
+TEST(SweepKernel, FusedTimingMatchesPerConfig)
+{
+    const std::vector<IndirectConfig> configs = timingFamilyConfigs();
+    for (const std::string &name : {"gcc", "perl", "xlisp"}) {
+        for (uint64_t seed : {1u, 2u}) {
+            const SharedTrace trace = recordWorkload(name, 8000, seed);
+            const std::vector<CoreResult> fused =
+                runTimingSweep(trace, configs);
+            ASSERT_EQ(fused.size(), configs.size());
+            for (size_t c = 0; c < configs.size(); ++c) {
+                expectSameCoreResult(
+                    runTiming(trace, configs[c]), fused[c],
+                    name + "/seed" + std::to_string(seed) + "/" +
+                        configs[c].describe());
+            }
+        }
+    }
+}
+
+/** Non-default core and front-end parameters must fuse exactly too. */
+TEST(SweepKernel, FusedTimingMatchesPerConfigUnderAlternateMachines)
+{
+    const std::vector<IndirectConfig> configs = {
+        taglessGshare(),
+        taggedConfig(TaggedIndexScheme::HistoryXor, 4),
+        cascadedConfig(),
+    };
+    const SharedTrace trace = recordWorkload("perl", 10000);
+
+    CoreParams narrow;
+    narrow.width = 4;
+    narrow.window = 32;
+    narrow.fuCount = 4;
+    FrontendConfig tourney;
+    tourney.direction = DirectionScheme::Tournament;
+
+    const std::vector<CoreResult> fused =
+        runTimingSweep(trace, configs, narrow, tourney);
+    for (size_t c = 0; c < configs.size(); ++c)
+        expectSameCoreResult(
+            runTiming(trace, configs[c], narrow, tourney), fused[c],
+            configs[c].describe());
+}
+
+/**
+ * Hostile traces force the block-decode fallback in the branch-stream
+ * extractor, and the fused loop suspends the lead core at stream.pos
+ * boundaries — both must stay exact there.
+ */
+TEST(SweepKernel, FusedTimingMatchesPerConfigOnHostileTraces)
+{
+    // The core model contracts registers to [0, kNumArchRegs); clamp
+    // the fixture's deliberate register escapes (the accuracy tests
+    // keep them — they never touch the core).  The redirect-on-non-
+    // branch and memAddr-on-branch ops still force the fallback scan.
+    std::vector<MicroOp> ops = hostileOps(3000);
+    for (MicroOp &op : ops) {
+        if (op.dstReg != kNoReg && op.dstReg >= kNumArchRegs)
+            op.dstReg = 33;
+    }
+    const SharedTrace trace(std::move(ops), "hostile");
+    ASSERT_FALSE(trace.compact().fastBranchScan());
+    const std::vector<IndirectConfig> configs = {
+        taglessGshare(),
+        taggedConfig(TaggedIndexScheme::HistoryXor, 4),
+        cascadedConfig(),
+        baselineConfig(),
+    };
+    const std::vector<CoreResult> fused = runTimingSweep(trace, configs);
+    for (size_t c = 0; c < configs.size(); ++c)
+        expectSameCoreResult(runTiming(trace, configs[c]), fused[c],
+                             configs[c].describe());
+}
+
+/**
+ * Deterministic-counter contract of the fused timing sweep: the
+ * core.* and experiment.* counters must equal N per-config runTiming()
+ * calls exactly, and the fork accounting (sweep.timing_forks /
+ * shared_cycles / member_cycles, phase.sweep_timing) must be
+ * populated.
+ */
+TEST(SweepKernel, FusedTimingCountersMatchPerConfig)
+{
+    const std::vector<IndirectConfig> configs = timingFamilyConfigs();
+    const SharedTrace trace = recordWorkload("gcc", 10000);
+    (void)trace.branchStream();  // both paths see a cached stream
+
+    obs::globalMetrics().reset();
+    for (const IndirectConfig &config : configs)
+        (void)runTiming(trace, config);
+    const obs::MetricsSnapshot ref = obs::globalMetrics().snapshot();
+
+    obs::globalMetrics().reset();
+    (void)runTimingSweep(trace, configs);
+    const obs::MetricsSnapshot fused = obs::globalMetrics().snapshot();
+
+    for (const char *key :
+         {"core.cycles_simulated", "core.instructions_retired",
+          "experiment.timing_runs", "experiment.instructions_replayed"})
+        EXPECT_EQ(fused.counters.at(key), ref.counters.at(key)) << key;
+
+    // This family mix diverges quickly, so forks must have happened,
+    // and every fork splits the member's cycles into a shared prefix
+    // and a private suffix.
+    EXPECT_GT(fused.counters.at("sweep.timing_forks"), 0u);
+    EXPECT_GT(fused.counters.at("sweep.shared_cycles"), 0u);
+    EXPECT_GT(fused.counters.at("sweep.member_cycles"), 0u);
+    EXPECT_GT(fused.timers.at("phase.sweep_timing").count, 0u);
+
+    // The per-config path never forks (the counter is either absent
+    // or zero, depending on what ran earlier in this process).
+    const auto ref_forks = ref.counters.find("sweep.timing_forks");
+    EXPECT_TRUE(ref_forks == ref.counters.end() ||
+                ref_forks->second == 0u);
+}
+
 /**
  * sweep.* counters are deterministic: one-thread and four-thread
  * renders of the same fused table must produce identical values (the

@@ -3,6 +3,7 @@
 
 Usage:
     bench_compare.py BASELINE.json CANDIDATE.json [--threshold PCT]
+    bench_compare.py --check-baselines [DIR]
 
 Accepts the output of any bench that emits an `ops` budget and a
 per-workload map of *_mops lanes — both the current tpred-run-report/1
@@ -33,13 +34,55 @@ with like: a replay baseline against a replay candidate, a sweep
 baseline against a sweep candidate, a corpus baseline against a
 corpus candidate.
 
-Exit status: 0 when clean, 1 on any regression, 2 on unusable input.
-Only the standard library is used so the script runs anywhere.
+The REGISTERED_BASELINES registry lists every baseline file the repo
+commits; `--check-baselines [DIR]` fails loudly (exit 1, one line per
+absentee) when any registered file is missing or unreadable, so a
+bench whose baseline silently never landed — or was deleted — cannot
+pass the perf gate by having nothing to compare against.
+
+Exit status: 0 when clean, 1 on any regression or missing registered
+baseline, 2 on unusable input.  Only the standard library is used so
+the script runs anywhere.
 """
 
 import argparse
 import json
+import os
 import sys
+
+#: Baseline reports committed at the repo root; every bench that emits
+#: one must keep its file in this registry (and vice versa).
+REGISTERED_BASELINES = {
+    "BENCH_replay.json": "bench/replay_throughput",
+    "BENCH_sweep.json": "bench/sweep_throughput",
+    "BENCH_corpus.json": "bench/corpus_load",
+    "BENCH_shard.json": "bench/shard_replay",
+}
+
+
+def check_baselines(root):
+    """Verifies every registered baseline exists and parses."""
+    missing = []
+    for name, tool in sorted(REGISTERED_BASELINES.items()):
+        path = os.path.join(root, name)
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            missing.append(f"{name} (regenerate with {tool}): {err}")
+            continue
+        if not isinstance(data.get("workloads"), dict):
+            missing.append(
+                f"{name} (regenerate with {tool}): no 'workloads' map")
+    if missing:
+        print(f"{len(missing)} registered baseline(s) missing or "
+              f"unusable in {root}:", file=sys.stderr)
+        for line in missing:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"all {len(REGISTERED_BASELINES)} registered baselines "
+          f"present in {root}")
+    return 0
 
 
 def load(path):
@@ -72,13 +115,23 @@ def lanes(entry):
 
 def main():
     parser = argparse.ArgumentParser(
-        description="Diff two replay_throughput JSON reports.")
-    parser.add_argument("baseline")
-    parser.add_argument("candidate")
+        description="Diff two bench JSON reports.")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("candidate", nargs="?")
     parser.add_argument(
         "--threshold", type=float, default=10.0, metavar="PCT",
         help="regression tolerance in percent (default: %(default)s)")
+    parser.add_argument(
+        "--check-baselines", nargs="?", const=".", metavar="DIR",
+        help="verify every registered baseline file exists under DIR "
+             "(default: current directory) and exit")
     args = parser.parse_args()
+
+    if args.check_baselines is not None:
+        return check_baselines(args.check_baselines)
+    if args.baseline is None or args.candidate is None:
+        parser.error("baseline and candidate are required unless "
+                     "--check-baselines is given")
 
     base = load(args.baseline)
     cand = load(args.candidate)
