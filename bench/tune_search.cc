@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Autotuner search throughput: exhaustive grid vs successive halving
+ * over the "bench" config space on the paper's headline workload pair.
+ *
+ * An untimed self-check first proves the two searches agree where it
+ * matters — the halving aggregate frontier must equal the exhaustive
+ * one point for point (same ids, same full-budget miss counts), and
+ * halving must spend at least 5x fewer full-budget evaluations — so
+ * the timed lanes only compare strategies proven to deliver the same
+ * frontier.  Throughput is frontier-delivery rate in aggregate
+ * Mops/s: the (configs x workloads x full ops) evaluation volume an
+ * exhaustive search must retire, divided by each strategy's
+ * wall-clock seconds.  Results go to stdout and to BENCH_tune.json
+ * (override with TPRED_BENCH_OUT) as a tpred-tune-report/1-adjacent
+ * run report for tools/bench_compare.py.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "tune/config_space.hh"
+#include "tune/successive_halving.hh"
+#include "tune/tune_report.hh"
+
+using namespace tpred;
+
+namespace
+{
+
+/** Exits 1 unless the halving run earns its timed lane. */
+void
+requireSameFrontier(const tune::TuneResult &exhaustive,
+                    const tune::TuneResult &halving)
+{
+    const std::vector<tune::ParetoPoint> &want =
+        exhaustive.aggregateFrontier;
+    const std::vector<tune::ParetoPoint> &got =
+        halving.aggregateFrontier;
+    if (want.size() != got.size()) {
+        std::fprintf(stderr,
+                     "FATAL: halving frontier has %zu points, "
+                     "exhaustive %zu\n",
+                     got.size(), want.size());
+        std::exit(1);
+    }
+    for (size_t i = 0; i < want.size(); ++i) {
+        if (want[i].id != got[i].id || want[i].misses != got[i].misses ||
+            want[i].total != got[i].total) {
+            std::fprintf(stderr,
+                         "FATAL: frontier point %zu differs: "
+                         "exhaustive %s, halving %s\n",
+                         i, want[i].id.c_str(), got[i].id.c_str());
+            std::exit(1);
+        }
+    }
+    if (halving.fullEvals * 5 > exhaustive.fullEvals) {
+        std::fprintf(stderr,
+                     "FATAL: halving paid %llu full evaluations, "
+                     "more than 1/5 of the exhaustive %llu\n",
+                     static_cast<unsigned long long>(halving.fullEvals),
+                     static_cast<unsigned long long>(
+                         exhaustive.fullEvals));
+        std::exit(1);
+    }
+}
+
+std::string
+fixed2(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", value);
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const RunOptions run =
+        bench::setup(argc, argv, /*fallback_ops=*/200'000);
+    const size_t ops = run.ops;
+
+    const tune::ConfigSpace space = tune::enumerateSpace("bench");
+    tune::TuneOptions opt;
+    opt.fullOps = ops;
+    opt.rungs = 3;
+    opt.workloads = bench::headlinePair();
+
+    bench::heading("autotuner search: exhaustive vs successive halving",
+                   ops);
+    std::printf("space: %zu configs x %zu workloads\n\n",
+                space.candidates.size(), opt.workloads.size());
+
+    // Untimed self-check: same frontier, >= 5x fewer full evals.
+    const tune::TuneResult exhaustive = tune::runExhaustive(space, opt);
+    const tune::TuneResult halving =
+        tune::runSuccessiveHalving(space, opt);
+    requireSameFrontier(exhaustive, halving);
+    std::printf("self-check: frontiers identical (%zu points), "
+                "halving full evals %llu vs exhaustive %llu\n\n",
+                halving.aggregateFrontier.size(),
+                static_cast<unsigned long long>(halving.fullEvals),
+                static_cast<unsigned long long>(exhaustive.fullEvals));
+
+    // Both lanes retire the same logical search; normalize by the
+    // exhaustive evaluation volume so the halving lane's higher
+    // Mops/s expresses its shortcut directly.
+    const size_t volume =
+        space.candidates.size() * opt.workloads.size() * ops;
+    const unsigned reps = 3;
+    uint64_t sink = 0;
+    const double exhaustive_mops =
+        bench::measureMops(volume, reps, sink, [&] {
+            return tune::runExhaustive(space, opt).fullEvals;
+        });
+    const double halving_mops =
+        bench::measureMops(volume, reps, sink, [&] {
+            return tune::runSuccessiveHalving(space, opt).fullEvals;
+        });
+
+    Table table;
+    table.setHeader({"lane", "Mops/s", "full evals"});
+    table.addRow({"exhaustive", fixed2(exhaustive_mops),
+                  std::to_string(exhaustive.fullEvals)});
+    table.addRow({"halving", fixed2(halving_mops),
+                  std::to_string(halving.fullEvals)});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("frontier (aggregate):\n%s\n",
+                tune::renderFrontierTable(halving.aggregateFrontier)
+                    .c_str());
+
+    bench::LaneReport report("bench/tune_search", ops,
+                             "BENCH_tune.json");
+    report.report().setConfig("space", space.name);
+    report.report().setConfig(
+        "space_configs",
+        static_cast<uint64_t>(space.candidates.size()));
+    report.report().setConfig("rungs",
+                              static_cast<uint64_t>(opt.rungs));
+    report.report().addTable(
+        "frontier_aggregate",
+        tune::renderFrontierTable(halving.aggregateFrontier));
+    for (const std::string &w : opt.workloads) {
+        report.value(w, "exhaustive_mops", exhaustive_mops);
+        report.value(w, "halving_mops", halving_mops);
+        report.value(w, "full_evals", halving.fullEvals);
+        report.value(w, "exhaustive_evals", exhaustive.fullEvals);
+        report.value(w, "frontier_size",
+                     static_cast<uint64_t>(
+                         halving.aggregateFrontier.size()));
+    }
+    return report.write();
+}

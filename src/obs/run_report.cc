@@ -89,7 +89,10 @@ tokenized(const std::map<std::string, uint64_t> &values)
 
 } // namespace
 
-RunReport::RunReport(std::string tool) : tool_(std::move(tool)) {}
+RunReport::RunReport(std::string tool, std::string schema)
+    : tool_(std::move(tool)), schema_(std::move(schema))
+{
+}
 
 void
 RunReport::setConfig(std::string_view key, std::string_view value)
@@ -178,7 +181,7 @@ RunReport::toJson() const
     std::string out;
     out.reserve(4096);
     out += "{\n";
-    out += "  \"schema\": " + quoted(kRunReportSchema) + ",\n";
+    out += "  \"schema\": " + quoted(schema_) + ",\n";
     out += "  \"tool\": " + quoted(tool_) + ",\n";
 
     out += "  \"config\": ";

@@ -46,8 +46,15 @@ inline constexpr const char *kRunReportSchema = "tpred-run-report/1";
 class RunReport
 {
   public:
-    /** @param tool Emitting binary's name ("tpredsim", bench name). */
-    explicit RunReport(std::string tool);
+    /**
+     * @param tool Emitting binary's name ("tpredsim", bench name).
+     * @param schema Value of the "schema" field.  Defaults to the run
+     *        report schema; derived document kinds sharing the same
+     *        six-section shape (the autotuner's tpred-tune-report/1)
+     *        pass their own identifier.
+     */
+    explicit RunReport(std::string tool,
+                       std::string schema = kRunReportSchema);
 
     /** Adds one semantic config entry (deterministic section). */
     void setConfig(std::string_view key, std::string_view value);
@@ -94,6 +101,7 @@ class RunReport
 
   private:
     std::string tool_;
+    std::string schema_;
     std::map<std::string, std::string> config_;   ///< key -> JSON token
     std::map<std::string, std::string> tables_;
     std::map<std::string, std::map<std::string, std::string>>

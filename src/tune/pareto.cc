@@ -1,0 +1,86 @@
+#include "tune/pareto.hh"
+
+#include <algorithm>
+
+namespace tpred::tune
+{
+
+int
+compareMissRate(uint64_t a_misses, uint64_t a_total,
+                uint64_t b_misses, uint64_t b_total)
+{
+    // A zero total means no indirect jumps executed: rate 0 by
+    // definition.  Cross multiplication alone would make 0/0 compare
+    // equal to everything (both products vanish), so guard it.
+    if (a_total == 0 || b_total == 0) {
+        const bool a_zero = a_total == 0 || a_misses == 0;
+        const bool b_zero = b_total == 0 || b_misses == 0;
+        if (a_zero && b_zero)
+            return 0;
+        return a_zero ? -1 : 1;
+    }
+    // a/b < c/d  <=>  a*d < c*b for non-negative rationals; the
+    // products stay exact in 128 bits (counts are < 2^64).
+    const unsigned __int128 lhs =
+        static_cast<unsigned __int128>(a_misses) * b_total;
+    const unsigned __int128 rhs =
+        static_cast<unsigned __int128>(b_misses) * a_total;
+    if (lhs < rhs)
+        return -1;
+    return lhs > rhs ? 1 : 0;
+}
+
+bool
+dominates(const ParetoPoint &a, const ParetoPoint &b)
+{
+    if (a.storageBits > b.storageBits)
+        return false;
+    const int rate = compareMissRate(a.misses, a.total, b.misses, b.total);
+    if (rate > 0)
+        return false;
+    return a.storageBits < b.storageBits || rate < 0;
+}
+
+std::vector<ParetoPoint>
+paretoFrontier(std::vector<ParetoPoint> points)
+{
+    // Canonical order first: ascending storage, then ascending miss
+    // rate, then ascending id.  Sorting before the sweep is what makes
+    // the result permutation-invariant and the tie-breaks total.
+    std::sort(points.begin(), points.end(),
+              [](const ParetoPoint &a, const ParetoPoint &b) {
+                  if (a.storageBits != b.storageBits)
+                      return a.storageBits < b.storageBits;
+                  const int rate = compareMissRate(a.misses, a.total,
+                                                   b.misses, b.total);
+                  if (rate != 0)
+                      return rate < 0;
+                  return a.id < b.id;
+              });
+
+    std::vector<ParetoPoint> frontier;
+    for (const ParetoPoint &p : points) {
+        if (!frontier.empty()) {
+            const ParetoPoint &best = frontier.back();
+            // Same budget: only the first (lowest rate, smallest id)
+            // of the group survives.  Higher budget: must strictly
+            // improve on the best rate seen so far.
+            if (best.storageBits == p.storageBits)
+                continue;
+            if (compareMissRate(p.misses, p.total, best.misses,
+                                best.total) >= 0)
+                continue;
+        }
+        frontier.push_back(p);
+    }
+    return frontier;
+}
+
+bool
+onFrontier(const std::vector<ParetoPoint> &frontier, const ParetoPoint &p)
+{
+    return std::any_of(frontier.begin(), frontier.end(),
+                       [&](const ParetoPoint &f) { return f.id == p.id; });
+}
+
+} // namespace tpred::tune

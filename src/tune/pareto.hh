@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Accuracy-per-bit Pareto frontiers for the autotuner (docs/autotuner.md).
+ *
+ * A tuning run reduces every candidate to a point in the plane the
+ * paper's section 4.2 cost accounting implies: predictor storage in
+ * bits on one axis, indirect misprediction rate on the other.  The
+ * frontier is the set of non-dominated points — no other point has
+ * both no-more storage and a no-worse miss rate with at least one
+ * strict improvement.
+ *
+ * Determinism rules (what the byte-identical-report contract rests on):
+ *
+ *  - Miss rates are compared as exact rationals (misses/total via
+ *    128-bit cross multiplication), never as doubles, so ordering can
+ *    not depend on rounding.
+ *  - The frontier is invariant under input permutation: points are
+ *    canonically sorted before the dominance sweep.
+ *  - Ties are broken explicitly: among points with identical
+ *    (storageBits, miss rate), the lexicographically smallest
+ *    candidate id survives and the rest are treated as dominated.
+ */
+
+#ifndef TPRED_TUNE_PARETO_HH
+#define TPRED_TUNE_PARETO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tpred::tune
+{
+
+/** One candidate's (storage, accuracy) summary on one workload class. */
+struct ParetoPoint
+{
+    size_t candidate = 0;     ///< index into the ConfigSpace
+    uint64_t storageBits = 0; ///< predictor costBits()
+    uint64_t misses = 0;      ///< indirect-jump mispredictions
+    uint64_t total = 0;       ///< indirect jumps executed
+    std::string id;           ///< the candidate's unique id
+
+    /** Reporting only — ordering always uses the exact rational. */
+    double
+    missRate() const
+    {
+        return total != 0
+                   ? static_cast<double>(misses) /
+                         static_cast<double>(total)
+                   : 0.0;
+    }
+};
+
+/**
+ * Exact three-way comparison of two miss rates as rationals:
+ * negative when a's rate is lower, 0 when equal, positive when
+ * higher.  A zero total compares as rate 0 (cross multiplication
+ * handles it naturally: 0/0 == 0/t == 0).
+ */
+int compareMissRate(uint64_t a_misses, uint64_t a_total,
+                    uint64_t b_misses, uint64_t b_total);
+
+/**
+ * True when @p a dominates @p b: a.storageBits <= b.storageBits and
+ * a's miss rate <= b's, with at least one strict.  Points with equal
+ * (bits, rate) do not dominate each other here; the frontier's
+ * id tie-break handles them.
+ */
+bool dominates(const ParetoPoint &a, const ParetoPoint &b);
+
+/**
+ * The non-dominated subset of @p points, sorted by ascending
+ * storageBits (and hence strictly descending miss rate).
+ *
+ * Invariant under permutation of the input; among duplicate
+ * (storageBits, rate) points only the smallest id survives.
+ */
+std::vector<ParetoPoint> paretoFrontier(std::vector<ParetoPoint> points);
+
+/** True when @p p has a frontier entry with the same candidate id. */
+bool onFrontier(const std::vector<ParetoPoint> &frontier,
+                const ParetoPoint &p);
+
+} // namespace tpred::tune
+
+#endif // TPRED_TUNE_PARETO_HH

@@ -1,0 +1,95 @@
+#include "tune/tune_report.hh"
+
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace tpred::tune
+{
+
+std::string
+renderRungTable(const TuneResult &result)
+{
+    Table table;
+    table.setHeader({"rung", "prefix ops", "population", "promoted"});
+    for (size_t r = 0; r < result.rungs.size(); ++r) {
+        const RungRecord &record = result.rungs[r];
+        const bool last = r + 1 == result.rungs.size();
+        table.addRow({std::to_string(r),
+                      formatCount(record.ops),
+                      std::to_string(record.population),
+                      last ? "-" : std::to_string(record.promoted)});
+    }
+    return table.render();
+}
+
+std::string
+renderFrontierTable(const std::vector<ParetoPoint> &frontier)
+{
+    Table table;
+    table.setHeader({"storage bits", "miss rate", "config"});
+    for (const ParetoPoint &p : frontier)
+        table.addRow({std::to_string(p.storageBits),
+                      formatPercent(p.missRate(), 2), p.id});
+    return table.render();
+}
+
+obs::RunReport
+makeTuneReport(const std::string &tool, const ConfigSpace &space,
+               const TuneOptions &opt, const TuneResult &result)
+{
+    obs::RunReport report(tool, kTuneReportSchema);
+    report.setConfig("space", space.name);
+    report.setConfig("space_configs",
+                     static_cast<uint64_t>(space.candidates.size()));
+    report.setConfig("space_enumerated",
+                     static_cast<uint64_t>(space.enumerated));
+    report.setConfig("space_truncated",
+                     static_cast<uint64_t>(space.truncated()));
+    report.setConfig("rungs", static_cast<uint64_t>(opt.rungs));
+    report.setConfig("eta", static_cast<uint64_t>(opt.eta));
+    report.setConfig("min_survivors",
+                     static_cast<uint64_t>(opt.minSurvivors));
+    report.setConfig("ops", static_cast<uint64_t>(opt.fullOps));
+    report.setConfig("seed", opt.seed);
+    std::string names;
+    for (const std::string &w : result.workloads) {
+        if (!names.empty())
+            names += ",";
+        names += w;
+    }
+    report.setConfig("workloads", names);
+    report.setConfig("evals", result.evals);
+    report.setConfig("full_evals", result.fullEvals);
+    report.setConfig("exhaustive_evals", result.exhaustiveEvals);
+    report.setConfig("evals_saved", result.evalsSaved());
+
+    report.addTable("rungs", renderRungTable(result));
+    report.addTable("frontier_aggregate",
+                    renderFrontierTable(result.aggregateFrontier));
+    for (size_t w = 0; w < result.workloads.size(); ++w)
+        report.addTable("frontier_" + result.workloads[w],
+                        renderFrontierTable(result.workloadFrontiers[w]));
+
+    const auto lanes = [&report](const std::string &key,
+                                 const std::vector<ParetoPoint> &f) {
+        report.addWorkloadValue(
+            key, "frontier_size", static_cast<uint64_t>(f.size()));
+        if (!f.empty()) {
+            // The frontier is sorted by ascending storage, hence
+            // strictly descending miss rate: back() is the most
+            // accurate point, front() the cheapest.
+            report.addWorkloadValue(key, "best_miss_rate",
+                                    f.back().missRate(), 6);
+            report.addWorkloadValue(key, "best_storage_bits",
+                                    f.back().storageBits);
+            report.addWorkloadValue(key, "min_storage_bits",
+                                    f.front().storageBits);
+        }
+    };
+    lanes("aggregate", result.aggregateFrontier);
+    for (size_t w = 0; w < result.workloads.size(); ++w)
+        lanes(result.workloads[w], result.workloadFrontiers[w]);
+    return report;
+}
+
+} // namespace tpred::tune

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * tpred-tune-report/1: the autotuner's structured run report.
+ *
+ * Same six-section shape as tpred-run-report/1 (obs/run_report.hh) —
+ * tools/report_lint.py validates, masks and diffs both — with the
+ * tune-specific content in fixed places:
+ *
+ *   config:   space name/size/truncation, rung schedule, eta,
+ *             promotion floor, workload list, seed, and the
+ *             evaluations-saved-vs-exhaustive accounting
+ *   metrics:  the deterministic tune.* counters (tune.rungs,
+ *             tune.evals, tune.promotions, tune.full_evals,
+ *             tune.frontier_size) captured from the registry
+ *   tables:   "rungs" (the search trajectory: population, prefix
+ *             length, promotions per rung), "frontier_aggregate" and
+ *             one "frontier_<workload>" per workload class
+ *   workloads: per-class lanes (frontier_size, best_miss_rate,
+ *             best_storage_bits)
+ *
+ * Byte-identity contract: two searches of the same space with the
+ * same options produce identical JSON outside the "runtime" section,
+ * for any --jobs value.
+ */
+
+#ifndef TPRED_TUNE_TUNE_REPORT_HH
+#define TPRED_TUNE_TUNE_REPORT_HH
+
+#include <string>
+
+#include "obs/run_report.hh"
+#include "tune/successive_halving.hh"
+
+namespace tpred::tune
+{
+
+/** Value of the "schema" field of an autotuner report. */
+inline constexpr const char *kTuneReportSchema = "tpred-tune-report/1";
+
+/** The search-trajectory table ("rungs"). */
+std::string renderRungTable(const TuneResult &result);
+
+/** One frontier table: budget, candidate id, miss rate per point. */
+std::string renderFrontierTable(const std::vector<ParetoPoint> &frontier);
+
+/**
+ * Builds the deterministic sections of a tpred-tune-report/1.  The
+ * caller still runs captureProcess() (for metrics/runtime) before
+ * write() — exactly like every other report emitter.
+ */
+obs::RunReport makeTuneReport(const std::string &tool,
+                              const ConfigSpace &space,
+                              const TuneOptions &opt,
+                              const TuneResult &result);
+
+} // namespace tpred::tune
+
+#endif // TPRED_TUNE_TUNE_REPORT_HH

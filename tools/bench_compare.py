@@ -57,6 +57,7 @@ REGISTERED_BASELINES = {
     "BENCH_sweep.json": "bench/sweep_throughput",
     "BENCH_corpus.json": "bench/corpus_load",
     "BENCH_shard.json": "bench/shard_replay",
+    "BENCH_tune.json": "bench/tune_search",
 }
 
 

@@ -1,5 +1,10 @@
 #!/usr/bin/env python3
-"""Validate, mask, and compare tpred-run-report/1 JSON documents.
+"""Validate, mask, and compare tpred report JSON documents.
+
+Two schemas share the same six-section shape and are both accepted:
+tpred-run-report/1 (every tool and bench) and tpred-tune-report/1 (the
+tpredtune autotuner, which must additionally carry the deterministic
+tune.* counters and a config.space entry naming the searched space).
 
 Usage:
   report_lint.py REPORT...            validate schema, exit 1 on errors
@@ -26,6 +31,11 @@ import json
 import sys
 
 SCHEMA = "tpred-run-report/1"
+TUNE_SCHEMA = "tpred-tune-report/1"
+SCHEMAS = (SCHEMA, TUNE_SCHEMA)
+# Counters a tune report must carry (successive_halving.cc emits them).
+TUNE_METRICS = ("tune.rungs", "tune.evals", "tune.promotions",
+                "tune.full_evals", "tune.frontier_size")
 SECTIONS = ["schema", "tool", "config", "metrics", "tables",
             "workloads", "runtime"]
 RUNTIME_SECTIONS = ["counters", "gauges", "timers", "info", "resources"]
@@ -55,8 +65,9 @@ def validate(path, doc):
     for key in doc:
         if key not in SECTIONS:
             ok = fail(path, f"unknown section '{key}'")
-    if doc.get("schema") != SCHEMA:
-        ok = fail(path, f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    if doc.get("schema") not in SCHEMAS:
+        ok = fail(path, f"schema is {doc.get('schema')!r}, "
+                        f"want one of {SCHEMAS!r}")
     if not isinstance(doc.get("tool"), str) or not doc.get("tool"):
         ok = fail(path, "'tool' must be a non-empty string")
     for section in ("config", "metrics", "tables", "workloads", "runtime"):
@@ -92,6 +103,14 @@ def validate(path, doc):
                 sorted(value) != ["count", "cpu_ns", "wall_ns"]):
             ok = fail(path, f"runtime.timers.{name} must be "
                             "{count, wall_ns, cpu_ns}")
+    if doc["schema"] == TUNE_SCHEMA:
+        for name in TUNE_METRICS:
+            if name not in doc["metrics"]:
+                ok = fail(path, f"tune report missing metric '{name}'")
+        space = doc["config"].get("space")
+        if not isinstance(space, str) or not space:
+            ok = fail(path, "tune report config.space must be a "
+                            "non-empty string")
     return ok
 
 

@@ -28,6 +28,9 @@
 #include "harness/trace_cache.hh"
 #include "obs/run_report.hh"
 #include "trace/trace_io.hh"
+#include "tune/config_space.hh"
+#include "tune/successive_halving.hh"
+#include "tune/tune_report.hh"
 #include "workloads/workload.hh"
 
 using namespace tpred;
@@ -46,6 +49,7 @@ struct Options
     std::string saveTrace;
     std::string loadTrace;
     std::string loadSegmented;
+    std::string tuneSpace;
     unsigned shards = 0;
     unsigned ways = 4;
     unsigned histBits = 9;
@@ -86,6 +90,8 @@ usage()
         "                      one mapped segment resident at a time\n"
         "  --shards N          shard the segmented replay into N\n"
         "                      regions with checkpoint proofs\n"
+        "  --tune SPACE        hand off to the tpredtune autotuner\n"
+        "                      (smoke|tiny|bench|standard)\n"
         "  --corpus DIR        persistent trace corpus directory\n"
         "                      (also honoured as $TPRED_CORPUS_DIR)\n"
         "  --report FILE       write a tpred-run-report/1 JSON file\n"
@@ -136,6 +142,8 @@ parse(int argc, char **argv)
             opt.loadSegmented = need(i);
         else if (arg == "--shards")
             opt.shards = static_cast<unsigned>(std::atoi(need(i)));
+        else if (arg == "--tune")
+            opt.tuneSpace = need(i);
         else
             usage();
     }
@@ -304,6 +312,37 @@ runSegmented(const Options &opt, const RunOptions &run)
     return verified ? 0 : 1;
 }
 
+/** The --tune path: hand off to the autotuner engine, same shared
+ *  option vocabulary (--ops becomes the full rung budget). */
+int
+runTune(const Options &opt, const RunOptions &run)
+{
+    const tune::ConfigSpace space =
+        tune::enumerateSpace(opt.tuneSpace);
+    tune::TuneOptions topt;
+    topt.fullOps = run.ops;
+    topt.seed = opt.seed;
+    const tune::TuneResult result =
+        tune::runSuccessiveHalving(space, topt);
+
+    std::printf("space: %s, %zu configs\n\nsearch trajectory:\n%s",
+                space.name.c_str(), space.candidates.size(),
+                tune::renderRungTable(result).c_str());
+    std::printf("\naggregate frontier (miss rate vs storage bits):\n%s",
+                tune::renderFrontierTable(result.aggregateFrontier)
+                    .c_str());
+
+    if (!run.reportPath.empty()) {
+        obs::RunReport report =
+            tune::makeTuneReport("tpredsim", space, topt, result);
+        report.setRuntimeInfo("jobs", defaultJobs());
+        report.captureProcess();
+        report.write(run.reportPath);
+        std::printf("\nwrote report to %s\n", run.reportPath.c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -315,7 +354,18 @@ main(int argc, char **argv)
         /*positional_ops=*/false);
     try {
         const Options opt = parse(argc, argv);
+
+        // Fail loud (usage status) on unknown spaces before any work.
+        if (!opt.tuneSpace.empty() &&
+            !tune::isSpaceName(opt.tuneSpace)) {
+            std::fprintf(stderr, "tpredsim: unknown tune space '%s'\n",
+                         opt.tuneSpace.c_str());
+            return 2;
+        }
         run.apply();
+
+        if (!opt.tuneSpace.empty())
+            return runTune(opt, run);
 
         if (!opt.loadSegmented.empty())
             return runSegmented(opt, run);
