@@ -1,0 +1,146 @@
+/**
+ * @file
+ * BTB hierarchy interface: one fetch-time probe API over either the
+ * paper's single monolithic BTB or a modern two-level front end.
+ *
+ * The paper models a single 1K-entry BTB (bpred/btb.hh).  Server front
+ * ends (Micro BTB, arXiv 2106.04205; FDIP revisited, arXiv 2006.13547)
+ * instead pair a tiny zero-bubble L1 BTB with a large second level:
+ * an L1 miss that hits L2 still steers fetch, but the redirect arrives
+ * a few cycles late — a fetch bubble charged even when the prediction
+ * is *correct*.  The two-level implementation here models that regime
+ * with exclusive L2->L1 prefetch-on-miss and L1-victim movement into
+ * L2, using the Arm BTB geometries reverse-engineered in arXiv
+ * 2412.05413 as realistic defaults (a ~64-entry nano BTB in front of a
+ * several-K-entry main BTB, ~2-cycle bubble on an L2-supplied target).
+ *
+ * Both implementations expose deterministic per-level counters through
+ * the obs registry: btb.l1_hits, btb.l1_misses, btb.l2_hits,
+ * btb.prefetches and btb.victims.  Probes accumulate in plain
+ * per-instance stats (hstats) and the experiment layer credits them to
+ * the registry once per counted run (creditBtbCounters), so the
+ * per-branch hot path stays free of atomics and warm-up/verification
+ * replays never distort the totals.
+ */
+
+#ifndef TPRED_BPRED_BTB_HIERARCHY_HH
+#define TPRED_BPRED_BTB_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "bpred/btb.hh"
+
+namespace tpred
+{
+
+class StateWriter;
+class StateReader;
+
+/** Geometry of a one- or two-level BTB front end. */
+struct BtbHierarchyConfig
+{
+    /** The only level when twoLevel is false; the nano BTB otherwise. */
+    BtbConfig l1{};
+    bool twoLevel = false;
+    /** Second level; only used when twoLevel is true. */
+    BtbConfig l2{1024, 8, BtbUpdateStrategy::Default};
+    /** Fetch-bubble cycles charged when a probe is satisfied from L2. */
+    unsigned missPenalty = 0;
+
+    /** Stable human-readable tag, e.g. "btb256x4" or "l1-16x4+l2-1024x8p2". */
+    std::string describe() const;
+
+    /** Modeled storage cost of all levels (tune axis). */
+    uint64_t storageBits() const;
+};
+
+/** What a hierarchy probe tells the fetch stage. */
+struct BtbProbe
+{
+    std::optional<BtbPrediction> pred;
+    /**
+     * Cycles the fetch redirect arrives late because the prediction was
+     * supplied by L2 rather than L1.  Always 0 on an L1 hit, a full
+     * miss, or a single-level BTB.
+     */
+    unsigned bubbleCycles = 0;
+};
+
+/** Per-instance probe accounting (mirrors the btb.* obs counters). */
+struct BtbHierarchyStats
+{
+    uint64_t l1Hits = 0;
+    uint64_t l1Misses = 0;
+    uint64_t l2Hits = 0;      ///< L1 misses satisfied by L2
+    uint64_t prefetches = 0;  ///< L2->L1 promotions (== l2Hits)
+    uint64_t victims = 0;     ///< valid L1 victims moved into L2
+};
+
+/**
+ * Fetch-time target/kind detection, one or two levels deep.
+ *
+ * The contract every implementation honours (the fused sweeps depend
+ * on it): peek(pc) returns exactly the prediction and bubble that
+ * lookup(pc) would, without any side effect; lookup() applies the one
+ * architectural LRU refresh / promotion; update() trains wherever the
+ * entry currently lives and allocates into L1 on a full miss.
+ */
+class BtbHierarchy
+{
+  public:
+    virtual ~BtbHierarchy() = default;
+
+    /** Fetch-time probe; may move entries between levels. */
+    virtual BtbProbe lookup(uint64_t pc) = 0;
+
+    /** Side-effect-free probe: what lookup(pc) *would* return. */
+    virtual BtbProbe peek(uint64_t pc) const = 0;
+
+    /** Resolution-time training (see bpred/btb.hh for the policy). */
+    virtual void update(const MicroOp &op) = 0;
+
+    /** Valid entries summed over all levels. */
+    virtual size_t validEntries() const = 0;
+
+    /**
+     * Serializes all levels (tables + LRU clocks).  Probe accounting
+     * (hstats) is intentionally *not* serialized: the counters describe
+     * work this instance performed, not architectural state, and a
+     * restored fork must not re-report its parent's probes.
+     */
+    virtual void saveState(StateWriter &w) const = 0;
+
+    /** Restores a saveState() snapshot; config must match. */
+    virtual void restoreState(StateReader &r) = 0;
+
+    const BtbHierarchyConfig &config() const { return config_; }
+    const BtbHierarchyStats &hstats() const { return hstats_; }
+
+  protected:
+    explicit BtbHierarchy(const BtbHierarchyConfig &config)
+        : config_(config)
+    {
+    }
+
+    BtbHierarchyConfig config_;
+    BtbHierarchyStats hstats_;
+};
+
+/** Builds the implementation @p config selects. */
+std::unique_ptr<BtbHierarchy>
+makeBtbHierarchy(const BtbHierarchyConfig &config);
+
+/**
+ * Credits @p stats to the deterministic btb.* obs counters.  Called by
+ * the experiment layer once per *counted* run (the same discipline as
+ * CoreModel::endSession's count_metrics): warm-up windows, shard
+ * verification replays and divergence forks never credit, so a sharded
+ * or fused run stays counter-indistinguishable from a continuous one.
+ */
+void creditBtbCounters(const BtbHierarchyStats &stats);
+
+} // namespace tpred
+
+#endif // TPRED_BPRED_BTB_HIERARCHY_HH

@@ -31,7 +31,7 @@ FrontendPredictor::FrontendPredictor(const FrontendConfig &config,
                                      IndirectPredictor *indirect,
                                      HistoryTracker *tracker)
     : config_(config),
-      btb_(config.btb),
+      btb_(makeBtbHierarchy(config.btb)),
       gshare_(config.gshareIndexBits),
       tournament_(config.tournament),
       ghr_(config.gshareHistoryBits),
@@ -50,7 +50,8 @@ FrontendPredictor::onInstruction(const MicroOp &op)
         return {op.fallthrough, true};
 
     // --- Fetch-time prediction -------------------------------------
-    auto btb_pred = btb_.lookup(op.pc);
+    const BtbProbe probe = btb_->lookup(op.pc);
+    const std::optional<BtbPrediction> &btb_pred = probe.pred;
     stats_.btbHits.record(btb_pred.has_value());
 
     uint64_t predicted = op.fallthrough;
@@ -108,6 +109,15 @@ FrontendPredictor::onInstruction(const MicroOp &op)
 
     const bool correct = predicted == op.nextPc;
 
+    // An L2-supplied probe delays the fetch redirect — but only when
+    // the branch consumed the probe: a conditional predicted not-taken
+    // falls through regardless of what the BTB knew.  The condition
+    // depends only on batch-shared state (shared hierarchy, shared
+    // direction predictor), never on a member's predicted target.
+    unsigned bubble = probe.bubbleCycles;
+    if (op.branch == BranchKind::CondDirect && !predicted_dir)
+        bubble = 0;
+
     // --- Scoring -----------------------------------------------------
     stats_.allBranches.record(correct);
     switch (op.branch) {
@@ -138,7 +148,7 @@ FrontendPredictor::onInstruction(const MicroOp &op)
             gshare_.update(op.pc, ghr_.value(), op.taken);
         ghr_.update(op.taken);
     }
-    btb_.update(op);
+    btb_->update(op);
     if (indirect_ && isIndirectNonReturn(op.branch)) {
         // Train with the same index the fetch-time probe used.
         indirect_->update(op.pc, indirect_history, op.nextPc);
@@ -146,13 +156,13 @@ FrontendPredictor::onInstruction(const MicroOp &op)
     if (tracker_)
         tracker_->observe(op);
 
-    return {predicted, correct};
+    return {predicted, correct, bubble};
 }
 
 void
 FrontendPredictor::saveState(StateWriter &w) const
 {
-    btb_.saveState(w);
+    btb_->saveState(w);
     gshare_.saveState(w);
     tournament_.saveState(w);
     w.u64(ghr_.value());
@@ -170,7 +180,7 @@ FrontendPredictor::saveState(StateWriter &w) const
 void
 FrontendPredictor::restoreState(StateReader &r)
 {
-    btb_.restoreState(r);
+    btb_->restoreState(r);
     gshare_.restoreState(r);
     tournament_.restoreState(r);
     ghr_.restoreValue(r.u64());

@@ -12,8 +12,9 @@
 #define TPRED_CORE_FRONTEND_PREDICTOR_HH
 
 #include <cstdint>
+#include <memory>
 
-#include "bpred/btb.hh"
+#include "bpred/btb_hierarchy.hh"
 #include "bpred/gshare.hh"
 #include "bpred/tournament.hh"
 #include "bpred/history.hh"
@@ -34,7 +35,8 @@ enum class DirectionScheme : uint8_t
 /** Front-end structure sizes. */
 struct FrontendConfig
 {
-    BtbConfig btb{};               ///< 256 sets x 4 ways = paper's 1K BTB
+    /** BTB hierarchy; default = the paper's single-level 1K BTB. */
+    BtbHierarchyConfig btb{};
     DirectionScheme direction = DirectionScheme::GShare;
     unsigned gshareIndexBits = 12;
     unsigned gshareHistoryBits = 12;
@@ -70,6 +72,16 @@ struct PredictionOutcome
 {
     uint64_t predictedNext = 0;
     bool correct = true;
+    /**
+     * Cycles the fetch redirect arrives late because the BTB probe was
+     * satisfied from L2 (bpred/btb_hierarchy.hh).  Only ever nonzero
+     * for a two-level hierarchy, and only when the branch actually
+     * consumed the probe (a not-taken-predicted conditional does not).
+     * Depends solely on batch-shared front-end state, never on a batch
+     * member's predicted target — the fused timing sweep's
+     * correctness-only divergence coupling rests on that.
+     */
+    unsigned fetchBubbleCycles = 0;
 };
 
 /**
@@ -122,7 +134,7 @@ class FrontendPredictor
      */
     void setStats(const FrontendStats &s) { stats_ = s; }
 
-    const Btb &btb() const { return btb_; }
+    const BtbHierarchy &btb() const { return *btb_; }
     IndirectPredictor *indirect() const { return indirect_; }
 
     /**
@@ -138,7 +150,7 @@ class FrontendPredictor
 
   private:
     FrontendConfig config_;
-    Btb btb_;
+    std::unique_ptr<BtbHierarchy> btb_;
     GShare gshare_;
     TournamentPredictor tournament_;
     PatternHistory ghr_;

@@ -166,6 +166,7 @@ runAccuracy(const SharedTrace &trace, const IndirectConfig &config,
         consumed = pos + 1;
     });
     frontend.skipNonBranches(trace.size() - consumed);
+    creditBtbCounters(frontend.btb().hstats());
     return frontend.stats();
 }
 
@@ -187,7 +188,9 @@ runTiming(const SharedTrace &trace, const IndirectConfig &config,
                                stack.tracker.get());
     CoreModel core(params);
     CompactReplay source = trace.replay();
-    return core.run(source, frontend, trace.size());
+    const CoreResult result = core.run(source, frontend, trace.size());
+    creditBtbCounters(frontend.btb().hstats());
+    return result;
 }
 
 size_t

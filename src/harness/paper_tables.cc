@@ -1,5 +1,6 @@
 #include "harness/paper_tables.hh"
 
+#include <cstdio>
 #include <functional>
 
 #include "common/stats.hh"
@@ -23,7 +24,32 @@ FrontendConfig
 twoBitBtbFrontend()
 {
     FrontendConfig fe;
-    fe.btb.strategy = BtbUpdateStrategy::TwoBit;
+    fe.btb.l1.strategy = BtbUpdateStrategy::TwoBit;
+    return fe;
+}
+
+FrontendConfig
+smallBtbFrontend()
+{
+    // Just the nano L1 on its own: 16 sets x 4 ways = 64 entries, the
+    // first-level geometry arXiv 2412.05413 reverse-engineers out of
+    // recent Arm cores.  No second level, so misses cost accuracy, not
+    // bubbles.
+    FrontendConfig fe;
+    fe.btb.l1 = BtbConfig{16, 4, BtbUpdateStrategy::Default};
+    return fe;
+}
+
+FrontendConfig
+twoLevelBtbFrontend()
+{
+    // The same 64-entry nano BTB backed by an 8K-entry main BTB with a
+    // 2-cycle bubble on an L2-supplied redirect (arXiv 2412.05413).
+    FrontendConfig fe;
+    fe.btb.l1 = BtbConfig{16, 4, BtbUpdateStrategy::Default};
+    fe.btb.twoLevel = true;
+    fe.btb.l2 = BtbConfig{1024, 8, BtbUpdateStrategy::Default};
+    fe.btb.missPenalty = 2;
     return fe;
 }
 
@@ -560,6 +586,105 @@ renderFig1213(const TableOptions &opt)
         out += "[" + names[w] + "]\n" + table.render() + "\n";
     }
     return out;
+}
+
+namespace
+{
+
+std::string
+formatStallRate(double cycles_per_kilo_instr)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", cycles_per_kilo_instr);
+    return buf;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+btbPressureWorkloads()
+{
+    // Two SPECint95-like generators against the object-heavy and the
+    // server-shaped ones: the footprint axis of the BTB-pressure grid.
+    static const std::vector<std::string> names = {
+        "gcc", "perl", "cpp-virtual", "server-dispatch", "server-jit",
+    };
+    return names;
+}
+
+std::string
+renderBtbPressure(const TableOptions &opt)
+{
+    struct Variant
+    {
+        const char *label;
+        FrontendConfig fe;
+    };
+    const std::vector<Variant> variants = {
+        {"1-level 1K", FrontendConfig{}},
+        {"1-level 64", smallBtbFrontend()},
+        {"2-level 64+8K", twoLevelBtbFrontend()},
+    };
+    const std::vector<IndirectConfig> configs = {
+        baselineConfig(),
+        taglessGshare(),
+        taggedConfig(TaggedIndexScheme::HistoryXor, 4),
+    };
+
+    const auto &names = btbPressureWorkloads();
+    const auto traces = tracesFor(opt, names);
+
+    // Accuracy cells per hierarchy variant: a fused batch shares one
+    // FrontendConfig, so each variant runs as its own sweep (the same
+    // shape as Table 2's 2-bit column).
+    std::vector<std::vector<double>> miss(variants.size());
+    std::vector<std::vector<double>> btb_hit(variants.size());
+    for (size_t v = 0; v < variants.size(); ++v) {
+        miss[v] = sweepMissRates(opt, traces, configs, variants[v].fe);
+        btb_hit[v] = mapJobs<double>(opt, names.size(), [&](size_t w) {
+            const std::vector<IndirectConfig> solo = {baselineConfig()};
+            const auto stats = runSweep(traces[w], solo, variants[v].fe);
+            return 1.0 - stats[0].btbHits.missRate();
+        });
+    }
+
+    // Timing cells: BTB-miss bubble cycles per 1000 instructions with
+    // the tagless target cache in place — the stall a better hierarchy
+    // (or a smaller code footprint) recovers.
+    const auto stalls = mapJobs<double>(
+        opt, variants.size() * names.size(), [&](size_t j) {
+            const size_t v = j / names.size();
+            const size_t w = j % names.size();
+            const CoreResult r = runTiming(traces[w], taglessGshare(),
+                                           CoreParams{}, variants[v].fe);
+            return r.instructions ? 1000.0 *
+                                        static_cast<double>(
+                                            r.btbMissStallCycles) /
+                                        static_cast<double>(r.instructions)
+                                  : 0.0;
+        });
+
+    Table table;
+    table.setHeader({"Benchmark", "BTB hierarchy", "BTB hits",
+                     "BTB ind.miss", "tagless", "tagged",
+                     "BTB-stall cyc/1K"});
+    for (size_t w = 0; w < names.size(); ++w) {
+        if (w)
+            table.addRule();
+        for (size_t v = 0; v < variants.size(); ++v) {
+            const size_t base = w * configs.size();
+            table.addRow({
+                v == 0 ? names[w] : "",
+                variants[v].label,
+                formatPercent(btb_hit[v][w], 1),
+                formatPercent(miss[v][base + 0], 1),
+                formatPercent(miss[v][base + 1], 1),
+                formatPercent(miss[v][base + 2], 1),
+                formatStallRate(stalls[v * names.size() + w]),
+            });
+        }
+    }
+    return table.render();
 }
 
 } // namespace tpred

@@ -21,6 +21,16 @@ IndirectConfig baselineConfig();
 /** BTB with the Calder/Grunwald 2-bit update strategy (Table 2). */
 FrontendConfig twoBitBtbFrontend();
 
+/** Nano-BTB-only front end: 16x4 = 64 entries, no second level. */
+FrontendConfig smallBtbFrontend();
+
+/**
+ * Two-level BTB front end modeled on the Arm geometries of arXiv
+ * 2412.05413: 64-entry L1 + 8K-entry L2, 2-cycle bubble on an
+ * L2-supplied redirect (bpred/btb_hierarchy.hh).
+ */
+FrontendConfig twoLevelBtbFrontend();
+
 /** Global pattern history of @p bits (sections 3.1, 4.2, 4.3). */
 HistorySpec patternHistory(unsigned bits = 9);
 
@@ -118,6 +128,16 @@ std::string renderTable7(const TableOptions &opt);   ///< tagged indexing
 std::string renderTable8(const TableOptions &opt);   ///< tagged path
 std::string renderTable9(const TableOptions &opt);   ///< history length
 std::string renderFig1213(const TableOptions &opt);  ///< tagless v tagged
+
+/** Workload axis of the BTB-pressure grid (SPEC-like vs server). */
+const std::vector<std::string> &btbPressureWorkloads();
+
+/**
+ * BTB-pressure grid (hierarchy x workload): target-cache variants and
+ * BTB-miss fetch stalls under the three hierarchy presets, across
+ * SPECint95-like and server-shaped workloads.
+ */
+std::string renderBtbPressure(const TableOptions &opt);
 
 } // namespace tpred
 

@@ -259,6 +259,7 @@ runAccuracyStreaming(const std::shared_ptr<const SegmentedTrace> &trace,
     AccuracyRig rig(config, fe);
     replayAccuracyRange(*trace, rig.frontend, 0, trace->totalOps(), {},
                         [](uint64_t) {});
+    creditBtbCounters(rig.frontend.btb().hstats());
     return rig.frontend.stats();
 }
 
@@ -277,7 +278,9 @@ runTimingStreaming(const std::shared_ptr<const SegmentedTrace> &trace,
     rig.core.beginSession();
     rig.core.runSession(replay, rig.frontend, trace->totalOps(),
                         UINT64_MAX);
-    return rig.core.endSession(rig.frontend);
+    const CoreResult result = rig.core.endSession(rig.frontend);
+    creditBtbCounters(rig.frontend.btb().hstats());
+    return result;
 }
 
 ShardedAccuracyResult
@@ -309,6 +312,9 @@ runAccuracySharded(const std::shared_ptr<const SegmentedTrace> &trace,
                         });
 
     ShardedAccuracyResult out;
+    // The serial checkpoint pass replays the whole trace exactly once;
+    // it is the counted pass.  Shard fan-out rigs below never credit.
+    creditBtbCounters(serial.frontend.btb().hstats());
     out.serial = serial.frontend.stats();
     out.shards.resize(shards);
     for (const auto &[pos, blob] : blobs)
@@ -388,6 +394,8 @@ runTimingSharded(const std::shared_ptr<const SegmentedTrace> &trace,
     blobs[total] = snapshot(serial);
 
     ShardedTimingResult out;
+    // Counted pass: the serial checkpoint replay (shards never credit).
+    creditBtbCounters(serial.frontend.btb().hstats());
     out.serial = serial.core.endSession(serial.frontend);
     out.shards.resize(shards);
     for (const auto &[pos, blob] : blobs)

@@ -2,9 +2,10 @@
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <optional>
 
-#include "bpred/btb.hh"
+#include "bpred/btb_hierarchy.hh"
 #include "bpred/gshare.hh"
 #include "bpred/ras.hh"
 #include "bpred/tournament.hh"
@@ -80,7 +81,7 @@ runSweep(const BranchStream &stream,
     // Trained only with architectural outcomes, so its trajectory is
     // independent of any member's predictions: one instance stands in
     // for the per-config copies runAccuracy() would build.
-    Btb btb(fe.btb);
+    std::unique_ptr<BtbHierarchy> btb = makeBtbHierarchy(fe.btb);
     GShare gshare(fe.gshareIndexBits);
     TournamentPredictor tournament(fe.tournament);
     PatternHistory ghr(fe.gshareHistoryBits);
@@ -107,7 +108,7 @@ runSweep(const BranchStream &stream,
         const auto kind = static_cast<BranchKind>(stream.kind[i]);
         const bool taken = stream.taken[i] != 0;
 
-        const std::optional<BtbPrediction> btb_pred = btb.lookup(pc);
+        const std::optional<BtbPrediction> btb_pred = btb->lookup(pc).pred;
         btb_hits.record(btb_pred.has_value());
 
         switch (kind) {
@@ -171,11 +172,14 @@ runSweep(const BranchStream &stream,
                 gshare.update(pc, ghr.value(), taken);
             ghr.update(taken);
         }
-        btb.update(op);
+        btb->update(op);
         if (isIndirectNonReturn(kind))
             batch.updateAll(next_pc);
         batch.observeTrackers(op);
     }
+
+    // One counted pass over the stream, whatever the batch size.
+    creditBtbCounters(btb->hstats());
 
     // --- Compose per-config statistics ----------------------------
     std::vector<FrontendStats> out(configs.size());
@@ -347,7 +351,7 @@ runTimingSweep(const SharedTrace &trace,
 
         const uint64_t next_pc = stream.target[j];
         const std::optional<BtbPrediction> btb_pred =
-            leadFe.btb().peek(op.pc);
+            leadFe.btb().peek(op.pc).pred;
         batch.computePredictions(op, btb_pred.has_value(),
                                  btb_pred ? btb_pred->target : 0);
 
@@ -376,6 +380,9 @@ runTimingSweep(const SharedTrace &trace,
     // Drain the lead to the end of the trace.
     leadCore.runSession(replay, leadFe, n, UINT64_MAX);
     const CoreResult lead = leadCore.endSession(leadFe, true);
+    // The lead's probe stream is the one counted pass; divergence
+    // forks are verification-style replays and never credit.
+    creditBtbCounters(leadFe.btb().hstats());
 
     for (size_t k = 0; k < bcfgs.size(); ++k) {
         CoreResult res;

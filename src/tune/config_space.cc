@@ -25,6 +25,26 @@ add(ConfigSpace &space, const IndirectConfig &config)
     space.candidates.push_back(std::move(c));
 }
 
+/**
+ * Appends @p config running under @p frontend.  The BTB hierarchy is
+ * part of the candidate: its bits join the storage budget and its
+ * describe() tag joins the id (distinct hierarchies must not collide).
+ */
+void
+add(ConfigSpace &space, const IndirectConfig &config,
+    const FrontendConfig &frontend)
+{
+    TuneCandidate c;
+    c.config = config;
+    c.frontend = frontend;
+    c.frontendKey = frontend.btb.describe();
+    c.storageBits =
+        storageBitsOf(config) + frontend.btb.storageBits();
+    c.id = candidateId(config) + "@" + c.frontendKey;
+    c.hash = candidateHash(c.id);
+    space.candidates.push_back(std::move(c));
+}
+
 /** Tagged config with every axis explicit (sets stay powers of two). */
 IndirectConfig
 taggedPoint(TaggedIndexScheme scheme, unsigned entries, unsigned ways,
@@ -169,13 +189,46 @@ enumerateStandard(ConfigSpace &space)
     add(space, ittageConfig());
 }
 
+/**
+ * btb: the BTB hierarchy geometry as a search axis (docs/
+ * btb_hierarchy.md).  One- and two-level front ends crossed with
+ * representative indirect predictors; the budget charges the whole
+ * front end, so the frontier answers "is a second BTB level worth its
+ * bits here, and with how much L1 in front of it?".
+ */
+void
+enumerateBtb(ConfigSpace &space)
+{
+    std::vector<FrontendConfig> frontends;
+    frontends.push_back({});                    // paper's 1K, 1 level
+    frontends.push_back(smallBtbFrontend());    // starved 64-entry L1
+    // missPenalty stays at the realistic default: it prices fetch
+    // bubbles in the timing model, which accuracy rungs never see —
+    // varying it here would only enumerate indistinguishable points.
+    for (unsigned l1_sets : {16u, 32u}) {
+        for (unsigned l2_sets : {512u, 1024u}) {
+            FrontendConfig fe = twoLevelBtbFrontend();
+            fe.btb.l1.sets = l1_sets;
+            fe.btb.l2.sets = l2_sets;
+            frontends.push_back(fe);
+        }
+    }
+    for (const FrontendConfig &fe : frontends) {
+        add(space, taglessGshare(patternHistory(9), 9), fe);
+        add(space, taggedPoint(TaggedIndexScheme::HistoryXor, 256, 4,
+                               16, patternHistory(9)),
+            fe);
+        add(space, cascadedPoint(128, 256, 4, patternHistory(9)), fe);
+    }
+}
+
 } // namespace
 
 const std::vector<std::string> &
 spaceNames()
 {
-    static const std::vector<std::string> names = {"smoke", "tiny",
-                                                   "bench", "standard"};
+    static const std::vector<std::string> names = {
+        "smoke", "tiny", "bench", "standard", "btb"};
     return names;
 }
 
@@ -230,6 +283,8 @@ enumerateSpace(std::string_view name, size_t cap)
         enumerateBench(space);
     else if (name == "standard")
         enumerateStandard(space);
+    else if (name == "btb")
+        enumerateBtb(space);
     else
         throw std::invalid_argument("unknown config space: " +
                                     std::string(name));

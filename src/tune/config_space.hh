@@ -42,7 +42,20 @@ namespace tpred::tune
 struct TuneCandidate
 {
     IndirectConfig config;
-    uint64_t storageBits = 0;  ///< predictor costBits()
+    /**
+     * Front end the candidate runs under.  Most spaces tune the
+     * indirect predictor alone and leave this default; the "btb" space
+     * makes the BTB hierarchy geometry itself a search axis.
+     */
+    FrontendConfig frontend{};
+    /**
+     * Batch key for the front end: candidates sharing a key may be
+     * fused into one sweep (empty = the default front end).  When
+     * non-empty, storageBits also includes the BTB hierarchy's bits,
+     * since the hierarchy is then part of what is being bought.
+     */
+    std::string frontendKey;
+    uint64_t storageBits = 0;  ///< predictor costBits() (+ BTB bits)
     uint64_t hash = 0;         ///< FNV-1a of id (rung-membership seed)
     std::string id;            ///< unique canonical description
 };
@@ -71,6 +84,9 @@ inline constexpr size_t kDefaultSpaceCap = 4096;
  *   tiny     — ~1 dozen; cheap enough for exhaustive differentials
  *   bench    — ~1 hundred; the bench/tune_search grid
  *   standard — >= 1000 configs across all families (the default)
+ *   btb      — BTB hierarchy geometry x indirect predictor: one- and
+ *              two-level front ends (docs/btb_hierarchy.md) crossed
+ *              with representative target predictors
  */
 const std::vector<std::string> &spaceNames();
 

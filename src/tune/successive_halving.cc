@@ -91,37 +91,62 @@ evaluateRung(const ConfigSpace &space,
         workloads.size(),
         [&](size_t w) { return cachedTrace(workloads[w], ops, seed); });
 
-    std::vector<IndirectConfig> configs;
-    configs.reserve(members.size());
-    for (size_t m : members)
-        configs.push_back(space.candidates[m].config);
-    const std::vector<std::vector<size_t>> groups =
-        groupByHistory(configs);
+    // A fused sweep shares one BTB hierarchy and one history spec, so
+    // partition by front end first (the "btb" space's axis; empty key
+    // = the default front end), then by history group within each.
+    struct SweepJob
+    {
+        const FrontendConfig *fe = nullptr;
+        std::vector<size_t> members;  ///< indices into @p members
+    };
+    std::vector<SweepJob> jobs;
+    {
+        std::map<std::string, std::vector<size_t>> by_frontend;
+        for (size_t i = 0; i < members.size(); ++i)
+            by_frontend[space.candidates[members[i]].frontendKey]
+                .push_back(i);
+        for (const auto &[key, indices] : by_frontend) {
+            std::vector<IndirectConfig> sub;
+            sub.reserve(indices.size());
+            for (size_t i : indices)
+                sub.push_back(space.candidates[members[i]].config);
+            for (const std::vector<size_t> &group :
+                 groupByHistory(sub)) {
+                SweepJob job;
+                job.fe = &space.candidates[members[indices[group
+                                                             .front()]]]
+                              .frontend;
+                job.members.reserve(group.size());
+                for (size_t g : group)
+                    job.members.push_back(indices[g]);
+                jobs.push_back(std::move(job));
+            }
+        }
+    }
 
-    const size_t job_count = workloads.size() * groups.size();
+    const size_t job_count = workloads.size() * jobs.size();
     const auto parts = runner.map<std::vector<FrontendStats>>(
         job_count, [&](size_t j) {
-            const SharedTrace &trace = traces[j / groups.size()];
-            const std::vector<size_t> &group =
-                groups[j % groups.size()];
+            const SharedTrace &trace = traces[j / jobs.size()];
+            const SweepJob &job = jobs[j % jobs.size()];
             std::vector<IndirectConfig> batch;
-            batch.reserve(group.size());
-            for (size_t c : group)
-                batch.push_back(configs[c]);
-            return runSweep(trace, batch);
+            batch.reserve(job.members.size());
+            for (size_t i : job.members)
+                batch.push_back(space.candidates[members[i]].config);
+            return runSweep(trace, batch, *job.fe);
         });
 
     std::vector<RungEval> evals(members.size());
     for (RungEval &e : evals)
         e.perWorkload.resize(workloads.size());
     for (size_t w = 0; w < workloads.size(); ++w) {
-        for (size_t g = 0; g < groups.size(); ++g) {
+        for (size_t g = 0; g < jobs.size(); ++g) {
             const std::vector<FrontendStats> &stats =
-                parts[w * groups.size() + g];
-            for (size_t k = 0; k < groups[g].size(); ++k) {
+                parts[w * jobs.size() + g];
+            for (size_t k = 0; k < jobs[g].members.size(); ++k) {
                 const FrontendStats &s = stats[k];
                 WorkloadEval &cell =
-                    evals[groups[g][k]].perWorkload[w];
+                    evals[jobs[g].members[k]].perWorkload[w];
                 cell.misses = s.indirectJumps.misses();
                 cell.total = s.indirectJumps.total();
                 cell.instructions = s.instructions;

@@ -58,6 +58,8 @@ CoreModel::beginSession()
     redirectPending_ = false;
     inFetch_ = false;
     stallKind_ = BranchKind::None;
+    btbStallPending_ = false;
+    btbMissStall_ = 0;
     traceEnded_ = false;
 }
 
@@ -68,6 +70,7 @@ CoreModel::endSession(FrontendPredictor &frontend, bool count_metrics)
     result.cycles = cycle_;
     result.instructions = instructions_;
     result.stallCyclesByKind = stallByKind_;
+    result.btbMissStallCycles = btbMissStall_;
     result.frontend = frontend.stats();
     result.dcache = dcache_.stats();
 
@@ -131,6 +134,7 @@ CoreModel::saveState(StateWriter &w) const
         w.u64(seq);
     for (uint64_t cycles : stallByKind_)
         w.u64(cycles);
+    w.u64(btbMissStall_);
     w.u64(instructions_);
     w.u64(cycle_);
     w.u64(nextSeq_);
@@ -140,6 +144,7 @@ CoreModel::saveState(StateWriter &w) const
     w.b(redirectPending_);
     w.b(inFetch_);
     w.u8(static_cast<uint8_t>(stallKind_));
+    w.b(btbStallPending_);
     w.b(traceEnded_);
     w.u64(window_.size());
     for (const InFlight &entry : window_) {
@@ -161,6 +166,7 @@ CoreModel::restoreState(StateReader &r)
         seq = r.u64();
     for (uint64_t &cycles : stallByKind_)
         cycles = r.u64();
+    btbMissStall_ = r.u64();
     instructions_ = r.u64();
     cycle_ = r.u64();
     nextSeq_ = r.u64();
@@ -170,6 +176,7 @@ CoreModel::restoreState(StateReader &r)
     redirectPending_ = r.b();
     inFetch_ = r.b();
     stallKind_ = static_cast<BranchKind>(r.u8());
+    btbStallPending_ = r.b();
     traceEnded_ = r.b();
     const uint64_t window_size = r.u64();
     window_.clear();

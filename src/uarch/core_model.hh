@@ -67,6 +67,15 @@ struct CoreResult
      */
     std::array<uint64_t, 7> stallCyclesByKind{};
 
+    /**
+     * Fetch-stall cycles from L1-BTB misses serviced by L2 — the
+     * bubble a two-level hierarchy charges for a *correctly* predicted
+     * but late redirect (bpred/btb_hierarchy.hh).  Disjoint from
+     * stallCyclesByKind: a mispredicted branch's stall is always
+     * attributed to its kind, never here (mispredict wins).
+     */
+    uint64_t btbMissStallCycles = 0;
+
     double
     ipc() const
     {
@@ -191,12 +200,15 @@ class CoreModel
 
                 const bool fetch_blocked =
                     redirectPending_ || cycle_ < fetchAllowed_;
-                if (fetch_blocked && stallKind_ != BranchKind::None &&
-                    !traceEnded_) {
-                    ++stallByKind_[static_cast<size_t>(stallKind_)];
+                if (fetch_blocked && !traceEnded_) {
+                    if (stallKind_ != BranchKind::None)
+                        ++stallByKind_[static_cast<size_t>(stallKind_)];
+                    else if (btbStallPending_)
+                        ++btbMissStall_;
                 }
                 if (!traceEnded_ && !fetch_blocked) {
                     stallKind_ = BranchKind::None;
+                    btbStallPending_ = false;
                     fetched_ = 0;
                     inFetch_ = true;
                 }
@@ -239,6 +251,18 @@ class CoreModel
                         // Wrong-path fetch until this branch executes.
                         redirectPending_ = true;
                         stallKind_ = op.branch;
+                        break;
+                    }
+                    if (outcome.fetchBubbleCycles > 0) {
+                        // Correct but L2-supplied redirect: fetch
+                        // resumes after the BTB-miss bubble.  The
+                        // mispredict path above wins when both apply —
+                        // its checkpoint repair dominates the bubble.
+                        const uint64_t resume =
+                            cycle_ + 1 + outcome.fetchBubbleCycles;
+                        if (resume > fetchAllowed_)
+                            fetchAllowed_ = resume;
+                        btbStallPending_ = true;
                         break;
                     }
                     if (op.isBranch() && op.taken)
@@ -317,6 +341,8 @@ class CoreModel
     bool redirectPending_ = false; ///< unresolved mispredicted branch
     bool inFetch_ = false;         ///< suspended inside a fetch group
     BranchKind stallKind_ = BranchKind::None; ///< who blocked fetch
+    bool btbStallPending_ = false; ///< blocked by a BTB-miss bubble
+    uint64_t btbMissStall_ = 0;    ///< cycles lost to BTB-miss bubbles
     bool traceEnded_ = false;
 };
 

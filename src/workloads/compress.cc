@@ -7,7 +7,7 @@
  * Figure 1's "1-2 targets" profile and Table 1's tiny indirect count.
  */
 
-#include "workloads/factories.hh"
+#include "workloads/workload.hh"
 
 #include <array>
 
@@ -152,12 +152,14 @@ class CompressWorkload final : public Workload
     std::array<uint64_t, kNumSizePaths> sizeHandlerPc_{};
 };
 
-} // namespace
+const detail::WorkloadRegistrar registered{{
+    "compress",
+    "LZW coder: conditional-branch heavy, two tiny dispatch sites",
+    0, true,
+    [](uint64_t seed) -> std::unique_ptr<Workload> {
+        return std::make_unique<CompressWorkload>(seed);
+    }}};
 
-std::unique_ptr<Workload>
-makeCompressWorkload(uint64_t seed)
-{
-    return std::make_unique<CompressWorkload>(seed);
-}
+} // namespace
 
 } // namespace tpred

@@ -11,7 +11,7 @@
  * several times denser than in the C workloads.
  */
 
-#include "workloads/factories.hh"
+#include "workloads/workload.hh"
 
 #include <array>
 
@@ -122,12 +122,14 @@ class CppVirtualWorkload final : public Workload
     uint64_t helperPc_ = 0;
 };
 
-} // namespace
+const detail::WorkloadRegistrar registered{{
+    "cpp-virtual",
+    "polymorphic rendering loop: mono- to megamorphic virtual calls",
+    1, false,
+    [](uint64_t seed) -> std::unique_ptr<Workload> {
+        return std::make_unique<CppVirtualWorkload>(seed);
+    }}};
 
-std::unique_ptr<Workload>
-makeCppVirtualWorkload(uint64_t seed)
-{
-    return std::make_unique<CppVirtualWorkload>(seed);
-}
+} // namespace
 
 } // namespace tpred

@@ -16,7 +16,7 @@
  *    paper's Figure 9.
  */
 
-#include "workloads/factories.hh"
+#include "workloads/workload.hh"
 
 #include <array>
 
@@ -263,12 +263,14 @@ class GccWorkload final : public Workload
     std::array<uint64_t, kNumHelpers> helperPc_{};
 };
 
-} // namespace
+const detail::WorkloadRegistrar registered{{
+    "gcc",
+    "six-pass compiler pipeline with many mid-sized dispatch switches",
+    0, true,
+    [](uint64_t seed) -> std::unique_ptr<Workload> {
+        return std::make_unique<GccWorkload>(seed);
+    }}};
 
-std::unique_ptr<Workload>
-makeGccWorkload(uint64_t seed)
-{
-    return std::make_unique<GccWorkload>(seed);
-}
+} // namespace
 
 } // namespace tpred

@@ -7,7 +7,7 @@
  * matching go's middling BTB and target-cache numbers in the paper.
  */
 
-#include "workloads/factories.hh"
+#include "workloads/workload.hh"
 
 #include <array>
 
@@ -194,12 +194,14 @@ class GoWorkload final : public Workload
     uint64_t topLoopPc_ = 0;
 };
 
-} // namespace
+const detail::WorkloadRegistrar registered{{
+    "go",
+    "game-tree search: branchy board scans, partially-Markov move dispatch",
+    0, true,
+    [](uint64_t seed) -> std::unique_ptr<Workload> {
+        return std::make_unique<GoWorkload>(seed);
+    }}};
 
-std::unique_ptr<Workload>
-makeGoWorkload(uint64_t seed)
-{
-    return std::make_unique<GoWorkload>(seed);
-}
+} // namespace
 
 } // namespace tpred

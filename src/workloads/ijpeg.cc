@@ -7,7 +7,7 @@
  * row (Figure 4's 1-2 target profile, very low BTB misprediction).
  */
 
-#include "workloads/factories.hh"
+#include "workloads/workload.hh"
 
 #include <array>
 
@@ -142,12 +142,14 @@ class IjpegWorkload final : public Workload
     std::array<uint64_t, kEncodePaths> encodeHandlerPc_{};
 };
 
-} // namespace
+const detail::WorkloadRegistrar registered{{
+    "ijpeg",
+    "block image coder: long DSP loops, near-monomorphic dispatch",
+    0, true,
+    [](uint64_t seed) -> std::unique_ptr<Workload> {
+        return std::make_unique<IjpegWorkload>(seed);
+    }}};
 
-std::unique_ptr<Workload>
-makeIjpegWorkload(uint64_t seed)
-{
-    return std::make_unique<IjpegWorkload>(seed);
-}
+} // namespace
 
 } // namespace tpred

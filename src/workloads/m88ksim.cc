@@ -7,7 +7,7 @@
  * instructions differ (paper Table 1: 37.3% BTB misprediction).
  */
 
-#include "workloads/factories.hh"
+#include "workloads/workload.hh"
 
 #include <array>
 
@@ -172,12 +172,14 @@ class M88ksimWorkload final : public Workload
     uint64_t statsFnPc_ = 0;
 };
 
-} // namespace
+const detail::WorkloadRegistrar registered{{
+    "m88ksim",
+    "instruction-set simulator: periodic opcode decode switch",
+    0, true,
+    [](uint64_t seed) -> std::unique_ptr<Workload> {
+        return std::make_unique<M88ksimWorkload>(seed);
+    }}};
 
-std::unique_ptr<Workload>
-makeM88ksimWorkload(uint64_t seed)
-{
-    return std::make_unique<M88ksimWorkload>(seed);
-}
+} // namespace
 
 } // namespace tpred

@@ -21,7 +21,7 @@
  * instances of a PC.
  */
 
-#include "workloads/factories.hh"
+#include "workloads/workload.hh"
 
 #include <array>
 
@@ -219,12 +219,14 @@ class PerlWorkload final : public Workload
     std::array<uint64_t, kNumHelpers> helperPc_{};
 };
 
-} // namespace
+const detail::WorkloadRegistrar registered{{
+    "perl",
+    "token interpreter re-evaluating the same statement sequence",
+    0, true,
+    [](uint64_t seed) -> std::unique_ptr<Workload> {
+        return std::make_unique<PerlWorkload>(seed);
+    }}};
 
-std::unique_ptr<Workload>
-makePerlWorkload(uint64_t seed)
-{
-    return std::make_unique<PerlWorkload>(seed);
-}
+} // namespace
 
 } // namespace tpred

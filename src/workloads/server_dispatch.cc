@@ -1,0 +1,148 @@
+/**
+ * @file
+ * server-dispatch workload: a request-handling server with a static
+ * branch footprint far beyond the paper's 1K-entry BTB.
+ *
+ * Hundreds of distinct request handlers hang off one megamorphic
+ * dispatch site, and each handler walks a chain of virtual service
+ * calls (routing -> auth -> backend style).  Requests replay a long
+ * fixed playlist, so deep-history predictors have signal, but the
+ * sheer number of live branch sites overflows a small BTB: this is the
+ * front-end regime the two-level BTB hierarchy (docs/btb_hierarchy.md)
+ * exists for, where an L1-sized working set no longer holds the code
+ * footprint and L2-supplied targets cost fetch bubbles.
+ */
+
+#include "workloads/workload.hh"
+
+#include <array>
+
+namespace tpred
+{
+
+namespace
+{
+
+class ServerDispatchWorkload final : public Workload
+{
+  public:
+    explicit ServerDispatchWorkload(uint64_t seed)
+        : Workload("server-dispatch", seed)
+    {
+        requestLoopPc_ = layout_.alloc(8);
+        for (auto &pc : handlerPc_)
+            pc = layout_.alloc(16);
+        for (auto &pc : servicePc_)
+            pc = layout_.alloc(12);
+
+        // Request playlist: handlers arrive in long sessions (a client
+        // issues a burst of related requests) so consecutive dispatches
+        // correlate, but across the playlist nearly every handler is
+        // live — the dispatch site is megamorphic and the static
+        // footprint stays hot.
+        unsigned handler = 0;
+        for (unsigned i = 0; i < kPlaylistLen;) {
+            handler = static_cast<unsigned>(rng_.below(kNumHandlers));
+            const unsigned burst =
+                1 + static_cast<unsigned>(rng_.below(4));
+            for (unsigned b = 0; b < burst && i < kPlaylistLen;
+                 ++b, ++i) {
+                playlist_[i] = {
+                    static_cast<uint16_t>((handler + b) % kNumHandlers),
+                    static_cast<uint8_t>(rng_.below(kNumServices)),
+                    static_cast<uint8_t>(1 + rng_.below(3)),
+                };
+            }
+        }
+    }
+
+  private:
+    static constexpr unsigned kNumHandlers = 384;
+    static constexpr unsigned kNumServices = 48;
+    static constexpr unsigned kPlaylistLen = 1024;
+    static constexpr uint64_t kHeap = kDataBase;
+    static constexpr uint64_t kHeapSpan = 1024 * 1024;
+
+    struct Request
+    {
+        uint16_t handler;
+        uint8_t service;
+        uint8_t depth;
+    };
+
+    void
+    step() override
+    {
+        const Request req = playlist_[pos_];
+
+        // Request loop: pop the next request and dispatch on its type.
+        emit_.setPc(requestLoopPc_);
+        emit_.intOps(1);
+        emit_.load(kHeap + pos_ * 16);  // request descriptor
+        emit_.op(InstClass::BitField);
+        emit_.indirectJump(handlerPc_[req.handler], req.handler);
+
+        emitHandler(req);
+
+        pos_ = (pos_ + 1) % kPlaylistLen;
+    }
+
+    void
+    emitHandler(const Request &req)
+    {
+        const unsigned h = req.handler;
+        emit_.setPc(handlerPc_[h]);
+        emit_.aluMix(3 + h % 4, kHeap, kHeapSpan);
+        emit_.load(kHeap + h * 64);
+        // Fast-path check; the slow path logs the request.
+        const bool fast = ((h + pos_) & 1) != 0;
+        emit_.condBranch(emit_.pc() + 8, fast);
+        if (!fast)
+            emit_.store(kHeap + kHeapSpan + h * 8);
+        emit_.indirectCall(servicePc_[req.service], req.service);
+        emitService(req.service, req.depth);
+        emit_.intOps(1);
+        emit_.store(kHeap + h * 64);
+        emit_.jump(requestLoopPc_);
+    }
+
+    /**
+     * Virtual service chain: each service may forward to the next one
+     * (routing -> auth -> backend), so service call sites see many
+     * callees and returns unwind through several frames.
+     */
+    void
+    emitService(unsigned svc, unsigned remaining)
+    {
+        emit_.setPc(servicePc_[svc]);
+        emit_.aluMix(2 + svc % 3, kHeap, kHeapSpan);
+        const bool deeper = remaining > 1;
+        emit_.condBranch(emit_.pc() + 8, !deeper);
+        if (deeper) {
+            const unsigned next = (svc + 7 + remaining) % kNumServices;
+            emit_.indirectCall(servicePc_[next], next);
+            emitService(next, remaining - 1);
+        }
+        emit_.intOps(1);
+        emit_.ret();
+    }
+
+    std::array<Request, kPlaylistLen> playlist_{};
+    size_t pos_ = 0;
+
+    uint64_t requestLoopPc_ = 0;
+    std::array<uint64_t, kNumHandlers> handlerPc_{};
+    std::array<uint64_t, kNumServices> servicePc_{};
+};
+
+const detail::WorkloadRegistrar registered{{
+    "server-dispatch",
+    "request server: megamorphic handler dispatch, BTB-overflow footprint",
+    2, false,
+    [](uint64_t seed) -> std::unique_ptr<Workload> {
+        return std::make_unique<ServerDispatchWorkload>(seed);
+    }}};
+
+} // namespace
+
+} // namespace tpred

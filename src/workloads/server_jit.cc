@@ -1,0 +1,200 @@
+/**
+ * @file
+ * server-jit workload: a bytecode interpreter with a tiering JIT, the
+ * second server-shaped front end (managed language runtime).
+ *
+ * Cold bytecodes run through a classic megamorphic dispatch loop; hot
+ * regions are periodically "compiled" into stubs whose code addresses
+ * come from layout_.alloc at run time, so the indirect dispatch keeps
+ * acquiring brand-new targets and old BTB entries go stale — the
+ * steady code-footprint churn measured on managed server workloads.
+ * Stub slots are recycled once the code cache is full, which retargets
+ * live dispatch entries without growing the footprint without bound.
+ */
+
+#include "workloads/workload.hh"
+
+#include <array>
+#include <vector>
+
+namespace tpred
+{
+
+namespace
+{
+
+class ServerJitWorkload final : public Workload
+{
+  public:
+    explicit ServerJitWorkload(uint64_t seed)
+        : Workload("server-jit", seed)
+    {
+        dispatchLoopPc_ = layout_.alloc(8);
+        helperPc_ = layout_.alloc(8);
+        for (auto &pc : handlerPc_)
+            pc = layout_.alloc(12);
+        regionStub_.fill(kNoStub);
+
+        // Guest program: runs of repeated opcodes (loop bodies) so the
+        // decode sequence is periodic and history-predictable, like
+        // m88ksim's guest but with a much larger opcode vocabulary.
+        unsigned i = 0;
+        while (i < kProgramLen) {
+            const uint8_t op =
+                static_cast<uint8_t>(rng_.below(kNumOpcodes));
+            const unsigned run =
+                1 + static_cast<unsigned>(rng_.below(3));
+            for (unsigned r = 0; r < run && i < kProgramLen; ++r, ++i)
+                program_[i] = op;
+        }
+    }
+
+  private:
+    static constexpr unsigned kNumOpcodes = 48;
+    static constexpr unsigned kProgramLen = 1024;
+    static constexpr unsigned kRegionLen = 16;
+    static constexpr unsigned kNumRegions = kProgramLen / kRegionLen;
+    static constexpr unsigned kMaxStubs = 128;
+    static constexpr unsigned kJitPeriod = 96;
+    static constexpr uint16_t kNoStub = 0xffff;
+    /** Dispatch selectors: opcode for handlers, this + region for stubs. */
+    static constexpr uint64_t kStubSelectorBase = 4096;
+    static constexpr uint64_t kHeap = kDataBase;
+    static constexpr uint64_t kHeapSpan = 512 * 1024;
+    static constexpr uint64_t kBytecodeBase = kDataBase + kHeapSpan;
+
+    /** One code-cache slot; body shape is fixed when first allocated. */
+    struct Stub
+    {
+        uint64_t pc = 0;
+        uint16_t region = kNoStub;  ///< region currently mapped here
+        uint8_t aluLen = 0;
+        uint8_t trips = 0;
+    };
+
+    void
+    step() override
+    {
+        maybeJit();
+
+        const unsigned region = ip_ / kRegionLen;
+        const uint16_t slot = regionStub_[region];
+
+        // Dispatch loop: fetch the bytecode, decode, indirect jump.
+        emit_.setPc(dispatchLoopPc_);
+        emit_.intOps(1);
+        emit_.load(kBytecodeBase + ip_ * 4);
+        emit_.op(InstClass::BitField);
+        if (slot != kNoStub && ip_ % kRegionLen == 0) {
+            // Hot region: one jump into compiled code covers the whole
+            // region's worth of bytecodes.
+            const Stub &stub = stubs_[slot];
+            emit_.indirectJump(stub.pc, kStubSelectorBase + region);
+            emitStub(stub, region);
+            ip_ = (ip_ + kRegionLen) % kProgramLen;
+        } else {
+            const uint8_t opcode = program_[ip_];
+            emit_.indirectJump(handlerPc_[opcode], opcode);
+            emitHandler(opcode);
+            ip_ = (ip_ + 1) % kProgramLen;
+        }
+        ++steps_;
+    }
+
+    void
+    emitHandler(uint8_t opcode)
+    {
+        emit_.setPc(handlerPc_[opcode]);
+        emit_.aluMix(2 + opcode % 3, kHeap, kHeapSpan);
+        if (opcode % 4 == 0) {
+            emit_.call(helperPc_);
+            emitHelper();
+        }
+        if (opcode % 5 == 0)
+            emit_.store(kHeap + opcode * 32);
+        else
+            emit_.load(kHeap + opcode * 32);
+        emit_.jump(dispatchLoopPc_);
+    }
+
+    /** Shared runtime helper (allocation / profiling counter bump). */
+    void
+    emitHelper()
+    {
+        emit_.setPc(helperPc_);
+        emit_.op(InstClass::Integer);
+        emit_.store(kHeap + kHeapSpan - 64);
+        emit_.ret();
+    }
+
+    /** Compiled region body: straight-line work plus an unrolled loop. */
+    void
+    emitStub(const Stub &stub, unsigned region)
+    {
+        emit_.setPc(stub.pc);
+        emit_.aluMix(stub.aluLen, kHeap, kHeapSpan);
+        const uint64_t loop = emit_.pc();
+        for (unsigned t = 0; t < stub.trips; ++t) {
+            emit_.aluMix(2, kHeap, kHeapSpan);
+            emit_.condBranch(loop, t + 1 < stub.trips);
+        }
+        emit_.store(kHeap + region * 128);
+        emit_.jump(dispatchLoopPc_);
+    }
+
+    /** Every kJitPeriod steps, (re)compile the region under the ip. */
+    void
+    maybeJit()
+    {
+        if (steps_ == 0 || steps_ % kJitPeriod != 0)
+            return;
+        const uint16_t region = static_cast<uint16_t>(
+            rng_.below(kNumRegions));
+        if (regionStub_[region] != kNoStub)
+            return;  // already resident
+        uint16_t slot;
+        if (stubs_.size() < kMaxStubs) {
+            // Fresh code-cache allocation: a brand-new dispatch target
+            // address the BTB has never seen.
+            slot = static_cast<uint16_t>(stubs_.size());
+            Stub stub;
+            stub.pc = layout_.alloc(16);
+            stub.aluLen = static_cast<uint8_t>(3 + slot % 4);
+            stub.trips = static_cast<uint8_t>(1 + slot % 2);
+            stubs_.push_back(stub);
+        } else {
+            // Code cache full: evict the oldest mapping; the slot's
+            // body shape is fixed, only its region binding changes.
+            slot = nextEvict_;
+            nextEvict_ = static_cast<uint16_t>(
+                (nextEvict_ + 1) % kMaxStubs);
+            if (stubs_[slot].region != kNoStub)
+                regionStub_[stubs_[slot].region] = kNoStub;
+        }
+        stubs_[slot].region = region;
+        regionStub_[region] = slot;
+    }
+
+    std::array<uint8_t, kProgramLen> program_{};
+    std::array<uint16_t, kNumRegions> regionStub_{};
+    std::vector<Stub> stubs_;
+    unsigned ip_ = 0;
+    uint64_t steps_ = 0;
+    uint16_t nextEvict_ = 0;
+
+    uint64_t dispatchLoopPc_ = 0;
+    uint64_t helperPc_ = 0;
+    std::array<uint64_t, kNumOpcodes> handlerPc_{};
+};
+
+const detail::WorkloadRegistrar registered{{
+    "server-jit",
+    "bytecode interpreter + tiering JIT: dispatch targets churn as stubs compile",
+    2, false,
+    [](uint64_t seed) -> std::unique_ptr<Workload> {
+        return std::make_unique<ServerJitWorkload>(seed);
+    }}};
+
+} // namespace
+
+} // namespace tpred

@@ -8,7 +8,7 @@
  * one of the lowest indirect misprediction rates).
  */
 
-#include "workloads/factories.hh"
+#include "workloads/workload.hh"
 
 #include <array>
 
@@ -145,12 +145,14 @@ class VortexWorkload final : public Workload
     uint64_t commitFnPc_ = 0;
 };
 
-} // namespace
+const detail::WorkloadRegistrar registered{{
+    "vortex",
+    "OO database in C: monomorphic function-pointer method dispatch",
+    0, true,
+    [](uint64_t seed) -> std::unique_ptr<Workload> {
+        return std::make_unique<VortexWorkload>(seed);
+    }}};
 
-std::unique_ptr<Workload>
-makeVortexWorkload(uint64_t seed)
-{
-    return std::make_unique<VortexWorkload>(seed);
-}
+} // namespace
 
 } // namespace tpred

@@ -1,12 +1,24 @@
 #include "workloads/workload.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
-#include "workloads/factories.hh"
-
 namespace tpred
 {
+
+namespace
+{
+
+/** Construct-on-first-use: registrars run during static init. */
+std::vector<WorkloadInfo> &
+mutableRegistry()
+{
+    static std::vector<WorkloadInfo> registry;
+    return registry;
+}
+
+} // namespace
 
 Workload::Workload(std::string name, uint64_t seed)
     : emit_(seed),
@@ -30,48 +42,71 @@ Workload::next(MicroOp &op)
     return true;
 }
 
+detail::WorkloadRegistrar::WorkloadRegistrar(WorkloadInfo info)
+{
+    assert(info.factory != nullptr);
+    mutableRegistry().push_back(std::move(info));
+}
+
+const std::vector<WorkloadInfo> &
+workloadRegistry()
+{
+    static const std::vector<WorkloadInfo> sorted = [] {
+        std::vector<WorkloadInfo> all = mutableRegistry();
+        std::sort(all.begin(), all.end(),
+                  [](const WorkloadInfo &a, const WorkloadInfo &b) {
+                      if (a.rank != b.rank)
+                          return a.rank < b.rank;
+                      return a.name < b.name;
+                  });
+        return all;
+    }();
+    return sorted;
+}
+
+bool
+isKnownWorkload(const std::string &name)
+{
+    for (const WorkloadInfo &info : workloadRegistry()) {
+        if (info.name == name)
+            return true;
+    }
+    return false;
+}
+
 const std::vector<std::string> &
 spec95Names()
 {
-    static const std::vector<std::string> names = {
-        "compress", "gcc", "go", "ijpeg",
-        "m88ksim", "perl", "vortex", "xlisp",
-    };
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const WorkloadInfo &info : workloadRegistry()) {
+            if (info.spec95)
+                out.push_back(info.name);
+        }
+        return out;
+    }();
     return names;
 }
 
 const std::vector<std::string> &
 allWorkloadNames()
 {
-    static const std::vector<std::string> names = {
-        "compress", "gcc", "go", "ijpeg",
-        "m88ksim", "perl", "vortex", "xlisp",
-        "cpp-virtual",
-    };
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const WorkloadInfo &info : workloadRegistry())
+            out.push_back(info.name);
+        return out;
+    }();
     return names;
 }
 
 std::unique_ptr<Workload>
 makeWorkload(const std::string &name, uint64_t seed)
 {
-    if (name == "compress")
-        return makeCompressWorkload(seed);
-    if (name == "gcc")
-        return makeGccWorkload(seed);
-    if (name == "go")
-        return makeGoWorkload(seed);
-    if (name == "ijpeg")
-        return makeIjpegWorkload(seed);
-    if (name == "m88ksim")
-        return makeM88ksimWorkload(seed);
-    if (name == "perl")
-        return makePerlWorkload(seed);
-    if (name == "vortex")
-        return makeVortexWorkload(seed);
-    if (name == "xlisp")
-        return makeXlispWorkload(seed);
-    if (name == "cpp-virtual")
-        return makeCppVirtualWorkload(seed);
+    for (const WorkloadInfo &info : workloadRegistry()) {
+        if (info.name == name)
+            return info.factory(seed);
+    }
     throw std::invalid_argument("unknown workload: " + name);
 }
 

@@ -52,12 +52,37 @@ class Workload : public TraceSource
 };
 
 /**
+ * One registered workload generator.
+ *
+ * Generators register themselves from their own translation unit via
+ * detail::WorkloadRegistrar, so adding a benchmark is one .cc file —
+ * no central factory switch to edit.  Listing order is (rank, name):
+ * rank 0 = the SPECint95 analogues (alphabetical == the paper's Table 1
+ * order), rank 1 = the object-oriented extension, rank 2 = the
+ * server-shaped workloads.
+ */
+struct WorkloadInfo
+{
+    std::string name;
+    std::string description;  ///< one line, shown by --list-workloads
+    int rank = 0;
+    bool spec95 = false;
+    std::unique_ptr<Workload> (*factory)(uint64_t seed) = nullptr;
+};
+
+/** Every registered workload, sorted by (rank, name). */
+const std::vector<WorkloadInfo> &workloadRegistry();
+
+/** True iff @p name names a registered workload. */
+bool isKnownWorkload(const std::string &name);
+
+/**
  * The eight SPECint95 benchmark analogues of the paper's Table 1, in
  * the paper's order.
  */
 const std::vector<std::string> &spec95Names();
 
-/** All workloads, including the C++-virtual-dispatch extension. */
+/** All registered workload names, in registry order. */
 const std::vector<std::string> &allWorkloadNames();
 
 /**
@@ -68,6 +93,21 @@ const std::vector<std::string> &allWorkloadNames();
  */
 std::unique_ptr<Workload> makeWorkload(const std::string &name,
                                        uint64_t seed = 1);
+
+namespace detail
+{
+
+/**
+ * File-scope static in a generator's .cc; its constructor adds the
+ * entry to the registry during static initialization.  The workloads
+ * library is an OBJECT library so the linker cannot drop these.
+ */
+struct WorkloadRegistrar
+{
+    explicit WorkloadRegistrar(WorkloadInfo info);
+};
+
+} // namespace detail
 
 } // namespace tpred
 

@@ -7,7 +7,7 @@
  * last-target BTB do moderately well (paper Table 1: 20.7%).
  */
 
-#include "workloads/factories.hh"
+#include "workloads/workload.hh"
 
 #include <array>
 
@@ -222,12 +222,14 @@ class XlispWorkload final : public Workload
     uint64_t consFnPc_ = 0;
 };
 
-} // namespace
+const detail::WorkloadRegistrar registered{{
+    "xlisp",
+    "recursive s-expression evaluator with periodic mark/sweep GC",
+    0, true,
+    [](uint64_t seed) -> std::unique_ptr<Workload> {
+        return std::make_unique<XlispWorkload>(seed);
+    }}};
 
-std::unique_ptr<Workload>
-makeXlispWorkload(uint64_t seed)
-{
-    return std::make_unique<XlispWorkload>(seed);
-}
+} // namespace
 
 } // namespace tpred

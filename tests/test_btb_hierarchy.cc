@@ -1,0 +1,273 @@
+/**
+ * @file
+ * BTB hierarchy tests: the single-level adapter's bit-identity with
+ * the raw Btb, two-level prefetch/victim/exclusivity mechanics, the
+ * peek==lookup contract, save/restore round-trips, and the explicit
+ * counter-crediting discipline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/btb_hierarchy.hh"
+#include "common/rng.hh"
+#include "common/state_io.hh"
+#include "obs/metrics.hh"
+#include "test_util.hh"
+
+namespace tpred
+{
+namespace
+{
+
+/** Tiny two-level geometry: 2x2 L1 in front of a 4x2 L2. */
+BtbHierarchyConfig
+tinyTwoLevel(unsigned penalty = 3)
+{
+    BtbHierarchyConfig config;
+    config.l1 = {2, 2, BtbUpdateStrategy::Default};
+    config.twoLevel = true;
+    config.l2 = {4, 2, BtbUpdateStrategy::Default};
+    config.missPenalty = penalty;
+    return config;
+}
+
+TEST(BtbHierarchy, DescribeNamesBothShapes)
+{
+    EXPECT_EQ(BtbHierarchyConfig{}.describe(), "btb256x4");
+    BtbHierarchyConfig two_bit;
+    two_bit.l1.strategy = BtbUpdateStrategy::TwoBit;
+    EXPECT_EQ(two_bit.describe(), "btb256x4-2bit");
+    EXPECT_EQ(tinyTwoLevel().describe(), "l1-2x2+l2-4x2p3");
+}
+
+TEST(BtbHierarchy, StorageBitsSumsLevels)
+{
+    BtbHierarchyConfig single;
+    const uint64_t one_level = single.storageBits();
+    EXPECT_GT(one_level, 0u);
+    BtbHierarchyConfig two = single;
+    two.twoLevel = true;
+    EXPECT_GT(two.storageBits(), one_level);
+}
+
+TEST(BtbHierarchy, FactorySelectsImplementation)
+{
+    auto single = makeBtbHierarchy({});
+    EXPECT_FALSE(single->config().twoLevel);
+    auto two = makeBtbHierarchy(tinyTwoLevel());
+    EXPECT_TRUE(two->config().twoLevel);
+    EXPECT_EQ(two->config().missPenalty, 3u);
+}
+
+TEST(BtbHierarchy, SingleLevelMissHasNoBubble)
+{
+    auto btb = makeBtbHierarchy({});
+    const BtbProbe probe = btb->lookup(0x100);
+    EXPECT_FALSE(probe.pred.has_value());
+    EXPECT_EQ(probe.bubbleCycles, 0u);
+    EXPECT_EQ(btb->hstats().l1Misses, 1u);
+    EXPECT_EQ(btb->hstats().l1Hits, 0u);
+}
+
+/**
+ * The adapter must be a transparent wrapper: same predictions on the
+ * same probe/update stream as the raw Btb, and byte-identical
+ * checkpoints (PR-6 checkpoint archives predate the hierarchy API).
+ */
+TEST(BtbHierarchy, SingleLevelMatchesRawBtbBitForBit)
+{
+    BtbHierarchyConfig config;
+    config.l1 = {8, 2, BtbUpdateStrategy::TwoBit};
+    auto hier = makeBtbHierarchy(config);
+    Btb raw(config.l1);
+
+    Rng rng(42);
+    for (unsigned i = 0; i < 4000; ++i) {
+        const uint64_t pc = 0x1000 + rng.below(256) * 4;
+        const uint64_t target = 0x8000 + rng.below(16) * 0x40;
+        const BtbProbe probe = hier->lookup(pc);
+        const auto expect = raw.lookup(pc);
+        ASSERT_EQ(probe.pred.has_value(), expect.has_value()) << i;
+        if (expect) {
+            EXPECT_EQ(probe.pred->target, expect->target);
+            EXPECT_EQ(probe.pred->kind, expect->kind);
+        }
+        EXPECT_EQ(probe.bubbleCycles, 0u);
+        const MicroOp op = test::indirectOp(pc, target);
+        hier->update(op);
+        raw.update(op);
+    }
+    EXPECT_EQ(hier->validEntries(), raw.validEntries());
+
+    StateWriter hier_bytes, raw_bytes;
+    hier->saveState(hier_bytes);
+    raw.saveState(raw_bytes);
+    EXPECT_EQ(hier_bytes.bytes(), raw_bytes.bytes());
+}
+
+TEST(BtbHierarchy, AllocationGoesToL1)
+{
+    auto btb = makeBtbHierarchy(tinyTwoLevel());
+    btb->update(test::indirectOp(0x100, 0x2000));
+    const BtbProbe probe = btb->lookup(0x100);
+    ASSERT_TRUE(probe.pred.has_value());
+    EXPECT_EQ(probe.pred->target, 0x2000u);
+    EXPECT_EQ(probe.bubbleCycles, 0u);  // L1 hit: no fetch bubble
+    EXPECT_EQ(btb->hstats().l1Hits, 1u);
+}
+
+TEST(BtbHierarchy, VictimMovesToL2AndPrefetchesBack)
+{
+    // L1 set 0 holds 2 ways; pcs 0x100/0x108/0x110 all map to it
+    // ((pc >> 2) & 1 == 0).
+    auto btb = makeBtbHierarchy(tinyTwoLevel());
+    btb->update(test::indirectOp(0x100, 0x1000));
+    btb->update(test::indirectOp(0x108, 0x2000));
+    btb->update(test::indirectOp(0x110, 0x3000));  // evicts LRU 0x100
+    EXPECT_EQ(btb->hstats().victims, 1u);
+    EXPECT_EQ(btb->validEntries(), 3u);  // nothing was lost
+
+    // The victim is still predictable — from L2, missPenalty late.
+    const BtbProbe demoted = btb->lookup(0x100);
+    ASSERT_TRUE(demoted.pred.has_value());
+    EXPECT_EQ(demoted.pred->target, 0x1000u);
+    EXPECT_EQ(demoted.bubbleCycles, 3u);
+    EXPECT_EQ(btb->hstats().l2Hits, 1u);
+    EXPECT_EQ(btb->hstats().prefetches, 1u);
+
+    // The L2 hit promoted it: the re-probe is a zero-bubble L1 hit,
+    // and the hierarchy stayed exclusive (still one copy per entry).
+    const BtbProbe promoted = btb->lookup(0x100);
+    ASSERT_TRUE(promoted.pred.has_value());
+    EXPECT_EQ(promoted.bubbleCycles, 0u);
+    EXPECT_EQ(btb->validEntries(), 3u);
+}
+
+TEST(BtbHierarchy, PromotionDemotesTheDisplacedL1Entry)
+{
+    auto btb = makeBtbHierarchy(tinyTwoLevel());
+    btb->update(test::indirectOp(0x100, 0x1000));
+    btb->update(test::indirectOp(0x108, 0x2000));
+    btb->update(test::indirectOp(0x110, 0x3000));  // 0x100 -> L2
+    (void)btb->lookup(0x100);  // promote back; displaces an L1 entry
+    EXPECT_EQ(btb->hstats().victims, 2u);
+    // Every one of the three entries must still resolve somewhere.
+    for (uint64_t pc : {0x100ull, 0x108ull, 0x110ull})
+        EXPECT_TRUE(btb->lookup(pc).pred.has_value())
+            << std::hex << pc;
+    EXPECT_EQ(btb->validEntries(), 3u);
+}
+
+TEST(BtbHierarchy, UpdateTrainsInPlaceInL2)
+{
+    auto btb = makeBtbHierarchy(tinyTwoLevel());
+    btb->update(test::indirectOp(0x100, 0x1000));
+    btb->update(test::indirectOp(0x108, 0x2000));
+    btb->update(test::indirectOp(0x110, 0x3000));  // 0x100 -> L2
+    // Resolution-time retrain without a fetch-time probe: the entry
+    // must be updated where it lives, not duplicated into L1.
+    btb->update(test::indirectOp(0x100, 0x4000));
+    EXPECT_EQ(btb->validEntries(), 3u);
+    const BtbProbe probe = btb->lookup(0x100);
+    ASSERT_TRUE(probe.pred.has_value());
+    EXPECT_EQ(probe.pred->target, 0x4000u);
+    EXPECT_EQ(probe.bubbleCycles, 3u);  // it was still L2-resident
+}
+
+TEST(BtbHierarchy, PeekMatchesLookupWithoutSideEffects)
+{
+    auto btb = makeBtbHierarchy(tinyTwoLevel());
+    Rng rng(7);
+    for (unsigned i = 0; i < 2000; ++i) {
+        const uint64_t pc = 0x100 + rng.below(32) * 4;
+        const BtbProbe peeked = btb->peek(pc);
+        const BtbProbe again = btb->peek(pc);  // peek is idempotent
+        EXPECT_EQ(peeked.pred.has_value(), again.pred.has_value());
+        EXPECT_EQ(peeked.bubbleCycles, again.bubbleCycles);
+        const BtbProbe probed = btb->lookup(pc);
+        ASSERT_EQ(peeked.pred.has_value(), probed.pred.has_value())
+            << "probe " << i;
+        if (probed.pred) {
+            EXPECT_EQ(peeked.pred->target, probed.pred->target);
+            EXPECT_EQ(peeked.pred->kind, probed.pred->kind);
+        }
+        EXPECT_EQ(peeked.bubbleCycles, probed.bubbleCycles);
+        if (rng.chance(0.7))
+            btb->update(test::indirectOp(pc, 0x8000 + rng.below(8) *
+                                                      0x40));
+    }
+}
+
+TEST(BtbHierarchy, TwoLevelSaveRestoreRoundTrips)
+{
+    auto btb = makeBtbHierarchy(tinyTwoLevel());
+    Rng rng(11);
+    for (unsigned i = 0; i < 500; ++i) {
+        const uint64_t pc = 0x100 + rng.below(24) * 4;
+        (void)btb->lookup(pc);
+        btb->update(test::indirectOp(pc, 0x8000 + rng.below(8) * 0x40));
+    }
+    StateWriter w;
+    btb->saveState(w);
+    const std::vector<uint8_t> bytes = w.bytes();
+
+    auto restored = makeBtbHierarchy(tinyTwoLevel());
+    StateReader r(bytes);
+    restored->restoreState(r);
+    EXPECT_EQ(restored->validEntries(), btb->validEntries());
+    for (uint64_t pc = 0x100; pc < 0x100 + 24 * 4; pc += 4) {
+        const BtbProbe a = btb->peek(pc);
+        const BtbProbe b = restored->peek(pc);
+        ASSERT_EQ(a.pred.has_value(), b.pred.has_value())
+            << std::hex << pc;
+        if (a.pred) {
+            EXPECT_EQ(a.pred->target, b.pred->target);
+            EXPECT_EQ(a.pred->kind, b.pred->kind);
+        }
+        EXPECT_EQ(a.bubbleCycles, b.bubbleCycles);
+    }
+
+    // The restored copy must also evolve identically.
+    StateWriter w2, w3;
+    btb->update(test::indirectOp(0x100, 0x9000));
+    restored->update(test::indirectOp(0x100, 0x9000));
+    btb->saveState(w2);
+    restored->saveState(w3);
+    EXPECT_EQ(w2.bytes(), w3.bytes());
+}
+
+TEST(BtbHierarchy, RestoreDoesNotInheritProbeAccounting)
+{
+    auto btb = makeBtbHierarchy(tinyTwoLevel());
+    (void)btb->lookup(0x100);
+    StateWriter w;
+    btb->saveState(w);
+    auto restored = makeBtbHierarchy(tinyTwoLevel());
+    StateReader r(w.bytes());
+    restored->restoreState(r);
+    // hstats describe work done by *this* instance, not architectural
+    // state: a restored fork must not re-report its parent's probes.
+    EXPECT_EQ(restored->hstats().l1Misses, 0u);
+    EXPECT_EQ(restored->hstats().l1Hits, 0u);
+}
+
+TEST(BtbHierarchy, CreditBtbCountersIsExplicitAndAdditive)
+{
+    auto btb = makeBtbHierarchy(tinyTwoLevel());
+    const obs::MetricsSnapshot before = obs::globalMetrics().snapshot();
+    (void)btb->lookup(0x100);  // miss
+    btb->update(test::indirectOp(0x100, 0x1000));
+    (void)btb->lookup(0x100);  // hit
+    // No registry traffic until the experiment layer credits.
+    const obs::MetricsSnapshot mid = obs::globalMetrics().snapshot();
+    EXPECT_EQ(obs::snapshotDelta(before, mid).counters.count("btb.l1_hits"),
+              0u);
+    creditBtbCounters(btb->hstats());
+    const obs::MetricsSnapshot after = obs::globalMetrics().snapshot();
+    const auto delta = obs::snapshotDelta(before, after).counters;
+    EXPECT_EQ(delta.at("btb.l1_hits"), 1u);
+    EXPECT_EQ(delta.at("btb.l1_misses"), 1u);
+}
+
+} // namespace
+} // namespace tpred

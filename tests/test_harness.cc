@@ -106,8 +106,20 @@ TEST(Harness, ReductionOverBaselineMatchesManualComputation)
 
 TEST(Harness, TwoBitFrontendUsesTwoBitStrategy)
 {
-    EXPECT_EQ(twoBitBtbFrontend().btb.strategy,
+    EXPECT_EQ(twoBitBtbFrontend().btb.l1.strategy,
               BtbUpdateStrategy::TwoBit);
+    EXPECT_FALSE(twoBitBtbFrontend().btb.twoLevel);
+}
+
+TEST(Harness, TwoLevelFrontendGeometry)
+{
+    const FrontendConfig fe = twoLevelBtbFrontend();
+    EXPECT_TRUE(fe.btb.twoLevel);
+    EXPECT_EQ(fe.btb.l1.entries(), 64u);
+    EXPECT_EQ(fe.btb.l2.entries(), 8192u);
+    EXPECT_EQ(fe.btb.missPenalty, 2u);
+    EXPECT_FALSE(smallBtbFrontend().btb.twoLevel);
+    EXPECT_EQ(smallBtbFrontend().btb.l1.entries(), 64u);
 }
 
 TEST(Harness, HistorySpecBuilders)

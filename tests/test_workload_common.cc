@@ -268,11 +268,39 @@ TEST(WorkloadFactory, UnknownNameThrows)
 TEST(WorkloadFactory, NamesListedAreConstructible)
 {
     EXPECT_EQ(spec95Names().size(), 8u);
-    EXPECT_EQ(allWorkloadNames().size(), 9u);
+    EXPECT_EQ(allWorkloadNames().size(), 11u);
     for (const auto &name : allWorkloadNames()) {
         auto workload = makeWorkload(name);
         EXPECT_EQ(workload->name(), name);
     }
+}
+
+TEST(WorkloadFactory, RegistryIsOrderedAndDescribed)
+{
+    const auto &registry = workloadRegistry();
+    ASSERT_EQ(registry.size(), allWorkloadNames().size());
+    for (size_t i = 1; i < registry.size(); ++i) {
+        const auto &a = registry[i - 1];
+        const auto &b = registry[i];
+        EXPECT_TRUE(a.rank < b.rank ||
+                    (a.rank == b.rank && a.name < b.name))
+            << a.name << " vs " << b.name;
+    }
+    for (const auto &info : registry) {
+        EXPECT_FALSE(info.description.empty()) << info.name;
+        EXPECT_NE(info.factory, nullptr) << info.name;
+        EXPECT_EQ(info.spec95, info.rank == 0) << info.name;
+        EXPECT_TRUE(isKnownWorkload(info.name));
+    }
+    EXPECT_FALSE(isKnownWorkload("nonesuch"));
+    // The paper's Table 1 order is the spec95 group, alphabetical.
+    EXPECT_EQ(registry.front().name, "compress");
+}
+
+TEST(WorkloadFactory, ServerWorkloadsRegistered)
+{
+    EXPECT_TRUE(isKnownWorkload("server-dispatch"));
+    EXPECT_TRUE(isKnownWorkload("server-jit"));
 }
 
 } // namespace

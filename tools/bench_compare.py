@@ -58,6 +58,7 @@ REGISTERED_BASELINES = {
     "BENCH_corpus.json": "bench/corpus_load",
     "BENCH_shard.json": "bench/shard_replay",
     "BENCH_tune.json": "bench/tune_search",
+    "BENCH_btb.json": "bench/btb_pressure",
 }
 
 

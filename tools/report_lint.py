@@ -20,8 +20,11 @@ tool with the same semantic config agree on every field outside the
 below.  Metric names are not constrained: deterministic counters such
 as the fused sweep kernel's "sweep.*" family (sweep.batches,
 sweep.configs, sweep.history_groups, sweep.branches,
-sweep.streams_built) are compared exactly like any other counter —
-identical serial vs --jobs N.  --mask canonicalizes a report so `cmp` can assert byte-identical
+sweep.streams_built) and the BTB hierarchy's "btb.*" family
+(btb.l1_hits, btb.l1_misses, btb.l2_hits, btb.prefetches,
+btb.victims — credited once per counted run, see docs/btb_hierarchy.md)
+are compared exactly like any other counter — identical serial vs
+--jobs N.  --mask canonicalizes a report so `cmp` can assert byte-identical
 output; --compare diffs two reports under the same rules (e.g. a serial
 run against a --jobs N run).
 """

@@ -58,6 +58,7 @@ struct Options
     size_t sites = 0;
     bool timing = false;
     bool twoBitBtb = false;
+    bool listWorkloads = false;
 };
 
 [[noreturn]] void
@@ -66,8 +67,8 @@ usage()
     std::puts(
         "tpredsim — indirect-jump target prediction simulator\n"
         "\n"
-        "  --workload NAME     compress|gcc|go|ijpeg|m88ksim|perl|\n"
-        "                      vortex|xlisp|cpp-virtual   [perl]\n"
+        "  --workload NAME     a registered workload      [perl]\n"
+        "  --list-workloads    list registered workloads and exit\n"
         "  --ops N             instructions to simulate   [1000000]\n"
         "  --seed N            workload seed              [1]\n"
         "  --predictor KIND    btb|tagless|tagged|cascaded|ittage|\n"
@@ -91,7 +92,7 @@ usage()
         "  --shards N          shard the segmented replay into N\n"
         "                      regions with checkpoint proofs\n"
         "  --tune SPACE        hand off to the tpredtune autotuner\n"
-        "                      (smoke|tiny|bench|standard)\n"
+        "                      (smoke|tiny|bench|standard|btb)\n"
         "  --corpus DIR        persistent trace corpus directory\n"
         "                      (also honoured as $TPRED_CORPUS_DIR)\n"
         "  --report FILE       write a tpred-run-report/1 JSON file\n"
@@ -144,10 +145,21 @@ parse(int argc, char **argv)
             opt.shards = static_cast<unsigned>(std::atoi(need(i)));
         else if (arg == "--tune")
             opt.tuneSpace = need(i);
+        else if (arg == "--list-workloads")
+            opt.listWorkloads = true;
         else
             usage();
     }
     return opt;
+}
+
+/** Prints the workload registry, one line per generator. */
+void
+listWorkloads()
+{
+    for (const WorkloadInfo &info : workloadRegistry())
+        std::printf("%-16s %s\n", info.name.c_str(),
+                    info.description.c_str());
 }
 
 HistorySpec
@@ -354,12 +366,26 @@ main(int argc, char **argv)
         /*positional_ops=*/false);
     try {
         const Options opt = parse(argc, argv);
+        if (opt.listWorkloads) {
+            listWorkloads();
+            return 0;
+        }
 
         // Fail loud (usage status) on unknown spaces before any work.
         if (!opt.tuneSpace.empty() &&
             !tune::isSpaceName(opt.tuneSpace)) {
             std::fprintf(stderr, "tpredsim: unknown tune space '%s'\n",
                          opt.tuneSpace.c_str());
+            return 2;
+        }
+        // Same for workload names, unless a trace file replaces the
+        // generator entirely.
+        if (opt.loadTrace.empty() && opt.loadSegmented.empty() &&
+            !isKnownWorkload(opt.workload)) {
+            std::fprintf(stderr,
+                         "tpredsim: unknown workload '%s' "
+                         "(--list-workloads shows the registry)\n",
+                         opt.workload.c_str());
             return 2;
         }
         run.apply();

@@ -22,6 +22,7 @@
 #include "tune/config_space.hh"
 #include "tune/successive_halving.hh"
 #include "tune/tune_report.hh"
+#include "workloads/workload.hh"
 
 using namespace tpred;
 
@@ -41,6 +42,7 @@ struct Options
     uint64_t seed = 1;
     bool exhaustive = false;
     bool listSpaces = false;
+    bool listWorkloads = false;
 };
 
 [[noreturn]] void
@@ -59,6 +61,7 @@ usage()
         "  --cap N             hard candidate cap         [4096]\n"
         "  --seed N            workload seed              [1]\n"
         "  --workloads A,B     workload classes searched  [gcc,perl]\n"
+        "  --list-workloads    list registered workloads and exit\n"
         "  --exhaustive        evaluate every candidate at the full\n"
         "                      budget (reference mode)\n"
         "  --jobs N            worker threads for parallel runs\n"
@@ -99,6 +102,8 @@ parse(int argc, char **argv)
             opt.workloads = need(i);
         else if (arg == "--exhaustive")
             opt.exhaustive = true;
+        else if (arg == "--list-workloads")
+            opt.listWorkloads = true;
         else
             usage();
     }
@@ -139,6 +144,12 @@ main(int argc, char **argv)
             std::printf("%s\n", name.c_str());
         return 0;
     }
+    if (opt.listWorkloads) {
+        for (const WorkloadInfo &info : workloadRegistry())
+            std::printf("%-16s %s\n", info.name.c_str(),
+                        info.description.c_str());
+        return 0;
+    }
     // Fail loud on unknown spaces with the usage exit status, before
     // any expensive work.
     if (!tune::isSpaceName(opt.space)) {
@@ -149,6 +160,17 @@ main(int argc, char **argv)
             std::fprintf(stderr, " %s", name.c_str());
         std::fprintf(stderr, ")\n");
         return 2;
+    }
+    // Unknown workloads fail the same way: usage status, before any
+    // traces are recorded.
+    for (const std::string &name : splitCommas(opt.workloads)) {
+        if (!isKnownWorkload(name)) {
+            std::fprintf(stderr,
+                         "tpredtune: unknown workload '%s' "
+                         "(--list-workloads shows the registry)\n",
+                         name.c_str());
+            return 2;
+        }
     }
 
     try {
