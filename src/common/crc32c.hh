@@ -1,10 +1,20 @@
 /**
  * @file
  * CRC32C (Castagnoli) checksum, the polynomial used by iSCSI, ext4
- * and the persistent trace corpus (docs/trace_format.md).  Software
- * slice-by-8 implementation — no SSE4.2 dependency — running at a few
- * GB/s, fast enough that verifying a mapped corpus file stays an
- * order of magnitude cheaper than regenerating the trace.
+ * and the persistent trace corpus (docs/trace_format.md).
+ *
+ * Two implementations, one answer: a software slice-by-8 reference
+ * (a few GB/s, no ISA dependency) and an SSE4.2 hardware path (the
+ * crc32 instruction, an order of magnitude faster) selected at
+ * runtime via cpuid — no special compile flags needed, so every
+ * build gets the fast path on capable x86-64 hosts.  Both compute
+ * the identical reflected-CRC32C value; test_stream_pipeline proves
+ * them equal on random buffers at every alignment.
+ *
+ * Corpus loads checksum every payload byte on every map, so this is
+ * the hot loop of warm trace/stream acquisition — the hardware path
+ * is what keeps full-file verification an order of magnitude cheaper
+ * than the work it guards.
  */
 
 #ifndef TPRED_COMMON_CRC32C_HH
@@ -22,6 +32,18 @@ namespace tpred
  * @return Updated checksum over the concatenation so far.
  */
 uint32_t crc32cUpdate(uint32_t crc, const void *data, size_t bytes);
+
+/**
+ * The software slice-by-8 reference, always available — the
+ * differential anchor the hardware path is tested against.  Not for
+ * production callers; crc32cUpdate() dispatches to the fastest
+ * correct implementation.
+ */
+uint32_t crc32cUpdateSoftware(uint32_t crc, const void *data,
+                              size_t bytes);
+
+/** Implementation crc32cUpdate() dispatches to: "sse4.2"/"software". */
+const char *crc32cImpl();
 
 /** One-shot CRC32C of a buffer. */
 inline uint32_t

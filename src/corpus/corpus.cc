@@ -6,7 +6,9 @@
 #include <cstring>
 #include <ctime>
 #include <filesystem>
+#include <map>
 #include <stdexcept>
+#include <utility>
 
 #include <fcntl.h>
 #include <unistd.h>
@@ -14,6 +16,7 @@
 #include "corpus/mapped_file.hh"
 #include "corpus/segmented_trace.hh"
 #include "trace/compact_io.hh"
+#include "trace/stream_io.hh"
 #include "trace/trace_source.hh"
 
 namespace fs = std::filesystem;
@@ -26,6 +29,7 @@ namespace
 
 constexpr const char *kEntrySuffix = ".tpct";
 constexpr const char *kSegmentedSuffix = ".tpcs";
+constexpr const char *kStreamSuffix = ".tpbs";
 constexpr const char *kQuarantineSuffix = ".quarantined";
 constexpr const char *kTempMarker = ".tmp";
 
@@ -103,6 +107,44 @@ parseFileName(const std::string &file, CorpusKey &key)
         return false;
     }
     return true;
+}
+
+/**
+ * Inverts CorpusManager::streamFileName():
+ * {workload}-s{seed}-o{ops}-b{v}.tpbs.
+ */
+bool
+parseStreamFileName(const std::string &file, CorpusKey &key)
+{
+    if (!file.ends_with(kStreamSuffix))
+        return false;
+    const std::string stem =
+        file.substr(0, file.size() - std::strlen(kStreamSuffix));
+    const size_t b_at = stem.rfind("-b");
+    if (b_at == std::string::npos)
+        return false;
+    const size_t o_at = stem.rfind("-o", b_at - 1);
+    if (o_at == std::string::npos)
+        return false;
+    const size_t s_at = stem.rfind("-s", o_at - 1);
+    if (s_at == std::string::npos || s_at == 0)
+        return false;
+    try {
+        key.workload = stem.substr(0, s_at);
+        key.seed = std::stoull(stem.substr(s_at + 2, o_at - s_at - 2));
+        key.ops = std::stoull(stem.substr(o_at + 2, b_at - o_at - 2));
+    } catch (const std::exception &) {
+        return false;
+    }
+    return true;
+}
+
+/** Stable identity string for orphan matching in gc(). */
+std::string
+keyId(const CorpusKey &key)
+{
+    return key.workload + "|" + std::to_string(key.seed) + "|" +
+           std::to_string(key.ops);
 }
 
 /**
@@ -185,6 +227,20 @@ atomicWrite(const std::string &path, const void *data, size_t bytes)
 
 } // namespace
 
+const char *
+corpusArtifactName(CorpusArtifact kind)
+{
+    switch (kind) {
+      case CorpusArtifact::Plain:
+        return "plain";
+      case CorpusArtifact::Segmented:
+        return "segmented";
+      case CorpusArtifact::BranchStream:
+        return "branch-stream";
+    }
+    return "?";
+}
+
 CorpusManager::CorpusManager(std::string dir,
                              obs::MetricsRegistry *metrics)
     : dir_(std::move(dir)),
@@ -198,7 +254,16 @@ CorpusManager::CorpusManager(std::string dir,
       quarantined_(metrics_->counter("corpus.quarantined")),
       bytesLoaded_(metrics_->counter("corpus.bytes_loaded")),
       bytesStored_(metrics_->counter("corpus.bytes_stored")),
-      fsyncs_(metrics_->counter("corpus.fsyncs"))
+      fsyncs_(metrics_->counter("corpus.fsyncs")),
+      streamHits_(metrics_->counter("stream_corpus.hits")),
+      streamMisses_(metrics_->counter("stream_corpus.misses")),
+      streamStores_(metrics_->counter("stream_corpus.stores")),
+      streamQuarantined_(
+          metrics_->counter("stream_corpus.quarantined")),
+      streamBytesLoaded_(
+          metrics_->counter("stream_corpus.bytes_loaded")),
+      streamBytesStored_(
+          metrics_->counter("stream_corpus.bytes_stored"))
 {
     std::error_code ec;
     fs::create_directories(dir_, ec);
@@ -223,13 +288,14 @@ CorpusManager::pathFor(const CorpusKey &key) const
 
 void
 CorpusManager::quarantine(const std::string &path,
-                          const std::string &why)
+                          const std::string &why,
+                          obs::Counter &counter)
 {
     const std::string target = path + kQuarantineSuffix;
     std::error_code ec;
     fs::remove(target, ec);  // a previous quarantine of the same name
     fs::rename(path, target, ec);
-    quarantined_.inc();
+    counter.inc();
     std::fprintf(stderr,
                  "tpred-corpus: quarantined %s (%s)%s\n", path.c_str(),
                  why.c_str(),
@@ -258,7 +324,7 @@ CorpusManager::load(const CorpusKey &key, std::string *name_out)
         return std::make_shared<const CompactTrace>(std::move(trace));
     } catch (const std::exception &e) {
         // Never trust a damaged file: set it aside and regenerate.
-        quarantine(path, e.what());
+        quarantine(path, e.what(), quarantined_);
         misses_.inc();
         return nullptr;
     }
@@ -313,7 +379,7 @@ CorpusManager::loadSegmented(const CorpusKey &key, size_t segment_ops)
         bytesLoaded_.inc(trace->fileBytes());
         return trace;
     } catch (const std::exception &e) {
-        quarantine(path, e.what());
+        quarantine(path, e.what(), quarantined_);
         misses_.inc();
         return nullptr;
     }
@@ -370,6 +436,62 @@ CorpusManager::storeSegmentedFromSource(const CorpusKey &key,
     refreshManifest();
 }
 
+std::string
+CorpusManager::streamFileName(const CorpusKey &key)
+{
+    return key.workload + "-s" + std::to_string(key.seed) + "-o" +
+           std::to_string(key.ops) + "-b" +
+           std::to_string(kStreamVersion) + kStreamSuffix;
+}
+
+std::string
+CorpusManager::streamPathFor(const CorpusKey &key) const
+{
+    return (fs::path(dir_) / streamFileName(key)).string();
+}
+
+std::shared_ptr<const BranchStream>
+CorpusManager::loadStream(const CorpusKey &key, std::string *name_out)
+{
+    const std::string path = streamPathFor(key);
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+        streamMisses_.inc();
+        return nullptr;
+    }
+    try {
+        std::shared_ptr<MappedFile> mapping = MappedFile::open(path);
+        const uint64_t bytes = mapping->size();
+        std::string name;
+        BranchStream stream = openBranchStreamContainer(
+            mapping->bytes(), mapping, name, path);
+        if (name_out != nullptr)
+            *name_out = name;
+        streamHits_.inc();
+        streamBytesLoaded_.inc(bytes);
+        return std::make_shared<const BranchStream>(std::move(stream));
+    } catch (const std::exception &e) {
+        // Streams are derived data: quarantine and re-extract.
+        quarantine(path, e.what(), streamQuarantined_);
+        streamMisses_.inc();
+        return nullptr;
+    }
+}
+
+void
+CorpusManager::storeStream(const CorpusKey &key,
+                           const BranchStream &stream,
+                           const std::string &name)
+{
+    const std::vector<uint8_t> image =
+        serializeBranchStream(stream, name);
+    atomicWrite(streamPathFor(key), image.data(), image.size());
+    fsyncs_.inc();
+    streamStores_.inc();
+    streamBytesStored_.inc(image.size());
+    refreshManifest();
+}
+
 std::vector<CorpusEntry>
 CorpusManager::list(bool verify) const
 {
@@ -378,9 +500,44 @@ CorpusManager::list(bool verify) const
         if (!de.is_regular_file())
             continue;
         const std::string file = de.path().filename().string();
+        if (file.ends_with(kStreamSuffix)) {
+            CorpusEntry entry;
+            entry.file = file;
+            entry.kind = CorpusArtifact::BranchStream;
+            parseStreamFileName(file, entry.key);
+            try {
+                const auto mapping =
+                    MappedFile::open(de.path().string());
+                entry.fileBytes = mapping->size();
+                if (verify) {
+                    std::string name;
+                    const BranchStream stream =
+                        openBranchStreamContainer(mapping->bytes(),
+                                                  mapping, name,
+                                                  de.path().string());
+                    entry.name = name;
+                    entry.opCount = stream.opCount;
+                    entry.branchCount = stream.size();
+                } else {
+                    const StreamContainerInfo info =
+                        peekBranchStreamContainer(mapping->bytes(),
+                                                  de.path().string());
+                    entry.name = info.name;
+                    entry.opCount = info.opCount;
+                    entry.branchCount = info.branchCount;
+                }
+                entry.ok = true;
+            } catch (const std::exception &e) {
+                entry.ok = false;
+                entry.error = e.what();
+            }
+            entries.push_back(std::move(entry));
+            continue;
+        }
         if (file.ends_with(kSegmentedSuffix)) {
             CorpusEntry entry;
             entry.file = file;
+            entry.kind = CorpusArtifact::Segmented;
             uint64_t seg_ops = 0;
             parseSegmentedFileName(file, entry.key, seg_ops);
             try {
@@ -405,6 +562,7 @@ CorpusManager::list(bool verify) const
             continue;
         CorpusEntry entry;
         entry.file = file;
+        entry.kind = CorpusArtifact::Plain;
         parseFileName(file, entry.key);
         try {
             const auto mapping = MappedFile::open(de.path().string());
@@ -447,8 +605,13 @@ CorpusManager::gc(uint64_t max_bytes)
         fs::path path;
         uint64_t bytes;
         fs::file_time_type mtime;
+        std::string id;  ///< keyId() for orphan accounting
     };
     std::vector<Live> live;
+    /// Valid .tpbs files and the trace key each one derives from.
+    std::vector<std::pair<fs::path, std::string>> streams;
+    /// keyId() -> number of live trace files (plain + segmented).
+    std::map<std::string, size_t> parents;
     uint64_t total = 0;
 
     for (const auto &de : fs::directory_iterator(dir_)) {
@@ -464,13 +627,42 @@ CorpusManager::gc(uint64_t max_bytes)
                 ++removed;
             continue;
         }
+        if (file.ends_with(kStreamSuffix)) {
+            CorpusKey key;
+            const bool named = parseStreamFileName(file, key);
+            try {
+                if (!named)
+                    throw CompactFormatError(
+                        de.path().string() +
+                        ": unparseable stream file name");
+                const auto mapping =
+                    MappedFile::open(de.path().string());
+                std::string name;
+                openBranchStreamContainer(mapping->bytes(), mapping,
+                                          name, de.path().string());
+                streams.emplace_back(de.path(), keyId(key));
+            } catch (const std::exception &e) {
+                std::fprintf(stderr,
+                             "tpred-corpus: gc removing %s (%s)\n",
+                             de.path().c_str(), e.what());
+                std::error_code ec;
+                if (fs::remove(de.path(), ec))
+                    ++removed;
+            }
+            continue;
+        }
         if (file.ends_with(kSegmentedSuffix)) {
             try {
                 const auto trace =
                     SegmentedTrace::open(de.path().string());
                 trace->verifyAllSegments();
+                CorpusKey key;
+                uint64_t seg_ops = 0;
+                std::string id;
+                if (parseSegmentedFileName(file, key, seg_ops))
+                    id = keyId(key);
                 live.push_back({de.path(), trace->fileBytes(),
-                                fs::last_write_time(de.path())});
+                                fs::last_write_time(de.path()), id});
                 total += trace->fileBytes();
             } catch (const std::exception &e) {
                 std::fprintf(stderr,
@@ -489,8 +681,12 @@ CorpusManager::gc(uint64_t max_bytes)
             std::string name;
             openCompactContainer(mapping->bytes(), mapping, name,
                                  de.path().string());
+            CorpusKey key;
+            std::string id;
+            if (parseFileName(file, key))
+                id = keyId(key);
             live.push_back({de.path(), mapping->size(),
-                            fs::last_write_time(de.path())});
+                            fs::last_write_time(de.path()), id});
             total += mapping->size();
         } catch (const std::exception &e) {
             std::fprintf(stderr, "tpred-corpus: gc removing %s (%s)\n",
@@ -500,6 +696,9 @@ CorpusManager::gc(uint64_t max_bytes)
                 ++removed;
         }
     }
+    for (const Live &entry : live)
+        if (!entry.id.empty())
+            ++parents[entry.id];
 
     if (max_bytes > 0 && total > max_bytes) {
         std::sort(live.begin(), live.end(),
@@ -513,8 +712,26 @@ CorpusManager::gc(uint64_t max_bytes)
             if (fs::remove(entry.path, ec)) {
                 total -= entry.bytes;
                 ++removed;
+                if (!entry.id.empty())
+                    --parents[entry.id];
             }
         }
+    }
+
+    // Streams are derived data: collect any whose parent trace —
+    // plain or segmented, same (workload, seed, ops) — is gone,
+    // including parents evicted just above.
+    for (const auto &[path, id] : streams) {
+        const auto it = parents.find(id);
+        if (it != parents.end() && it->second > 0)
+            continue;
+        std::fprintf(stderr,
+                     "tpred-corpus: gc removing %s (orphaned "
+                     "branch-stream; parent trace removed)\n",
+                     path.c_str());
+        std::error_code ec;
+        if (fs::remove(path, ec))
+            ++removed;
     }
 
     refreshManifest();
@@ -550,6 +767,41 @@ CorpusManager::refreshManifest() const
         if (!de.is_regular_file())
             continue;
         const std::string file = de.path().filename().string();
+        if (file.ends_with(kStreamSuffix)) {
+            std::string entry = "\n    {\"file\": \"" +
+                                jsonEscape(file) +
+                                "\", \"kind\": \"branch-stream\"";
+            CorpusKey key;
+            if (parseStreamFileName(file, key)) {
+                entry += ", \"workload\": \"" +
+                         jsonEscape(key.workload) +
+                         "\", \"seed\": " + std::to_string(key.seed) +
+                         ", \"ops\": " + std::to_string(key.ops);
+            }
+            try {
+                const auto mapping =
+                    MappedFile::open(de.path().string());
+                const StreamContainerInfo info =
+                    peekBranchStreamContainer(mapping->bytes(),
+                                              de.path().string());
+                entry += ", \"name\": \"" + jsonEscape(info.name) +
+                         "\", \"op_count\": " +
+                         std::to_string(info.opCount) +
+                         ", \"branch_count\": " +
+                         std::to_string(info.branchCount) +
+                         ", \"bytes\": " +
+                         std::to_string(info.fileBytes) +
+                         ", \"crc32c\": " +
+                         std::to_string(info.totalCrc);
+            } catch (const std::exception &e) {
+                entry += ", \"error\": \"" + jsonEscape(e.what()) +
+                         "\"";
+            }
+            entry += "}";
+            json += (first ? "" : ",") + entry;
+            first = false;
+            continue;
+        }
         if (file.ends_with(kSegmentedSuffix)) {
             std::string entry = "\n    {\"file\": \"" +
                                 jsonEscape(file) + "\"";

@@ -50,12 +50,24 @@ struct CorpusKey
     size_t ops = 0;
 };
 
+/** Artifact kind of one corpus file. */
+enum class CorpusArtifact
+{
+    Plain,        ///< monolithic TPCC trace container (.tpct)
+    Segmented,    ///< chunked TPCS trace container (.tpcs)
+    BranchStream, ///< derived TPBS branch-stream container (.tpbs)
+};
+
+/** Human-readable name of @p kind ("plain" / "segmented" / ...). */
+const char *corpusArtifactName(CorpusArtifact kind);
+
 /** One corpus file as seen by ls/verify tooling. */
 struct CorpusEntry
 {
     std::string file;      ///< basename within the corpus dir
     std::string name;      ///< recorded stream name ("" if unreadable)
     CorpusKey key;         ///< parsed from the filename
+    CorpusArtifact kind = CorpusArtifact::Plain;
     uint64_t opCount = 0;
     uint64_t branchCount = 0;
     uint64_t fileBytes = 0;
@@ -128,7 +140,11 @@ class CorpusManager
     /**
      * Deletes quarantined files, stale temp files and entries that
      * fail full verification; then, if @p max_bytes > 0, evicts the
-     * oldest entries (by modification time) until the corpus fits.
+     * oldest trace entries (by modification time) until the corpus
+     * fits; finally removes orphaned branch-stream containers whose
+     * parent trace (plain or segmented, same key) is gone.  Stream
+     * containers are derived data and do not count against
+     * @p max_bytes — they live and die with their parent trace.
      * @return Number of files removed.
      */
     size_t gc(uint64_t max_bytes = 0);
@@ -173,14 +189,44 @@ class CorpusManager
                                   const std::string &name,
                                   size_t segment_ops);
 
+    /**
+     * Basename a key's *branch-stream* container stores under
+     * (embeds the TPBS version; distinct ".tpbs" suffix so trace
+     * scans skip it).  The stream is derived data: it always sits
+     * alongside a plain or segmented trace entry for the same key,
+     * and gc() collects it once that parent is gone.
+     */
+    static std::string streamFileName(const CorpusKey &key);
+
+    /** Absolute path for @p key's branch-stream container. */
+    std::string streamPathFor(const CorpusKey &key) const;
+
+    /**
+     * Maps and validates the branch-stream entry for @p key.
+     * Reported under the "stream_corpus.*" counters, separate from
+     * the trace tier.
+     * @return The zero-copy stream (holding its mapping), or nullptr
+     *         when absent or quarantined — the caller re-extracts
+     *         from the trace.
+     */
+    std::shared_ptr<const BranchStream>
+    loadStream(const CorpusKey &key, std::string *name_out = nullptr);
+
+    /**
+     * Persists @p stream for @p key (temp file + fsync + atomic
+     * rename, as store()).
+     */
+    void storeStream(const CorpusKey &key, const BranchStream &stream,
+                     const std::string &name);
+
     std::string manifestPath() const;
 
     /** Regenerates manifest.json from the file headers on disk. */
     void refreshManifest() const;
 
   private:
-    void quarantine(const std::string &path,
-                    const std::string &why);
+    void quarantine(const std::string &path, const std::string &why,
+                    obs::Counter &counter);
 
     std::string dir_;
     mutable std::mutex manifestMutex_;
@@ -194,6 +240,15 @@ class CorpusManager
     obs::Counter bytesLoaded_;
     obs::Counter bytesStored_;
     obs::Counter fsyncs_;
+
+    // Branch-stream tier ("stream_corpus.*"), separate from the
+    // trace counters so warm-run reports show which tier served.
+    obs::Counter streamHits_;
+    obs::Counter streamMisses_;
+    obs::Counter streamStores_;
+    obs::Counter streamQuarantined_;
+    obs::Counter streamBytesLoaded_;
+    obs::Counter streamBytesStored_;
 };
 
 } // namespace tpred

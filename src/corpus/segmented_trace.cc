@@ -1,15 +1,47 @@
 #include "corpus/segmented_trace.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <stdexcept>
 
 #include "common/crc32c.hh"
 #include "corpus/mapped_file.hh"
+#include "obs/metrics.hh"
 #include "trace/compact_io.hh"
 
 namespace tpred
 {
+
+namespace
+{
+
+std::atomic<bool> &
+prefetchFlag()
+{
+    static std::atomic<bool> enabled{[] {
+        const char *env = std::getenv("TPRED_PREFETCH");
+        return env == nullptr || *env == '\0' ||
+               std::strcmp(env, "0") != 0;
+    }()};
+    return enabled;
+}
+
+} // namespace
+
+bool
+segmentPrefetchEnabled()
+{
+    return prefetchFlag().load(std::memory_order_relaxed);
+}
+
+void
+setSegmentPrefetchEnabled(bool enabled)
+{
+    prefetchFlag().store(enabled, std::memory_order_relaxed);
+}
 
 std::shared_ptr<const SegmentedTrace>
 SegmentedTrace::open(const std::string &path)
@@ -92,10 +124,104 @@ SegmentedTrace::verifyAllSegments() const
         openSegment(i);  // one window at a time; throws on defect
 }
 
+SegmentPrefetcher::SegmentPrefetcher(const SegmentedTrace &trace)
+    : trace_(trace),
+      enabled_(segmentPrefetchEnabled() && trace.segmentCount() > 1)
+{
+}
+
+SegmentPrefetcher::~SegmentPrefetcher()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    if (worker_.joinable())
+        worker_.join();
+}
+
+std::shared_ptr<const CompactTrace>
+SegmentPrefetcher::fetch(size_t i)
+{
+    if (!enabled_)
+        return trace_.openSegment(i);
+
+    std::shared_ptr<const CompactTrace> out;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        // Settle any in-flight decode before inspecting the slot.
+        cv_.wait(lock, [&] { return requested_ == kNone; });
+        if (readyIdx_ == i) {
+            out = std::move(ready_);
+            readyIdx_ = kNone;
+        } else {
+            // Non-sequential request (first fetch, restart): drop a
+            // stale window before mapping another, keeping peak
+            // residency at one consumer + one in-flight window.
+            ready_.reset();
+            readyIdx_ = kNone;
+        }
+    }
+    if (!out) {
+        // Cold slot — or a background decode that failed and left it
+        // empty.  Decoding the same bytes here reproduces the exact
+        // CompactFormatError the synchronous path reports.
+        out = trace_.openSegment(i);
+        obs::globalMetrics()
+            .counter("segments.prefetch_syncs",
+                     obs::MetricKind::Runtime)
+            .inc();
+    } else {
+        obs::globalMetrics()
+            .counter("segments.prefetch_hits",
+                     obs::MetricKind::Runtime)
+            .inc();
+    }
+
+    if (i + 1 < trace_.segmentCount()) {
+        if (!worker_.joinable())
+            worker_ = std::thread(&SegmentPrefetcher::workerLoop, this);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            requested_ = i + 1;
+        }
+        cv_.notify_all();
+    }
+    return out;
+}
+
+void
+SegmentPrefetcher::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+        cv_.wait(lock, [&] { return stop_ || requested_ != kNone; });
+        if (stop_)
+            return;
+        const size_t idx = requested_;
+        lock.unlock();
+        std::shared_ptr<const CompactTrace> segment;
+        try {
+            segment = trace_.openSegment(idx);
+        } catch (...) {
+            // Leave the slot empty; the consumer's synchronous
+            // fallback rethrows the identical error.
+            segment.reset();
+        }
+        lock.lock();
+        ready_ = std::move(segment);
+        readyIdx_ = ready_ ? idx : kNone;
+        requested_ = kNone;
+        cv_.notify_all();
+    }
+}
+
 SegmentedReplay::SegmentedReplay(
     std::shared_ptr<const SegmentedTrace> trace, uint64_t start_op,
     std::function<void()> on_window_open)
     : trace_(std::move(trace)),
+      prefetch_(std::make_unique<SegmentPrefetcher>(*trace_)),
       onWindowOpen_(std::move(on_window_open))
 {
     if (start_op >= trace_->totalOps()) {
@@ -117,7 +243,11 @@ SegmentedReplay::SegmentedReplay(
 void
 SegmentedReplay::openSegmentWindow(size_t idx)
 {
-    segment_ = trace_->openSegment(idx);
+    // Drop the exhausted window before adopting the next so at most
+    // one consumer window plus one prefetched window are resident.
+    replay_.reset();
+    segment_.reset();
+    segment_ = prefetch_->fetch(idx);
     replay_.emplace(*segment_);
     segIdx_ = idx;
     if (onWindowOpen_)

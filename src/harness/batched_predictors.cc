@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/bits.hh"
+#include "common/simd.hh"
 #include "common/state_io.hh"
 #include "core/cascaded.hh"
 
@@ -55,11 +56,10 @@ BatchedPredictors::TaggedBank::probe(size_t slot, uint64_t pc,
     const TaggedGeom &g = geom[slot];
     const auto [set, tg] = taggedIndexOf(g.config, g.setBits, pc, history);
     const size_t base = g.base + set * g.config.ways;
-    for (unsigned w = 0; w < g.config.ways; ++w) {
-        if (valid[base + w] && tag[base + w] == tg)
-            return base + w;
-    }
-    return kMiss;
+    const size_t w = simd::findTagMatch(valid.data() + base,
+                                        tag.data() + base,
+                                        g.config.ways, tg);
+    return w == simd::kNone ? kMiss : base + w;
 }
 
 void
@@ -69,25 +69,18 @@ BatchedPredictors::TaggedBank::update(size_t slot, uint64_t pc,
     const TaggedGeom &g = geom[slot];
     const auto [set, tg] = taggedIndexOf(g.config, g.setBits, pc, history);
     const size_t base = g.base + set * g.config.ways;
-    size_t e = kMiss;
-    for (unsigned w = 0; w < g.config.ways; ++w) {
-        if (valid[base + w] && tag[base + w] == tg) {
-            e = base + w;
-            break;
-        }
-    }
-    if (e == kMiss) {
+    const size_t w = simd::findTagMatch(valid.data() + base,
+                                        tag.data() + base,
+                                        g.config.ways, tg);
+    size_t e;
+    if (w != simd::kNone) {
+        e = base + w;
+    } else {
         // Invalid way first, else true-LRU victim — the scalar
-        // update()'s allocation scan.
-        e = base;
-        for (unsigned w = 0; w < g.config.ways; ++w) {
-            if (!valid[base + w]) {
-                e = base + w;
-                break;
-            }
-            if (lastUsed[base + w] < lastUsed[e])
-                e = base + w;
-        }
+        // update()'s allocation scan, order preserved by findVictim.
+        e = base + simd::findVictim(valid.data() + base,
+                                    lastUsed.data() + base,
+                                    g.config.ways);
         if (valid[e])
             ++conflictEvictions[slot];
         valid[e] = 1;
@@ -108,6 +101,83 @@ BatchedPredictors::TaggedBank::save(size_t slot, StateWriter &w) const
         w.u64(tag[e]);
         w.u64(target[e]);
         w.u64(lastUsed[e]);
+    }
+}
+
+// --- Hot columns -----------------------------------------------------
+
+void
+BatchedPredictors::TaglessHot::push(size_t pos, const TaglessMeta &m)
+{
+    meta.push_back(pos);
+    member.push_back(m.member);
+    tracker.push_back(m.tracker);
+    base.push_back(m.base);
+    config.push_back(m.config);
+}
+
+void
+BatchedPredictors::TaglessHot::erase(size_t pos)
+{
+    for (size_t j = 0; j < meta.size(); ++j) {
+        if (meta[j] == pos) {
+            meta.erase(meta.begin() + j);
+            member.erase(member.begin() + j);
+            tracker.erase(tracker.begin() + j);
+            base.erase(base.begin() + j);
+            config.erase(config.begin() + j);
+            return;
+        }
+    }
+}
+
+void
+BatchedPredictors::TaggedHot::push(size_t pos, const TaggedMeta &m)
+{
+    meta.push_back(pos);
+    member.push_back(m.member);
+    tracker.push_back(m.tracker);
+    slot.push_back(m.slot);
+}
+
+void
+BatchedPredictors::TaggedHot::erase(size_t pos)
+{
+    for (size_t j = 0; j < meta.size(); ++j) {
+        if (meta[j] == pos) {
+            meta.erase(meta.begin() + j);
+            member.erase(member.begin() + j);
+            tracker.erase(tracker.begin() + j);
+            slot.erase(slot.begin() + j);
+            return;
+        }
+    }
+}
+
+void
+BatchedPredictors::CascadedHot::push(size_t pos, const CascadedMeta &m)
+{
+    meta.push_back(pos);
+    member.push_back(m.member);
+    tracker.push_back(m.tracker);
+    stage1Bits.push_back(m.stage1Bits);
+    stage1Base.push_back(m.stage1Base);
+    slot.push_back(m.slot);
+}
+
+void
+BatchedPredictors::CascadedHot::erase(size_t pos)
+{
+    for (size_t j = 0; j < meta.size(); ++j) {
+        if (meta[j] == pos) {
+            meta.erase(meta.begin() + j);
+            member.erase(member.begin() + j);
+            tracker.erase(tracker.begin() + j);
+            stage1Bits.erase(stage1Bits.begin() + j);
+            stage1Base.erase(stage1Base.begin() + j);
+            slot.erase(slot.begin() + j);
+            return;
+        }
     }
 }
 
@@ -166,7 +236,7 @@ BatchedPredictors::BatchedPredictors(
             taglessTargets_.resize(meta.base + c.tagless.entries(), 0);
             taglessWriterPc_.resize(meta.base + c.tagless.entries(), 0);
             directory_[i] = {Family::Tagless, taglessMeta_.size()};
-            taglessLive_.push_back(taglessMeta_.size());
+            taglessHot_.push(taglessMeta_.size(), meta);
             taglessMeta_.push_back(meta);
             break;
           }
@@ -176,7 +246,7 @@ BatchedPredictors::BatchedPredictors(
             meta.tracker = t;
             meta.slot = tagged_.addSlot(c.tagged);
             directory_[i] = {Family::Tagged, taggedMeta_.size()};
-            taggedLive_.push_back(taggedMeta_.size());
+            taggedHot_.push(taggedMeta_.size(), meta);
             taggedMeta_.push_back(meta);
             break;
           }
@@ -193,7 +263,7 @@ BatchedPredictors::BatchedPredictors(
             s1Target_.resize(meta.stage1Base + meta.stage1Entries, 0);
             meta.slot = cascadedStage2_.addSlot(c.cascaded.stage2);
             directory_[i] = {Family::Cascaded, cascadedMeta_.size()};
-            cascadedLive_.push_back(cascadedMeta_.size());
+            cascadedHot_.push(cascadedMeta_.size(), meta);
             cascadedMeta_.push_back(meta);
             break;
           }
@@ -235,53 +305,56 @@ BatchedPredictors::computePredictions(const MicroOp &op, bool btb_hit,
     for (size_t t = 0; t < trackers_.size(); ++t)
         trackerVal_[t] = trackers_[t]->valueFor(pc_);
 
-    for (size_t k : taglessLive_) {
-        const TaglessMeta &g = taglessMeta_[k];
-        const uint64_t h = trackerVal_[g.tracker];
-        hist_[g.member] = h;
+    for (size_t j = 0; j < taglessHot_.size(); ++j) {
+        const size_t m = taglessHot_.member[j];
+        const uint64_t h = trackerVal_[taglessHot_.tracker[j]];
+        hist_[m] = h;
         // The index is cached for update time regardless of the BTB
         // probe: the scalar path captures the history either way.
-        const size_t idx = g.base + taglessIndexOf(g.config, pc_, h);
-        taglessIdx_[g.member] = idx;
+        const size_t idx =
+            taglessHot_.base[j] +
+            taglessIndexOf(taglessHot_.config[j], pc_, h);
+        taglessIdx_[m] = idx;
         // A tagless cache always produces a prediction on probe.
-        predicted_[g.member] = btb_hit ? taglessTargets_[idx] : fall;
+        predicted_[m] = btb_hit ? taglessTargets_[idx] : fall;
     }
 
-    for (size_t k : taggedLive_) {
-        const TaggedMeta &g = taggedMeta_[k];
-        const uint64_t h = trackerVal_[g.tracker];
-        hist_[g.member] = h;
+    for (size_t j = 0; j < taggedHot_.size(); ++j) {
+        const size_t m = taggedHot_.member[j];
+        const uint64_t h = trackerVal_[taggedHot_.tracker[j]];
+        hist_[m] = h;
         size_t e = kMiss;
         uint64_t p = fall;
         if (btb_hit) {
-            e = tagged_.probe(g.slot, pc_, h);
+            e = tagged_.probe(taggedHot_.slot[j], pc_, h);
             p = e != kMiss ? tagged_.target[e] : btb_target;
         }
-        taggedHit_[g.member] = e;
-        predicted_[g.member] = p;
+        taggedHit_[m] = e;
+        predicted_[m] = p;
     }
 
-    for (size_t k : cascadedLive_) {
-        const CascadedMeta &g = cascadedMeta_[k];
-        const uint64_t h = trackerVal_[g.tracker];
-        hist_[g.member] = h;
+    for (size_t j = 0; j < cascadedHot_.size(); ++j) {
+        const size_t m = cascadedHot_.member[j];
+        const uint64_t h = trackerVal_[cascadedHot_.tracker[j]];
+        hist_[m] = h;
         size_t e = kMiss;
         uint64_t p = fall;
         if (btb_hit) {
-            e = cascadedStage2_.probe(g.slot, pc_, h);
+            e = cascadedStage2_.probe(cascadedHot_.slot[j], pc_, h);
             if (e != kMiss) {
                 p = cascadedStage2_.target[e];
             } else {
                 const size_t s1 =
-                    g.stage1Base + cascadedStage1IndexOf(g.stage1Bits,
-                                                         pc_);
+                    cascadedHot_.stage1Base[j] +
+                    cascadedStage1IndexOf(cascadedHot_.stage1Bits[j],
+                                          pc_);
                 p = (s1Valid_[s1] && s1Tag_[s1] == (pc_ >> 2))
                         ? s1Target_[s1]
                         : btb_target;
             }
         }
-        cascadedS2Hit_[g.member] = e;
-        predicted_[g.member] = p;
+        cascadedS2Hit_[m] = e;
+        predicted_[m] = p;
     }
 
     for (size_t k : scalarLive_) {
@@ -308,28 +381,27 @@ BatchedPredictors::commitPredictions()
     if (!probeActive_)
         return;  // BTB miss: the scalar path never probed
 
-    for (size_t k : taglessLive_) {
-        TaglessMeta &g = taglessMeta_[k];
-        const size_t idx = taglessIdx_[g.member];
+    for (size_t j = 0; j < taglessHot_.size(); ++j) {
+        TaglessMeta &g = taglessMeta_[taglessHot_.meta[j]];
+        const size_t idx = taglessIdx_[taglessHot_.member[j]];
         ++g.probes;
         if (taglessWriterPc_[idx] != 0 && taglessWriterPc_[idx] != pc_)
             ++g.crossBranchProbes;
     }
 
-    for (size_t k : taggedLive_) {
-        const TaggedMeta &g = taggedMeta_[k];
-        const size_t e = taggedHit_[g.member];
+    for (size_t j = 0; j < taggedHot_.size(); ++j) {
+        const size_t e = taggedHit_[taggedHot_.member[j]];
         if (e != kMiss)
-            tagged_.touch(g.slot, e);
+            tagged_.touch(taggedHot_.slot[j], e);
     }
 
-    for (size_t k : cascadedLive_) {
-        CascadedMeta &g = cascadedMeta_[k];
+    for (size_t j = 0; j < cascadedHot_.size(); ++j) {
+        CascadedMeta &g = cascadedMeta_[cascadedHot_.meta[j]];
         ++g.probes;
-        const size_t e = cascadedS2Hit_[g.member];
+        const size_t e = cascadedS2Hit_[cascadedHot_.member[j]];
         if (e != kMiss) {
             ++g.stage2Hits;
-            cascadedStage2_.touch(g.slot, e);
+            cascadedStage2_.touch(cascadedHot_.slot[j], e);
         }
     }
 
@@ -347,34 +419,33 @@ BatchedPredictors::recordOutcomes(uint64_t next_pc)
 void
 BatchedPredictors::updateAll(uint64_t next_pc)
 {
-    for (size_t k : taglessLive_) {
-        const TaglessMeta &g = taglessMeta_[k];
-        const size_t idx = taglessIdx_[g.member];
+    for (size_t j = 0; j < taglessHot_.size(); ++j) {
+        const size_t idx = taglessIdx_[taglessHot_.member[j]];
         taglessTargets_[idx] = next_pc;
         taglessWriterPc_[idx] = pc_;
     }
 
-    for (size_t k : taggedLive_) {
-        const TaggedMeta &g = taggedMeta_[k];
-        tagged_.update(g.slot, pc_, hist_[g.member], next_pc);
+    for (size_t j = 0; j < taggedHot_.size(); ++j) {
+        tagged_.update(taggedHot_.slot[j], pc_,
+                       hist_[taggedHot_.member[j]], next_pc);
     }
 
-    for (size_t k : cascadedLive_) {
-        const CascadedMeta &g = cascadedMeta_[k];
+    for (size_t j = 0; j < cascadedHot_.size(); ++j) {
+        const size_t m = cascadedHot_.member[j];
+        const size_t slot = cascadedHot_.slot[j];
         const size_t s1 =
-            g.stage1Base + cascadedStage1IndexOf(g.stage1Bits, pc_);
+            cascadedHot_.stage1Base[j] +
+            cascadedStage1IndexOf(cascadedHot_.stage1Bits[j], pc_);
         const bool s1_hit = s1Valid_[s1] && s1Tag_[s1] == (pc_ >> 2);
         const bool s1_correct = s1_hit && s1Target_[s1] == next_pc;
         // The scalar update()'s presence probe goes through
         // stage2.predict(), which refreshes LRU on a hit — replicated
         // exactly, clock bump and all.
-        const size_t e =
-            cascadedStage2_.probe(g.slot, pc_, hist_[g.member]);
+        const size_t e = cascadedStage2_.probe(slot, pc_, hist_[m]);
         if (e != kMiss)
-            cascadedStage2_.touch(g.slot, e);
+            cascadedStage2_.touch(slot, e);
         if (e != kMiss || !s1_correct)
-            cascadedStage2_.update(g.slot, pc_, hist_[g.member],
-                                   next_pc);
+            cascadedStage2_.update(slot, pc_, hist_[m], next_pc);
         s1Valid_[s1] = 1;
         s1Tag_[s1] = pc_ >> 2;
         s1Target_[s1] = next_pc;
@@ -403,13 +474,13 @@ BatchedPredictors::retire(size_t m)
         std::erase(noneLive_, m);
         break;
       case Family::Tagless:
-        std::erase(taglessLive_, d.pos);
+        taglessHot_.erase(d.pos);
         break;
       case Family::Tagged:
-        std::erase(taggedLive_, d.pos);
+        taggedHot_.erase(d.pos);
         break;
       case Family::Cascaded:
-        std::erase(cascadedLive_, d.pos);
+        cascadedHot_.erase(d.pos);
         break;
       case Family::Scalar:
         std::erase(scalarLive_, d.pos);

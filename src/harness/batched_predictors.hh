@@ -23,7 +23,14 @@
  *
  * Lookups and updates then run as tight, devirtualized loops over the
  * family groups, sharing one history computation per distinct
- * HistorySpec per branch.  The index math is the *same code* the
+ * HistorySpec per branch.  The per-branch loops walk dense *hot
+ * columns* — parallel arrays holding exactly the fields the loop
+ * reads (member, tracker, table base, geometry), compacted on
+ * retire() — rather than chasing live-index -> meta-struct
+ * indirection, and the tagged banks' way scans (tag compare, LRU
+ * victim) go through the portable SIMD kernels in common/simd.hh
+ * (vectorized under TPRED_NATIVE/AVX2, scalar otherwise, both
+ * order-exact).  The index math is the *same code* the
  * scalar predictors run — taglessIndexOf / taggedIndexOf /
  * cascadedStage1IndexOf are free functions over the geometry — so the
  * two paths cannot drift apart, and savePredictorState() emits the
@@ -287,6 +294,52 @@ class BatchedPredictors
         std::unique_ptr<IndirectPredictor> predictor;
     };
 
+    // Dense per-family hot columns: the fields the per-branch loops
+    // touch, as parallel arrays walked by plain index — stride-1
+    // loads instead of live-list -> meta-struct pointer chasing.
+    // `meta` back-references the stable meta arrays (probe counters,
+    // saveState); erase() compacts a retired member's row out so the
+    // walk stays dense.
+
+    struct TaglessHot
+    {
+        std::vector<size_t> meta;   ///< -> taglessMeta_ (stable)
+        std::vector<size_t> member;
+        std::vector<size_t> tracker;
+        std::vector<size_t> base;
+        std::vector<TaglessConfig> config;
+
+        size_t size() const { return meta.size(); }
+        void push(size_t pos, const TaglessMeta &m);
+        void erase(size_t pos);
+    };
+
+    struct TaggedHot
+    {
+        std::vector<size_t> meta;   ///< -> taggedMeta_ (stable)
+        std::vector<size_t> member;
+        std::vector<size_t> tracker;
+        std::vector<size_t> slot;
+
+        size_t size() const { return meta.size(); }
+        void push(size_t pos, const TaggedMeta &m);
+        void erase(size_t pos);
+    };
+
+    struct CascadedHot
+    {
+        std::vector<size_t> meta;   ///< -> cascadedMeta_ (stable)
+        std::vector<size_t> member;
+        std::vector<size_t> tracker;
+        std::vector<unsigned> stage1Bits;
+        std::vector<size_t> stage1Base;
+        std::vector<size_t> slot;
+
+        size_t size() const { return meta.size(); }
+        void push(size_t pos, const CascadedMeta &m);
+        void erase(size_t pos);
+    };
+
     size_t members_ = 0;
     std::vector<DirEntry> directory_;
 
@@ -295,19 +348,19 @@ class BatchedPredictors
     std::vector<std::unique_ptr<HistoryTracker>> trackers_;
     std::vector<uint64_t> trackerVal_;  ///< per-branch scratch
 
-    // Family groups: stable meta arrays + dense live-index lists the
-    // hot loops iterate (built once, shrunk only by retire()).
+    // Family groups: stable meta arrays + dense hot columns the
+    // per-branch loops walk (built once, compacted only by retire()).
     std::vector<TaglessMeta> taglessMeta_;
-    std::vector<size_t> taglessLive_;
+    TaglessHot taglessHot_;
     std::vector<uint64_t> taglessTargets_;
     std::vector<uint64_t> taglessWriterPc_;
 
     TaggedBank tagged_;
     std::vector<TaggedMeta> taggedMeta_;
-    std::vector<size_t> taggedLive_;
+    TaggedHot taggedHot_;
 
     std::vector<CascadedMeta> cascadedMeta_;
-    std::vector<size_t> cascadedLive_;
+    CascadedHot cascadedHot_;
     std::vector<uint8_t> s1Valid_;
     std::vector<uint64_t> s1Tag_;
     std::vector<uint64_t> s1Target_;

@@ -214,11 +214,16 @@ replayAccuracyRange(const SegmentedTrace &trace,
     };
 
     if (to > from) {
+        // Windows are consumed in ascending order, so the next one
+        // can be mapped+validated in the background while this one
+        // feeds the frontend (bit-identical either way; the shard
+        // checkpoint proofs enforce it end to end).
+        SegmentPrefetcher prefetch(trace);
         for (size_t i = trace.segmentContaining(from);
              i < trace.segmentCount() && trace.record(i).firstOp < to;
              ++i) {
             const uint64_t base = trace.record(i).firstOp;
-            const auto segment = trace.openSegment(i);
+            const auto segment = prefetch.fetch(i);
             shardMetrics().windowsOpened.inc();
             segment->forEachBranch(
                 [&](const MicroOp &op, size_t pos) {
@@ -459,20 +464,19 @@ extractBranchStream(const SegmentedTrace &trace)
         throw std::length_error(
             "extractBranchStream: BranchStream positions are 32-bit; "
             "trace has " + std::to_string(trace.totalOps()) + " ops");
-    BranchStream out;
+    BranchStreamBuilder out;
     out.opCount = trace.totalOps();
-    const size_t branches = trace.totalBranches();
-    out.pos.reserve(branches);
-    out.pc.reserve(branches);
-    out.target.reserve(branches);
-    out.fallthrough.reserve(branches);
-    out.kind.reserve(branches);
-    out.taken.reserve(branches);
+    out.reserve(trace.totalBranches());
 
+    // Segments are consumed strictly in order, so segment i+1 can be
+    // mapped, validated and decoded while segment i is being
+    // extracted — same bytes, same order, just overlapped with the
+    // extraction work (see SegmentPrefetcher).
+    SegmentPrefetcher prefetch(trace);
     for (size_t i = 0; i < trace.segmentCount(); ++i) {
         const uint32_t base =
             static_cast<uint32_t>(trace.record(i).firstOp);
-        const auto segment = trace.openSegment(i);
+        const auto segment = prefetch.fetch(i);
         shardMetrics().windowsOpened.inc();
         const BranchStream part = BranchStream::extract(*segment);
         for (size_t j = 0; j < part.size(); ++j)
@@ -488,7 +492,7 @@ extractBranchStream(const SegmentedTrace &trace)
         out.taken.insert(out.taken.end(), part.taken.begin(),
                          part.taken.end());
     }
-    return out;
+    return std::move(out).finish();
 }
 
 } // namespace tpred

@@ -33,7 +33,13 @@ TraceCache::TraceCache(obs::MetricsRegistry *metrics)
       misses_(metrics_->counter("trace_cache.misses")),
       corpusHits_(metrics_->counter("trace_cache.corpus_hits")),
       recordings_(metrics_->counter("trace_cache.recordings")),
-      bytesInserted_(metrics_->counter("trace_cache.bytes_inserted"))
+      bytesInserted_(metrics_->counter("trace_cache.bytes_inserted")),
+      streamHits_(metrics_->counter("trace_cache.stream_hits")),
+      streamMisses_(metrics_->counter("trace_cache.stream_misses")),
+      streamCorpusHits_(
+          metrics_->counter("trace_cache.stream_corpus_hits")),
+      streamExtractions_(
+          metrics_->counter("trace_cache.stream_extractions"))
 {
 }
 
@@ -68,6 +74,12 @@ TraceCache::acquire(const std::string &workload, size_t ops,
             corpusHits_.inc();
             bytesInserted_.inc(trace->residentBytes());
             logTraffic("corpus-hit", workload, ops, seed);
+            // Warm runs also get the derived branch stream for free:
+            // adopting the stored container into the trace's lazy
+            // stream cache lets branchStream() consumers (runSweep,
+            // runTimingSweep) skip the extraction pass entirely.
+            if (auto stream = corpus->loadStream(key))
+                trace->adoptBranchStream(*stream);
             return SharedTrace(std::move(trace),
                                name.empty() ? workload : name);
         }
@@ -137,6 +149,87 @@ TraceCache::get(std::string_view workload, size_t ops, uint64_t seed)
     return future.get();
 }
 
+std::shared_ptr<const BranchStream>
+TraceCache::acquireStream(const std::string &workload, size_t ops,
+                          uint64_t seed)
+{
+    std::shared_ptr<CorpusManager> corpus = this->corpus();
+    const CorpusKey key{workload, seed, ops};
+    if (corpus) {
+        if (auto stream = corpus->loadStream(key)) {
+            streamCorpusHits_.inc();
+            logTraffic("stream-corpus-hit", workload, ops, seed);
+            return stream;
+        }
+    }
+
+    // No stored stream: extract from the trace (which may itself be
+    // served from the corpus or memo).  The copy shares the trace's
+    // column backing, so it stays valid past clear().
+    streamExtractions_.inc();
+    logTraffic("stream-extract", workload, ops, seed);
+    SharedTrace trace = get(workload, ops, seed);
+    auto stream = std::make_shared<const BranchStream>(
+        trace.compact().branchStream());
+
+    if (corpus) {
+        // Best effort: a full disk must not fail the experiment.
+        try {
+            corpus->storeStream(key, *stream, trace.name());
+            logTraffic("stream-store", workload, ops, seed);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr,
+                         "tpred-cache: stream store failed: %s\n",
+                         e.what());
+        }
+    }
+    return stream;
+}
+
+std::shared_ptr<const BranchStream>
+TraceCache::getStream(std::string_view workload, size_t ops,
+                      uint64_t seed)
+{
+    const KeyRef ref{workload, seed, ops,
+                     hashKey(workload, seed, ops)};
+    std::promise<std::shared_ptr<const BranchStream>> promise;
+    std::shared_future<std::shared_ptr<const BranchStream>> future;
+    bool resolver = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = streamMemo_.find(ref);
+        if (it != streamMemo_.end()) {
+            future = it->second;
+        } else {
+            future = promise.get_future().share();
+            streamMemo_.emplace(Key{std::string(workload), seed, ops,
+                                    ref.hash},
+                                future);
+            resolver = true;
+        }
+    }
+    if (resolver) {
+        streamMisses_.inc();
+        try {
+            promise.set_value(
+                acquireStream(std::string(workload), ops, seed));
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                auto it = streamMemo_.find(ref);
+                if (it != streamMemo_.end())
+                    streamMemo_.erase(it);
+            }
+            promise.set_exception(std::current_exception());
+        }
+    } else {
+        streamHits_.inc();
+        logTraffic("stream-memo-hit", std::string(workload), ops,
+                   seed);
+    }
+    return future.get();
+}
+
 void
 TraceCache::attachCorpus(std::shared_ptr<CorpusManager> corpus)
 {
@@ -171,6 +264,7 @@ TraceCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     memo_.clear();
+    streamMemo_.clear();
 }
 
 TraceCache &
@@ -201,6 +295,13 @@ SharedTrace
 cachedTrace(std::string_view workload, size_t ops, uint64_t seed)
 {
     return globalTraceCache().get(workload, ops, seed);
+}
+
+std::shared_ptr<const BranchStream>
+cachedBranchStream(std::string_view workload, size_t ops,
+                   uint64_t seed)
+{
+    return globalTraceCache().getStream(workload, ops, seed);
 }
 
 } // namespace tpred

@@ -49,6 +49,15 @@ class CorpusManager;
  * tries the on-disk corpus — a validated hit is adopted zero-copy
  * without running the workload generator, and a freshly generated
  * trace is persisted back (best effort) for future processes.
+ *
+ * Branch-stream tier: getStream() resolves the dense BranchStream
+ * for a key through three levels — stream memo, then the corpus's
+ * ".tpbs" stream container (zero-copy mmap, no CompactTrace decode
+ * at all), then extraction from the (possibly itself corpus-served)
+ * trace, persisting the extraction back for future warm runs.  A
+ * corpus trace hit additionally adopts any stored stream into the
+ * trace's lazy stream cache, so trace.branchStream() consumers
+ * (runSweep, runTimingSweep) skip extraction on warm runs too.
  */
 class TraceCache
 {
@@ -64,6 +73,17 @@ class TraceCache
     /** Returns the memoized trace, recording it on first request. */
     SharedTrace get(std::string_view workload, size_t ops,
                     uint64_t seed = 1);
+
+    /**
+     * Returns the dense branch stream for (workload, ops, seed):
+     * memo -> stream corpus (zero-copy, skipping trace decode
+     * entirely) -> extraction from get()'s trace.  Accuracy-only
+     * consumers (fused sweeps, the autotuner) should prefer this
+     * over get(): on a warm corpus it never touches the
+     * CompactTrace.
+     */
+    std::shared_ptr<const BranchStream>
+    getStream(std::string_view workload, size_t ops, uint64_t seed = 1);
 
     /** Registry holding this cache's "trace_cache.*" counters. */
     obs::MetricsRegistry &metricsRegistry() const { return *metrics_; }
@@ -149,10 +169,19 @@ class TraceCache
     SharedTrace acquire(const std::string &workload, size_t ops,
                         uint64_t seed);
 
+    /** Stream-memo-miss path: stream corpus, else extract+persist. */
+    std::shared_ptr<const BranchStream>
+    acquireStream(const std::string &workload, size_t ops,
+                  uint64_t seed);
+
     mutable std::mutex mutex_;
     std::unordered_map<Key, std::shared_future<SharedTrace>, KeyHash,
                        KeyEqual>
         memo_;
+    std::unordered_map<
+        Key, std::shared_future<std::shared_ptr<const BranchStream>>,
+        KeyHash, KeyEqual>
+        streamMemo_;
     std::shared_ptr<CorpusManager> corpus_;
 
     std::unique_ptr<obs::MetricsRegistry> owned_;  ///< when unshared
@@ -162,6 +191,10 @@ class TraceCache
     obs::Counter corpusHits_;
     obs::Counter recordings_;
     obs::Counter bytesInserted_;
+    obs::Counter streamHits_;
+    obs::Counter streamMisses_;
+    obs::Counter streamCorpusHits_;
+    obs::Counter streamExtractions_;
 };
 
 /**
@@ -175,6 +208,11 @@ TraceCache &globalTraceCache();
 /** Shorthand for globalTraceCache().get(...). */
 SharedTrace cachedTrace(std::string_view workload, size_t ops,
                         uint64_t seed = 1);
+
+/** Shorthand for globalTraceCache().getStream(...). */
+std::shared_ptr<const BranchStream>
+cachedBranchStream(std::string_view workload, size_t ops,
+                   uint64_t seed = 1);
 
 } // namespace tpred
 

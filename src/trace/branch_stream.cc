@@ -1,5 +1,8 @@
 #include "trace/branch_stream.hh"
 
+#include <algorithm>
+#include <utility>
+
 #include "trace/compact_trace.hh"
 
 namespace tpred
@@ -8,24 +11,97 @@ namespace tpred
 BranchStream
 BranchStream::extract(const CompactTrace &trace)
 {
-    BranchStream stream;
-    stream.opCount = trace.size();
-    const size_t branches = trace.branchPositions().size();
-    stream.pos.reserve(branches);
-    stream.pc.reserve(branches);
-    stream.target.reserve(branches);
-    stream.fallthrough.reserve(branches);
-    stream.kind.reserve(branches);
-    stream.taken.reserve(branches);
-    trace.forEachBranch([&stream](const MicroOp &op, size_t pos) {
-        stream.pos.push_back(static_cast<uint32_t>(pos));
-        stream.pc.push_back(op.pc);
-        stream.target.push_back(op.nextPc);
-        stream.fallthrough.push_back(op.fallthrough);
-        stream.kind.push_back(static_cast<uint8_t>(op.branch));
-        stream.taken.push_back(op.taken ? 1 : 0);
+    BranchStreamBuilder builder;
+    builder.opCount = trace.size();
+    builder.reserve(trace.branchPositions().size());
+    trace.forEachBranch([&builder](const MicroOp &op, size_t pos) {
+        builder.append(pos, op);
     });
+    return std::move(builder).finish();
+}
+
+BranchStream
+BranchStream::fromColumns(const BranchStreamColumns &cols,
+                          std::shared_ptr<const void> backing)
+{
+    BranchStream stream;
+    stream.opCount = cols.opCount;
+    stream.pos = cols.pos;
+    stream.pc = cols.pc;
+    stream.target = cols.target;
+    stream.fallthrough = cols.fallthrough;
+    stream.kind = cols.kind;
+    stream.taken = cols.taken;
+    stream.backing_ = std::move(backing);
     return stream;
+}
+
+BranchStreamColumns
+BranchStream::columns() const
+{
+    BranchStreamColumns cols;
+    cols.opCount = opCount;
+    cols.pos = pos;
+    cols.pc = pc;
+    cols.target = target;
+    cols.fallthrough = fallthrough;
+    cols.kind = kind;
+    cols.taken = taken;
+    return cols;
+}
+
+bool
+operator==(const BranchStream &a, const BranchStream &b)
+{
+    return a.opCount == b.opCount &&
+           std::ranges::equal(a.pos, b.pos) &&
+           std::ranges::equal(a.pc, b.pc) &&
+           std::ranges::equal(a.target, b.target) &&
+           std::ranges::equal(a.fallthrough, b.fallthrough) &&
+           std::ranges::equal(a.kind, b.kind) &&
+           std::ranges::equal(a.taken, b.taken);
+}
+
+void
+BranchStreamBuilder::reserve(size_t branches)
+{
+    pos.reserve(branches);
+    pc.reserve(branches);
+    target.reserve(branches);
+    fallthrough.reserve(branches);
+    kind.reserve(branches);
+    taken.reserve(branches);
+}
+
+BranchStream
+BranchStreamBuilder::finish() &&
+{
+    struct Owned
+    {
+        std::vector<uint32_t> pos;
+        std::vector<uint64_t> pc;
+        std::vector<uint64_t> target;
+        std::vector<uint64_t> fallthrough;
+        std::vector<uint8_t> kind;
+        std::vector<uint8_t> taken;
+    };
+    auto owned = std::make_shared<Owned>();
+    owned->pos = std::move(pos);
+    owned->pc = std::move(pc);
+    owned->target = std::move(target);
+    owned->fallthrough = std::move(fallthrough);
+    owned->kind = std::move(kind);
+    owned->taken = std::move(taken);
+
+    BranchStreamColumns cols;
+    cols.opCount = opCount;
+    cols.pos = owned->pos;
+    cols.pc = owned->pc;
+    cols.target = owned->target;
+    cols.fallthrough = owned->fallthrough;
+    cols.kind = owned->kind;
+    cols.taken = owned->taken;
+    return BranchStream::fromColumns(cols, std::move(owned));
 }
 
 } // namespace tpred

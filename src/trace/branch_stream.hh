@@ -23,6 +23,18 @@
  * predictors consume pc/history/nextPc).  memAddr, selector and the
  * register fields are never read on that path and are not stored;
  * opAt() reconstructs a MicroOp with those fields defaulted.
+ *
+ * Like CompactTrace, the columns are read-only spans over one of two
+ * backings with a single consumer-facing layout:
+ *
+ *  - **owned** — BranchStreamBuilder::finish() moves freshly built
+ *    vectors into a heap block shared by every copy of the stream;
+ *  - **borrowed** — fromColumns() views caller-provided memory, e.g.
+ *    an mmap'd "TPBS" corpus container (trace/stream_io.hh), kept
+ *    alive by an opaque shared backing handle.  A warm corpus load
+ *    is therefore zero-copy: no extraction, no deserialization.
+ *
+ * Copies are cheap (spans plus one shared_ptr) and share the backing.
  */
 
 #ifndef TPRED_TRACE_BRANCH_STREAM_HH
@@ -30,6 +42,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "trace/micro_op.hh"
@@ -39,20 +53,46 @@ namespace tpred
 
 class CompactTrace;
 
+/**
+ * Read-only views of every column of a BranchStream — the exchange
+ * format between the stream and its serialized container
+ * (trace/stream_io.hh), mirroring CompactColumns.
+ */
+struct BranchStreamColumns
+{
+    uint64_t opCount = 0;               ///< total ops in the source trace
+
+    std::span<const uint32_t> pos;          ///< op index within the trace
+    std::span<const uint64_t> pc;           ///< fetch address
+    std::span<const uint64_t> target;       ///< resolved nextPc
+    std::span<const uint64_t> fallthrough;  ///< pc + 4 (or override)
+    std::span<const uint8_t> kind;          ///< BranchKind
+    std::span<const uint8_t> taken;         ///< architectural outcome
+};
+
 /** SoA view of the control-transfer ops of one trace. */
 struct BranchStream
 {
     uint64_t opCount = 0;  ///< total ops in the source trace
 
-    std::vector<uint32_t> pos;          ///< op index within the trace
-    std::vector<uint64_t> pc;           ///< fetch address
-    std::vector<uint64_t> target;       ///< resolved nextPc
-    std::vector<uint64_t> fallthrough;  ///< pc + 4 (or override)
-    std::vector<uint8_t> kind;          ///< BranchKind
-    std::vector<uint8_t> taken;         ///< architectural outcome
+    std::span<const uint32_t> pos;          ///< op index within the trace
+    std::span<const uint64_t> pc;           ///< fetch address
+    std::span<const uint64_t> target;       ///< resolved nextPc
+    std::span<const uint64_t> fallthrough;  ///< pc + 4 (or override)
+    std::span<const uint8_t> kind;          ///< BranchKind
+    std::span<const uint8_t> taken;         ///< architectural outcome
 
     /** Number of branches in the stream. */
     size_t size() const { return pos.size(); }
+
+    /** Bytes the column payloads occupy (owned or mapped). */
+    size_t
+    residentBytes() const
+    {
+        return pos.size_bytes() + pc.size_bytes() + target.size_bytes() +
+               fallthrough.size_bytes() + kind.size_bytes() +
+               taken.size_bytes();
+    }
 
     /**
      * Reconstructs branch @p i as a MicroOp carrying every field the
@@ -77,6 +117,62 @@ struct BranchStream
      * on hostile ones, identical results either way.
      */
     static BranchStream extract(const CompactTrace &trace);
+
+    /**
+     * Adopts already-extracted columns without copying them.  The
+     * spans in @p cols must stay valid for the lifetime of
+     * @p backing (a MappedFile, a shared buffer, ...), which every
+     * copy of the returned stream holds until destroyed.  This is
+     * the zero-copy corpus load path (stream_io.hh validates files
+     * before handing them here; no re-validation is performed).
+     */
+    static BranchStream fromColumns(const BranchStreamColumns &cols,
+                                    std::shared_ptr<const void> backing);
+
+    /** The column views (serialization, diagnostics). */
+    BranchStreamColumns columns() const;
+
+    /** Element-wise equality of every column (tests, proofs). */
+    friend bool operator==(const BranchStream &a, const BranchStream &b);
+
+  private:
+    std::shared_ptr<const void> backing_;  ///< column keep-alive handle
+};
+
+/**
+ * Mutable staging area for building a BranchStream one branch at a
+ * time (extract(), the segmented concatenator in shard_replay.cc).
+ * finish() freezes the vectors behind a shared heap block and binds
+ * the stream's spans to them.
+ */
+struct BranchStreamBuilder
+{
+    uint64_t opCount = 0;
+
+    std::vector<uint32_t> pos;
+    std::vector<uint64_t> pc;
+    std::vector<uint64_t> target;
+    std::vector<uint64_t> fallthrough;
+    std::vector<uint8_t> kind;
+    std::vector<uint8_t> taken;
+
+    /** Pre-sizes every column for @p branches entries. */
+    void reserve(size_t branches);
+
+    /** Appends one branch op observed at trace position @p at. */
+    void
+    append(size_t at, const MicroOp &op)
+    {
+        pos.push_back(static_cast<uint32_t>(at));
+        pc.push_back(op.pc);
+        target.push_back(op.nextPc);
+        fallthrough.push_back(op.fallthrough);
+        kind.push_back(static_cast<uint8_t>(op.branch));
+        taken.push_back(op.taken ? 1 : 0);
+    }
+
+    /** Freezes the columns into an immutable owned stream. */
+    BranchStream finish() &&;
 };
 
 } // namespace tpred

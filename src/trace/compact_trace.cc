@@ -406,6 +406,19 @@ CompactTrace::branchStream(const std::function<void()> &on_build) const
 }
 
 bool
+CompactTrace::adoptBranchStream(BranchStream stream) const
+{
+    StreamBox &box = *streamBox_;
+    bool adopted = false;
+    std::call_once(box.once, [&] {
+        box.stream = std::move(stream);
+        box.built.store(true, std::memory_order_release);
+        adopted = true;
+    });
+    return adopted;
+}
+
+bool
 CompactTrace::branchStreamBuilt() const
 {
     return streamBox_->built.load(std::memory_order_acquire);

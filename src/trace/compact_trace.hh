@@ -246,6 +246,19 @@ class CompactTrace
     const BranchStream &
     branchStream(const std::function<void()> &on_build = {}) const;
 
+    /**
+     * Seeds the lazy stream cache with an already-materialized stream
+     * — the zero-copy corpus adoption path: a validated mmap'd TPBS
+     * container (trace/stream_io.hh) becomes this trace's stream and
+     * branchStream() never pays the extraction.  Copies of @p stream
+     * are cheap (spans plus a shared backing handle).
+     *
+     * @return true when this call populated the cache; false when a
+     *         stream was already built or adopted (the existing one
+     *         wins — both are bit-identical by the container proofs).
+     */
+    bool adoptBranchStream(BranchStream stream) const;
+
     /** True when branchStream() has already been built (tests). */
     bool branchStreamBuilt() const;
 

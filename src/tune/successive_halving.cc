@@ -86,10 +86,16 @@ evaluateRung(const ConfigSpace &space,
              const std::vector<std::string> &workloads, size_t ops,
              uint64_t seed)
 {
+    // Accuracy-only rungs never need the full CompactTrace: the
+    // branch-stream tier serves the dense stream straight from the
+    // corpus (zero-copy) on warm runs, skipping trace decode and
+    // extraction entirely.
     const ParallelRunner runner;
-    const std::vector<SharedTrace> traces = runner.map<SharedTrace>(
-        workloads.size(),
-        [&](size_t w) { return cachedTrace(workloads[w], ops, seed); });
+    using SharedStream = std::shared_ptr<const BranchStream>;
+    const std::vector<SharedStream> streams =
+        runner.map<SharedStream>(workloads.size(), [&](size_t w) {
+            return cachedBranchStream(workloads[w], ops, seed);
+        });
 
     // A fused sweep shares one BTB hierarchy and one history spec, so
     // partition by front end first (the "btb" space's axis; empty key
@@ -127,13 +133,13 @@ evaluateRung(const ConfigSpace &space,
     const size_t job_count = workloads.size() * jobs.size();
     const auto parts = runner.map<std::vector<FrontendStats>>(
         job_count, [&](size_t j) {
-            const SharedTrace &trace = traces[j / jobs.size()];
+            const BranchStream &stream = *streams[j / jobs.size()];
             const SweepJob &job = jobs[j % jobs.size()];
             std::vector<IndirectConfig> batch;
             batch.reserve(job.members.size());
             for (size_t i : job.members)
                 batch.push_back(space.candidates[members[i]].config);
-            return runSweep(trace, batch, *job.fe);
+            return runSweep(stream, batch, *job.fe);
         });
 
     std::vector<RungEval> evals(members.size());

@@ -250,12 +250,7 @@ TEST(ShardReplay, BranchStreamAndSweepMatchResident)
         BranchStream::extract(resident.compact());
     ASSERT_EQ(from_seg.size(), from_res.size());
     EXPECT_EQ(from_seg.opCount, from_res.opCount);
-    EXPECT_EQ(from_seg.pc, from_res.pc);
-    EXPECT_EQ(from_seg.target, from_res.target);
-    EXPECT_EQ(from_seg.fallthrough, from_res.fallthrough);
-    EXPECT_EQ(from_seg.pos, from_res.pos);
-    EXPECT_EQ(from_seg.kind, from_res.kind);
-    EXPECT_EQ(from_seg.taken, from_res.taken);
+    EXPECT_TRUE(from_seg == from_res);
 
     const std::vector<IndirectConfig> configs = {
         taglessGshare(),

@@ -59,6 +59,7 @@ REGISTERED_BASELINES = {
     "BENCH_shard.json": "bench/shard_replay",
     "BENCH_tune.json": "bench/tune_search",
     "BENCH_btb.json": "bench/btb_pressure",
+    "BENCH_stream.json": "bench/stream_pipeline",
 }
 
 

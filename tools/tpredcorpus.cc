@@ -11,9 +11,11 @@
  * stores each as a checksummed CompactTrace container; existing
  * up-to-date entries are kept.  `verify` re-reads every container
  * with full CRC checking and exits non-zero if any fail.  `ls`
- * prints a table from the headers only.  `gc` deletes quarantined,
- * temporary and corrupt files, then evicts oldest-first down to
- * --max-bytes if given.
+ * prints a table from the headers only, including each file's
+ * artifact kind (plain / segmented / branch-stream) and on-disk
+ * bytes.  `gc` deletes quarantined, temporary and corrupt files,
+ * evicts oldest-first down to --max-bytes if given, and collects
+ * branch-stream containers orphaned by their parent trace's removal.
  */
 
 #include <cstdio>
@@ -167,12 +169,13 @@ cmdList(const CorpusManager &corpus, bool verify)
         return 0;
     }
     int bad = 0;
-    std::printf("%-44s %10s %10s %12s  %s\n", "file", "ops",
-                "branches", "bytes", verify ? "verified" : "status");
+    std::printf("%-44s %-13s %10s %10s %12s  %s\n", "file", "kind",
+                "ops", "branches", "bytes",
+                verify ? "verified" : "status");
     for (const CorpusEntry &e : entries) {
         if (e.ok) {
-            std::printf("%-44s %10llu %10llu %12llu  ok\n",
-                        e.file.c_str(),
+            std::printf("%-44s %-13s %10llu %10llu %12llu  ok\n",
+                        e.file.c_str(), corpusArtifactName(e.kind),
                         static_cast<unsigned long long>(e.opCount),
                         static_cast<unsigned long long>(e.branchCount),
                         static_cast<unsigned long long>(e.fileBytes));
@@ -199,9 +202,9 @@ cmdList(const CorpusManager &corpus, bool verify)
             }
         } else {
             ++bad;
-            std::printf("%-44s %10s %10s %12s  BAD: %s\n",
-                        e.file.c_str(), "-", "-", "-",
-                        e.error.c_str());
+            std::printf("%-44s %-13s %10s %10s %12s  BAD: %s\n",
+                        e.file.c_str(), corpusArtifactName(e.kind),
+                        "-", "-", "-", e.error.c_str());
         }
     }
     if (bad > 0)
